@@ -1,0 +1,78 @@
+// Ablation: the exponential-histogram error used by the samplers to track
+// ||A||_F^2 over the window (DESIGN.md §3). Theorem 5.1's analysis says a
+// (1 +/- eps_EH) Frobenius estimate perturbs the covariance error by
+// O(eps_EH); this sweep measures that effect and the auxiliary space cost,
+// including the exact-tracking mode the paper mentions.
+//
+//   ./ablate_eh_epsilon [--rows=30000] [--window=3000] [--ell=48]
+#include <iostream>
+#include <memory>
+
+#include "core/swr.h"
+#include "data/synthetic.h"
+#include "eval/cov_err.h"
+#include "eval/report.h"
+#include "stream/window_buffer.h"
+#include "util/flags.h"
+
+using namespace swsketch;
+
+namespace {
+
+struct RunOutcome {
+  double avg_err = 0.0;
+  size_t aux = 0;
+};
+
+RunOutcome RunOnce(double eh_eps, bool exact, size_t rows, uint64_t window,
+                   size_t ell) {
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = rows, .dim = 100, .signal_dim = 20,
+      .window = window});
+  SwrSketch sketch(stream.dim(), WindowSpec::Sequence(window),
+                   SwrSketch::Options{.ell = ell,
+                                      .frobenius_eps = eh_eps,
+                                      .exact_frobenius = exact,
+                                      .seed = 9});
+  WindowBuffer buffer(WindowSpec::Sequence(window));
+  RunOutcome out;
+  size_t i = 0, checkpoints = 0;
+  while (auto row = stream.Next()) {
+    sketch.Update(row->view(), row->ts);
+    buffer.Add(*row);
+    ++i;
+    if (i % (rows / 5) == 0 && buffer.size() >= window) {
+      out.avg_err += CovarianceError(buffer.GramMatrix(stream.dim()),
+                                     buffer.FrobeniusNormSq(), sketch.Query());
+      ++checkpoints;
+    }
+  }
+  if (checkpoints) out.avg_err /= static_cast<double>(checkpoints);
+  out.aux = sketch.AuxiliarySize();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 30000));
+  const uint64_t window = static_cast<uint64_t>(flags.GetInt("window", 3000));
+  const size_t ell = static_cast<size_t>(flags.GetInt("ell", 48));
+
+  PrintBanner(std::cout, "Ablation: ||A||_F^2 tracker accuracy (SWR)");
+  Table table({"tracker", "avg_cova_err", "aux_scalars_stored"});
+  for (double eps : {0.30, 0.10, 0.05, 0.01}) {
+    RunOutcome o = RunOnce(eps, /*exact=*/false, rows, window, ell);
+    table.AddRow({"EH eps=" + Table::Num(eps), Table::Num(o.avg_err),
+                  Table::Int(static_cast<long long>(o.aux))});
+  }
+  RunOutcome o = RunOnce(0.05, /*exact=*/true, rows, window, ell);
+  table.AddRow({"exact (one scalar/row)", Table::Num(o.avg_err),
+                Table::Int(static_cast<long long>(o.aux))});
+  table.Print(std::cout);
+  std::cout << "\nExpected: error is insensitive to eps_EH down to the "
+               "sampling noise\nfloor; the EH needs orders of magnitude "
+               "fewer scalars than exact\ntracking (window-size many).\n";
+  return 0;
+}

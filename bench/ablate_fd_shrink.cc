@@ -1,0 +1,60 @@
+// Ablation: the FD shrink position (DESIGN.md §3). The paper shrinks at
+// sigma_{ell/2}^2 (leaving ell/2 free rows); shrinking later (closer to
+// ell) sheds less mass per step (better error) but shrinks more often
+// (more SVDs, slower). This sweep quantifies the tradeoff.
+//
+//   ./ablate_fd_shrink [--ell=32] [--rows=20000]
+#include <iostream>
+
+#include "eval/cov_err.h"
+#include "eval/report.h"
+#include "sketch/frequent_directions.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace swsketch;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t ell = static_cast<size_t>(flags.GetInt("ell", 32));
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 20000));
+  const size_t d = 64;
+
+  // A stream with a decaying spectrum (FD's target regime).
+  Rng rng(1);
+  Matrix a(0, d);
+  a.ReserveRows(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<double> row(d);
+    for (size_t j = 0; j < d; ++j) {
+      const double decay = 1.0 / (1.0 + 0.15 * static_cast<double>(j));
+      row[j] = decay * rng.Gaussian();
+    }
+    a.AppendRow(row);
+  }
+  const Matrix gram = a.Gram();
+  const double frob_sq = a.FrobeniusNormSq();
+
+  PrintBanner(std::cout, "Ablation: FD shrink rank (ell = " +
+                             std::to_string(ell) + ")");
+  Table table({"shrink_rank", "cova_err", "shed_mass_fraction",
+               "update_ns_per_row"});
+  for (size_t rank : {ell / 4, ell / 2, 3 * ell / 4, ell}) {
+    if (rank == 0) continue;
+    FrequentDirections fd(
+        d, FrequentDirections::Options{.ell = ell, .shrink_rank = rank});
+    Timer timer;
+    for (size_t i = 0; i < rows; ++i) fd.Append(a.Row(i), i);
+    const double ns_per_row =
+        static_cast<double>(timer.ElapsedNanos()) / static_cast<double>(rows);
+    const double err = CovarianceError(gram, frob_sq, fd.Approximation());
+    table.AddRow({Table::Int(static_cast<long long>(rank)), Table::Num(err),
+                  Table::Num(fd.shed_mass() / frob_sq),
+                  Table::Num(ns_per_row)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: larger shrink ranks lower the error (less mass "
+               "shed per\nshrink) but pay more frequent SVDs per row.\n";
+  return 0;
+}

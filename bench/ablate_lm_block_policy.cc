@@ -1,0 +1,70 @@
+// Ablation: LM structural parameters (DESIGN.md §3) — block capacity C
+// (the paper sets C = ell) and blocks-per-level b (= Theta(1/eps)). More
+// blocks per level means a smaller expiring block (less expiry error) but
+// more sketches to store and merge.
+//
+//   ./ablate_lm_block_policy [--rows=30000] [--window=3000] [--ell=24]
+#include <iostream>
+
+#include "core/logarithmic_method.h"
+#include "data/synthetic.h"
+#include "eval/cov_err.h"
+#include "eval/report.h"
+#include "stream/window_buffer.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace swsketch;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 30000));
+  const uint64_t window = static_cast<uint64_t>(flags.GetInt("window", 3000));
+  const size_t ell = static_cast<size_t>(flags.GetInt("ell", 24));
+  const size_t dim = 100;
+
+  PrintBanner(std::cout, "Ablation: LM block capacity and blocks-per-level");
+  Table table({"capacity_C", "blocks_per_level_b", "avg_err",
+               "max_sketch_rows", "update_ns"});
+
+  for (double cap_factor : {0.25, 1.0, 4.0}) {
+    for (size_t b : {4u, 8u, 16u}) {
+      SyntheticStream stream(SyntheticStream::Options{
+          .rows = rows, .dim = dim, .signal_dim = 20, .window = window});
+      const double capacity = cap_factor * static_cast<double>(ell);
+      LmFd sketch(dim, WindowSpec::Sequence(window),
+                  LmFd::Options{.ell = ell,
+                                .blocks_per_level = b,
+                                .block_capacity = capacity});
+      WindowBuffer buffer(WindowSpec::Sequence(window));
+      size_t max_rows = 0, checkpoints = 0, i = 0;
+      double err_sum = 0.0;
+      Timer timer;
+      int64_t update_ns = 0;
+      while (auto row = stream.Next()) {
+        timer.Reset();
+        sketch.Update(row->view(), row->ts);
+        update_ns += timer.ElapsedNanos();
+        buffer.Add(*row);
+        max_rows = std::max(max_rows, sketch.RowsStored());
+        ++i;
+        if (i % (rows / 5) == 0 && buffer.size() >= window) {
+          err_sum += CovarianceError(buffer.GramMatrix(dim),
+                                     buffer.FrobeniusNormSq(), sketch.Query());
+          ++checkpoints;
+        }
+      }
+      table.AddRow(
+          {Table::Num(capacity), Table::Int(static_cast<long long>(b)),
+           Table::Num(checkpoints ? err_sum / checkpoints : 0.0),
+           Table::Int(static_cast<long long>(max_rows)),
+           Table::Num(static_cast<double>(update_ns) /
+                      static_cast<double>(rows))});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: larger b lowers the expiry error share at the "
+               "cost of more\nstored blocks; C trades level count against "
+               "per-block accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: sparse fast paths (DESIGN.md §3 / paper-scale WIKI-RAIL
+// regime). At paper scale the text and scheduling matrices have d in the
+// thousands with tens of nonzeros per row; the DI framework fans every row
+// into L active sketches, so O(nnz) appends beat O(d) appends by roughly
+// d / nnz. This bench measures the dense vs sparse update paths at
+// rail2586-like shape and verifies the results agree.
+//
+//   ./ablate_sparse_updates [--dim=2586] [--rows=20000] [--nnz=9]
+#include <iostream>
+
+#include "core/dyadic_interval.h"
+#include "data/rail.h"
+#include "eval/report.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace swsketch;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t dim = static_cast<size_t>(flags.GetInt("dim", 2586));
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 20000));
+  const size_t nnz = static_cast<size_t>(flags.GetInt("nnz", 9));
+
+  RailStream::Options opt;
+  opt.rows = rows;
+  opt.dim = dim;
+  opt.nnz_min = nnz / 2 + 1;
+  opt.nnz_max = nnz * 3 / 2 + 1;
+
+  DiFd::Options di_opt{.levels = 6,
+                       .window_size = 10000,
+                       .max_norm_sq = RailStream(opt).info().max_norm_sq,
+                       .ell_top = 32};
+
+  PrintBanner(std::cout,
+              "Ablation: dense vs sparse update path (rail2586 shape)");
+  std::cout << "d=" << dim << " rows=" << rows << " nnz~" << nnz << "\n";
+  Table table({"sketch", "path", "total_s", "ns_per_row", "speedup",
+               "identical"});
+
+  bool all_identical = true;
+  auto bench = [&](const std::string& name, auto make_sketch) {
+    Matrix dense_b, sparse_b;
+    double dense_s = 0.0, sparse_s = 0.0;
+    {
+      RailStream stream(opt);
+      auto sketch = make_sketch();
+      Timer t;
+      while (auto row = stream.Next()) sketch.Update(row->view(), row->ts);
+      dense_s = t.ElapsedSeconds();
+      dense_b = sketch.Query();
+    }
+    {
+      RailStream stream(opt);
+      auto sketch = make_sketch();
+      Timer t;
+      while (auto row = stream.NextSparse()) {
+        sketch.UpdateSparse(row->first, row->second);
+      }
+      sparse_s = t.ElapsedSeconds();
+      sparse_b = sketch.Query();
+    }
+    const bool same = dense_b.ApproxEquals(sparse_b, 1e-9);
+    all_identical = all_identical && same;
+    const double per_row = 1e9 / static_cast<double>(rows);
+    table.AddRow({name, "dense", Table::Num(dense_s),
+                  Table::Num(dense_s * per_row), "-", "-"});
+    table.AddRow({name, "sparse", Table::Num(sparse_s),
+                  Table::Num(sparse_s * per_row),
+                  Table::Num(dense_s / sparse_s), same ? "yes" : "NO"});
+  };
+
+  bench("DI-FD", [&] { return DiFd(dim, di_opt); });
+  bench("DI-HASH", [&] {
+    return DiHash(dim, DiHash::Options{.levels = 6,
+                                       .window_size = 10000,
+                                       .max_norm_sq = di_opt.max_norm_sq,
+                                       .ell_top = 256,
+                                       .seed = 3});
+  });
+  table.Print(std::cout);
+  std::cout << "\nDI-FD barely benefits: its cost is the FD shrink SVD, "
+               "not the appends.\nDI-HASH (pure scatter updates) gets the "
+               "full d/nnz-order speedup — the\nregime of paper-scale "
+               "WIKI (d=7047, ~200 nnz) and RAIL (d=2586, ~9 nnz).\n";
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// Shared machinery for the experiment drivers: dataset construction at
+// "smoke" (default, minutes) or "paper" scale, algorithm sweeps, and
+// figure-series printing. Every figure binary is a thin wrapper over
+// RunSweep + a metric column selection.
+#ifndef SWSKETCH_BENCH_BENCH_UTIL_H_
+#define SWSKETCH_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "data/generators.h"
+#include "eval/harness.h"
+#include "util/flags.h"
+
+namespace swsketch {
+namespace bench {
+
+/// Experiment scale. Smoke keeps every binary in the seconds-to-a-minute
+/// range; paper approaches the paper's dataset sizes (documented per
+/// dataset in EXPERIMENTS.md).
+enum class Scale { kSmoke, kPaper };
+
+Scale ScaleFromFlags(const Flags& flags);
+
+/// Factory returning a fresh identical stream (sweeps consume one stream
+/// per pass).
+using StreamFactory = std::function<std::unique_ptr<DatasetStream>()>;
+
+/// A dataset prepared for sweeping.
+struct Workload {
+  std::string name;
+  StreamFactory make_stream;
+  size_t rows = 0;
+  size_t dim = 0;
+  WindowSpec window = WindowSpec::Sequence(1);
+  double max_norm_sq = 1.0;  // Absolute squared-norm bound (block capacity).
+  /// Norm ratio R = max/min squared norm — the paper's Table 2/3 "R"; the
+  /// quantity the DI level count depends on (rows are assumed normalized
+  /// to [1, R]).
+  double norm_ratio = 1.0;
+  /// Typical (mean) squared row norm, probed from a stream prefix; used to
+  /// express the LM block capacity in "about ell rows" of mass.
+  double avg_norm_sq = 1.0;
+};
+
+/// The five sequence-window workloads / two time-window workloads used by
+/// the paper's evaluation, at the requested scale.
+Workload MakeSynthetic(Scale scale);
+Workload MakeBibd(Scale scale);
+Workload MakePamap(Scale scale);
+Workload MakeWiki(Scale scale);
+Workload MakeRail(Scale scale);
+
+/// One sweep measurement: an algorithm at a size parameter.
+struct SweepPoint {
+  std::string algorithm;
+  size_t ell = 0;
+  HarnessResult result;
+  double best_err_avg = 0.0;  // BEST(offline) reference at k = ell.
+  double best_err_max = 0.0;
+};
+
+struct SweepOptions {
+  std::vector<std::string> algorithms;
+  std::vector<size_t> ells;
+  size_t num_checkpoints = 6;
+  bool with_best = false;     // Also compute BEST(offline) at k = ell.
+  bool measure_time = true;
+  uint64_t seed = 1;
+};
+
+/// Runs every algorithm at every ell over the workload. One stream pass
+/// per ell (all algorithms of that ell run simultaneously and share the
+/// exact-window evaluation).
+std::vector<SweepPoint> RunSweep(const Workload& workload,
+                                 const SweepOptions& options);
+
+/// Prints the classic figure table: one row per sweep point with the
+/// chosen metric columns.
+enum class Metric { kAvgErr, kMaxErr, kUpdateNs };
+
+/// When true (bench flag --csv), PrintFigure also emits machine-readable
+/// CSV after each table.
+void SetCsvOutput(bool enabled);
+
+void PrintFigure(const std::string& title, const Workload& workload,
+                 const std::vector<SweepPoint>& points, Metric metric);
+
+/// Driver for Figures 3 / 4 / 5: the six sequence-window algorithms swept
+/// over sketch sizes on SYNTHETIC / BIBD / PAMAP. `figure_name` names the
+/// banner ("Figure 3"), `metric` selects the reported column.
+void RunSequenceFigure(Metric metric, const Flags& flags,
+                       const std::string& figure_name);
+
+/// Driver for Figures 7 / 8 / 9: SWR / SWOR / LM-FD on the time-window
+/// workloads WIKI / RAIL.
+void RunTimeFigure(Metric metric, const Flags& flags,
+                   const std::string& figure_name);
+
+/// Sweep sizes at the current scale ({8..64} smoke, {16..256} paper),
+/// overridable with --ells=a,b,c.
+std::vector<size_t> SweepSizes(const Flags& flags);
+
+}  // namespace bench
+}  // namespace swsketch
+
+#endif  // SWSKETCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,13 @@
+// Figure 3 reproduction: average covariance error vs. maximum sketch size
+// on sequence-based sliding windows (panels: SYNTHETIC, BIBD, PAMAP).
+//
+//   ./fig3_seq_avg_err [--scale=smoke|paper] [--dataset=all|synthetic|bibd|
+//                       pamap] [--ells=8,16,32] [--checkpoints=6]
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  swsketch::Flags flags(argc, argv);
+  swsketch::bench::RunSequenceFigure(swsketch::bench::Metric::kAvgErr, flags,
+                                     "Figure 3 avg err vs sketch size ");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 4 reproduction: maximum covariance error vs. maximum sketch size
+// on sequence-based sliding windows (panels: SYNTHETIC, BIBD, PAMAP).
+//
+//   ./fig4_seq_max_err [--scale=smoke|paper] [--dataset=...] [--ells=...]
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  swsketch::Flags flags(argc, argv);
+  swsketch::bench::RunSequenceFigure(swsketch::bench::Metric::kMaxErr, flags,
+                                     "Figure 4 max err vs sketch size ");
+  return 0;
+}

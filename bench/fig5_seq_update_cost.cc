@@ -1,0 +1,12 @@
+// Figure 5 reproduction: per-row update cost vs. maximum sketch size on
+// sequence-based sliding windows (panels: SYNTHETIC, BIBD, PAMAP).
+//
+//   ./fig5_seq_update_cost [--scale=smoke|paper] [--dataset=...]
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  swsketch::Flags flags(argc, argv);
+  swsketch::bench::RunSequenceFigure(swsketch::bench::Metric::kUpdateNs, flags,
+                                     "Figure 5 update cost vs sketch size ");
+  return 0;
+}

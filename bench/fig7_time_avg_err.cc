@@ -1,0 +1,12 @@
+// Figure 7 reproduction: average covariance error vs. maximum sketch size
+// on time-based sliding windows (panels: WIKI, RAIL).
+//
+//   ./fig7_time_avg_err [--scale=smoke|paper] [--dataset=all|wiki|rail]
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  swsketch::Flags flags(argc, argv);
+  swsketch::bench::RunTimeFigure(swsketch::bench::Metric::kAvgErr, flags,
+                                 "Figure 7 avg err vs sketch size ");
+  return 0;
+}

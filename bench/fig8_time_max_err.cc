@@ -1,0 +1,12 @@
+// Figure 8 reproduction: maximum covariance error vs. maximum sketch size
+// on time-based sliding windows (panels: WIKI, RAIL).
+//
+//   ./fig8_time_max_err [--scale=smoke|paper] [--dataset=all|wiki|rail]
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  swsketch::Flags flags(argc, argv);
+  swsketch::bench::RunTimeFigure(swsketch::bench::Metric::kMaxErr, flags,
+                                 "Figure 8 max err vs sketch size ");
+  return 0;
+}

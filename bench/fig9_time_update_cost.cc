@@ -1,0 +1,12 @@
+// Figure 9 reproduction: per-row update cost vs. sketch size on time-based
+// sliding windows (panels: WIKI, RAIL).
+//
+//   ./fig9_time_update_cost [--scale=smoke|paper] [--dataset=all|wiki|rail]
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  swsketch::Flags flags(argc, argv);
+  swsketch::bench::RunTimeFigure(swsketch::bench::Metric::kUpdateNs, flags,
+                                 "Figure 9 update cost vs sketch size ");
+  return 0;
+}

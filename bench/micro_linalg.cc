@@ -1,0 +1,96 @@
+// Google-benchmark microbenchmarks for the linear-algebra substrate: the
+// kernels whose cost dominates sketch updates (SVD, Gram accumulation) and
+// evaluation (Lanczos spectral norm, subspace iteration).
+#include <benchmark/benchmark.h>
+
+#include "linalg/jacobi_eigen.h"
+#include "linalg/power_iteration.h"
+#include "linalg/subspace_iteration.h"
+#include "linalg/svd.h"
+#include "linalg/tridiag_eigen.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+void BM_ThinSvdWide(benchmark::State& state) {
+  // The FD shrink shape: ell x d with ell << d.
+  const size_t ell = static_cast<size_t>(state.range(0));
+  const size_t d = 256;
+  Matrix a = RandomMatrix(ell, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThinSvd(a));
+  }
+  state.SetComplexityN(static_cast<int64_t>(ell));
+}
+BENCHMARK(BM_ThinSvdWide)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a = RandomMatrix(2 * n, n, 2).Gram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JacobiEigen(a));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TridiagEigen(benchmark::State& state) {
+  // The large-ell FD-merge path: tridiagonalization + QL, ~10x Jacobi at
+  // n >= 100.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a = RandomMatrix(2 * n, n, 2).Gram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TridiagEigen(a));
+  }
+}
+BENCHMARK(BM_TridiagEigen)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpectralNormSymmetric(benchmark::State& state) {
+  // Evaluation hot path: spectral norm of a d x d Gram difference.
+  const size_t d = static_cast<size_t>(state.range(0));
+  Matrix g1 = RandomMatrix(200, d, 3).Gram();
+  Matrix g2 = RandomMatrix(50, d, 4).Gram();
+  Matrix diff = g1.Subtract(g2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpectralNormSymmetric(diff));
+  }
+}
+BENCHMARK(BM_SpectralNormSymmetric)->Arg(64)->Arg(150)->Arg(300);
+
+void BM_GramAccumulate(benchmark::State& state) {
+  // Exact-window evaluation: rank-1 updates into a d x d Gram.
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> row(d);
+  for (auto& v : row) v = rng.Gaussian();
+  Matrix g(d, d);
+  for (auto _ : state) {
+    g.AddOuterProduct(row);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GramAccumulate)->Arg(35)->Arg(150)->Arg(300);
+
+void BM_TopEigenpairs(benchmark::State& state) {
+  // BEST(offline) per-checkpoint cost: top-(k+1) eigenpairs of a Gram.
+  const size_t k = static_cast<size_t>(state.range(0));
+  Matrix g = RandomMatrix(500, 150, 6).Gram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopEigenpairsPsd(g, k + 1));
+  }
+}
+BENCHMARK(BM_TopEigenpairs)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace swsketch
+
+BENCHMARK_MAIN();

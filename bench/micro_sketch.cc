@@ -1,0 +1,111 @@
+// Google-benchmark microbenchmarks for the streaming sketch primitives:
+// per-row append costs of FD / RP / HASH / samplers and the exponential
+// histogram, matching the update-cost columns of Table 1.
+#include <benchmark/benchmark.h>
+
+#include "sketch/frequent_directions.h"
+#include "sketch/hash_sketch.h"
+#include "sketch/priority_sampler.h"
+#include "sketch/random_projection.h"
+#include "util/exponential_histogram.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+constexpr size_t kDim = 256;
+
+std::vector<std::vector<double>> MakeRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(kDim));
+  for (auto& r : rows) {
+    for (auto& v : r) v = rng.Gaussian();
+  }
+  return rows;
+}
+
+void BM_FrequentDirectionsAppend(benchmark::State& state) {
+  const size_t ell = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(1024, 1);
+  FrequentDirections fd(kDim, ell);
+  size_t i = 0;
+  for (auto _ : state) {
+    fd.Append(rows[i & 1023], i);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrequentDirectionsAppend)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RandomProjectionAppend(benchmark::State& state) {
+  const size_t ell = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(1024, 2);
+  RandomProjection rp(kDim, ell, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    rp.Append(rows[i & 1023], i);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomProjectionAppend)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_HashSketchAppend(benchmark::State& state) {
+  const size_t ell = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(1024, 3);
+  HashSketch hs(kDim, ell, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    hs.Append(rows[i & 1023], i);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashSketchAppend)->Arg(64)->Arg(1024);
+
+void BM_FdMerge(benchmark::State& state) {
+  // The LM framework's cascade cost: one FD merge.
+  const size_t ell = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(512, 4);
+  FrequentDirections base(kDim, ell), other(kDim, ell);
+  for (size_t i = 0; i < 512; ++i) {
+    (i % 2 ? base : other).Append(rows[i], i);
+  }
+  for (auto _ : state) {
+    FrequentDirections tmp = base;
+    tmp.MergeWith(other);
+    benchmark::DoNotOptimize(tmp);
+  }
+}
+BENCHMARK(BM_FdMerge)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_StreamingSworAppend(benchmark::State& state) {
+  const size_t ell = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(1024, 5);
+  StreamingSworSampler s(kDim, ell, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    s.Append(rows[i & 1023], i);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamingSworAppend)->Arg(16)->Arg(64);
+
+void BM_ExponentialHistogramAdd(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  ExponentialHistogram eh(eps);
+  Rng rng(6);
+  double ts = 0.0;
+  for (auto _ : state) {
+    eh.Add(1.0 + rng.Uniform01() * 9.0, ts);
+    ts += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExponentialHistogramAdd)->Arg(10)->Arg(20)->Arg(100);
+
+}  // namespace
+}  // namespace swsketch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#include "core/best_rank_k.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/subspace_iteration.h"
+#include "util/logging.h"
+
+namespace swsketch {
+
+void BestRankK::Update(std::span<const double> row, double ts) {
+  SWSKETCH_CHECK_EQ(row.size(), dim_);
+  buffer_.Add(Row(std::vector<double>(row.begin(), row.end()), ts));
+}
+
+Matrix BestRankK::Query() {
+  Matrix b(0, dim_);
+  if (buffer_.empty()) return b;
+  const Matrix gram = buffer_.GramMatrix(dim_);
+  const TopEigen top = TopEigenpairsPsd(gram, std::min(k_, dim_));
+  for (size_t i = 0; i < top.values.size(); ++i) {
+    const double lam = std::max(top.values[i], 0.0);
+    if (lam <= 0.0) break;
+    const double s = std::sqrt(lam);
+    std::vector<double> row(dim_);
+    for (size_t j = 0; j < dim_; ++j) row[j] = s * top.vectors(j, i);
+    b.AppendRow(row);
+  }
+  return b;
+}
+
+double BestRankKError(const Matrix& gram, size_t k, double frob_sq) {
+  return BestAndZeroError(gram, k, frob_sq).best_err;
+}
+
+ReferenceErrors BestAndZeroError(const Matrix& gram, size_t k,
+                                 double frob_sq) {
+  SWSKETCH_CHECK_GT(frob_sq, 0.0);
+  ReferenceErrors out;
+  const size_t want = std::min(k + 1, gram.rows());
+  const TopEigen top = TopEigenpairsPsd(gram, want);
+  out.zero_err = std::max(top.values.front(), 0.0) / frob_sq;
+  // lambda_{k+1} is zero when k >= rank of the Gram matrix.
+  out.best_err =
+      k >= gram.rows() ? 0.0 : std::max(top.values.back(), 0.0) / frob_sq;
+  return out;
+}
+
+}  // namespace swsketch

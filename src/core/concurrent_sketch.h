@@ -1,0 +1,63 @@
+// Thread-safe decorator for sliding-window sketches: one writer thread
+// ingesting the stream, any number of reader threads querying. All methods
+// are serialized by one mutex — sketch updates are microseconds, so a
+// single lock is the right tradeoff; use one sketch per stream partition
+// (see distributed/) when the ingest rate needs sharding.
+#ifndef SWSKETCH_CORE_CONCURRENT_SKETCH_H_
+#define SWSKETCH_CORE_CONCURRENT_SKETCH_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/sliding_window_sketch.h"
+#include "util/logging.h"
+
+namespace swsketch {
+
+/// Mutex-guarded SlidingWindowSketch wrapper.
+class ConcurrentSketch : public SlidingWindowSketch {
+ public:
+  explicit ConcurrentSketch(std::unique_ptr<SlidingWindowSketch> inner)
+      : inner_(std::move(inner)) {
+    SWSKETCH_CHECK(inner_ != nullptr);
+  }
+
+  void Update(std::span<const double> row, double ts) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->Update(row, ts);
+  }
+
+  void UpdateSparse(const SparseVector& row, double ts) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->UpdateSparse(row, ts);
+  }
+
+  void AdvanceTo(double now) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->AdvanceTo(now);
+  }
+
+  Matrix Query() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Query();
+  }
+
+  size_t RowsStored() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->RowsStored();
+  }
+
+  size_t dim() const override { return inner_->dim(); }
+  std::string name() const override { return inner_->name() + "+lock"; }
+  const WindowSpec& window() const override { return inner_->window(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<SlidingWindowSketch> inner_;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_CORE_CONCURRENT_SKETCH_H_

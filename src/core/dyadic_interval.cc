@@ -1,0 +1,100 @@
+#include "core/dyadic_interval.h"
+
+#include <algorithm>
+
+namespace swsketch {
+
+namespace {
+
+size_t LevelEll(size_t level, size_t num_levels, size_t ell_top,
+                size_t ell_min) {
+  // Sizes halve from the top level down (Section 8's setup: the highest
+  // level holds roughly half the query budget).
+  const size_t shift = num_levels - level;
+  size_t ell = shift >= 63 ? 0 : (ell_top >> shift);
+  return std::max(ell, std::max(ell_min, size_t{2}));
+}
+
+}  // namespace
+
+DiFd::DiFd(size_t dim, Options options)
+    : DyadicInterval<FrequentDirections>(
+          dim,
+          DyadicIntervalOptions{.levels = options.levels,
+                                .window_size = options.window_size,
+                                .max_norm_sq = options.max_norm_sq},
+          [dim, options](size_t level) {
+            return FrequentDirections(
+                dim, LevelEll(level, options.levels, options.ell_top,
+                              options.ell_min));
+          },
+          "DI-FD"),
+      di_options_(options) {}
+
+void DiFd::Serialize(ByteWriter* writer) const {
+  WriteHeader(writer, DiFd::kSerialTag, 1);
+  writer->Put<uint64_t>(dim());
+  writer->Put<uint64_t>(di_options_.levels);
+  writer->Put<uint64_t>(di_options_.window_size);
+  writer->Put(di_options_.max_norm_sq);
+  writer->Put<uint64_t>(di_options_.ell_top);
+  writer->Put<uint64_t>(di_options_.ell_min);
+  SerializeCore(writer);
+}
+
+Result<DiFd> DiFd::Deserialize(ByteReader* reader) {
+  if (!CheckHeader(reader, DiFd::kSerialTag, 1)) {
+    return Status::InvalidArgument("bad DiFd header");
+  }
+  uint64_t dim = 0, levels = 0, window = 0, ell_top = 0, ell_min = 0;
+  double max_norm_sq = 0.0;
+  if (!reader->Get(&dim) || !reader->Get(&levels) || !reader->Get(&window) ||
+      !reader->Get(&max_norm_sq) || !reader->Get(&ell_top) ||
+      !reader->Get(&ell_min) || levels == 0 || window == 0 ||
+      max_norm_sq <= 0.0) {
+    return Status::InvalidArgument("corrupt DiFd payload");
+  }
+  DiFd sketch(dim, Options{.levels = levels, .window_size = window,
+                           .max_norm_sq = max_norm_sq, .ell_top = ell_top,
+                           .ell_min = ell_min});
+  if (Status s = sketch.DeserializeCore(reader); !s.ok()) return s;
+  return sketch;
+}
+
+DiRp::DiRp(size_t dim, Options options)
+    : DyadicInterval<RandomProjection>(
+          dim,
+          DyadicIntervalOptions{.levels = options.levels,
+                                .window_size = options.window_size,
+                                .max_norm_sq = options.max_norm_sq},
+          [dim, options](size_t level) {
+            // Every block needs its own independent projection; derive a
+            // distinct seed per construction.
+            static thread_local uint64_t counter = 0;
+            return RandomProjection(
+                dim,
+                LevelEll(level, options.levels, options.ell_top,
+                         options.ell_min),
+                options.seed * 0x9E3779B97F4A7C15ULL + ++counter);
+          },
+          "DI-RP") {}
+
+DiHash::DiHash(size_t dim, Options options)
+    : DyadicInterval<HashSketch>(
+          dim,
+          DyadicIntervalOptions{.levels = options.levels,
+                                .window_size = options.window_size,
+                                .max_norm_sq = options.max_norm_sq},
+          [dim, options](size_t level) {
+            return HashSketch(dim,
+                              LevelEll(level, options.levels, options.ell_top,
+                                       options.ell_min),
+                              options.seed);
+          },
+          "DI-HASH") {}
+
+template class DyadicInterval<FrequentDirections>;
+template class DyadicInterval<RandomProjection>;
+template class DyadicInterval<HashSketch>;
+
+}  // namespace swsketch

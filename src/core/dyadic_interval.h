@@ -1,0 +1,417 @@
+// Dyadic Interval framework (Section 7): converts an *arbitrary* streaming
+// matrix sketch into a sequence-based sliding-window sketch, relying only
+// on decomposability (Lemma 7.1): approximations of disjoint row ranges
+// concatenate into an approximation of their union.
+//
+// Level 1 partitions the stream into blocks of squared-norm mass about
+// N*R/2^L; a level-i block covers exactly 2^{i-1} level-1 blocks. Every
+// level ingests each row into its active sketch; when the level-1 active
+// block fills, all levels whose dyadic boundary aligns close their active
+// block (Algorithm 7.1's trailing-zeros rule). A query covers the window
+// with at most 2 closed blocks per level (greedy maximal-dyadic cover) plus
+// the level-1 active sketch, skipping the straddling expiring level-1 block
+// (the epsilon/2 expiry error of Theorem 7.1), and returns the stacked
+// approximations.
+//
+// Per-level sketch sizes follow the experimental setup of Section 8: the
+// top level runs the largest sketch (roughly half the query budget) and
+// sizes halve per level downward, so higher levels (bigger blocks) get
+// proportionally more accurate sketches — the ell_{1/(2^i L)} schedule of
+// Theorem 7.1 in its practical form.
+//
+// SketchT requirements: Append(span<const double>, uint64_t id),
+// Approximation() -> Matrix, RowsStored(). Mergeability is NOT required.
+#ifndef SWSKETCH_CORE_DYADIC_INTERVAL_H_
+#define SWSKETCH_CORE_DYADIC_INTERVAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sliding_window_sketch.h"
+#include "linalg/vector_ops.h"
+#include "sketch/frequent_directions.h"
+#include "sketch/hash_sketch.h"
+#include "sketch/random_projection.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace swsketch {
+
+/// Parameters shared by all DI instantiations.
+struct DyadicIntervalOptions {
+  /// Number of dyadic levels L ~ ceil(log2(R / epsilon)).
+  size_t levels = 6;
+  /// Sequence window size N (DI is sequence-based only).
+  uint64_t window_size = 10000;
+  /// Upper bound R on squared row norms (needed a priori, Table 1).
+  double max_norm_sq = 1.0;
+};
+
+/// The Dyadic Interval method over an arbitrary streaming sketch type.
+template <typename SketchT>
+class DyadicInterval : public SlidingWindowSketch {
+ public:
+  /// Builds the sketch for a given level in [1, levels].
+  using LevelSketchFactory = std::function<SketchT(size_t level)>;
+
+  DyadicInterval(size_t dim, DyadicIntervalOptions options,
+                 LevelSketchFactory factory, std::string name)
+      : dim_(dim),
+        window_(WindowSpec::Sequence(options.window_size)),
+        options_(options),
+        factory_(std::move(factory)),
+        name_(std::move(name)) {
+    SWSKETCH_CHECK_GE(options_.levels, 1u);
+    SWSKETCH_CHECK_GT(options_.max_norm_sq, 0.0);
+    const double total = static_cast<double>(options_.window_size) *
+                         options_.max_norm_sq;
+    level1_capacity_ = total / std::ldexp(1.0, static_cast<int>(options_.levels));
+    SWSKETCH_CHECK_GT(level1_capacity_, 0.0);
+    levels_.resize(options_.levels);
+    for (size_t i = 0; i < options_.levels; ++i) {
+      actives_.push_back(Active{factory_(i + 1), 0.0, 0.0, false});
+    }
+  }
+
+  void Update(std::span<const double> row, double ts) override {
+    SWSKETCH_CHECK_EQ(row.size(), dim_);
+    UpdateImpl(ts, NormSq(row), [&](SketchT& sketch, uint64_t id) {
+      sketch.Append(row, id);
+    });
+  }
+
+  /// O(nnz) per level instead of O(d): the row fans into L active
+  /// sketches, so sparse streams (WIKI/RAIL at paper scale) gain the most
+  /// here.
+  void UpdateSparse(const SparseVector& row, double ts) override {
+    SWSKETCH_CHECK_EQ(row.dim(), dim_);
+    UpdateImpl(ts, row.NormSq(), [&](SketchT& sketch, uint64_t id) {
+      sketch.AppendSparse(row, id);
+    });
+  }
+
+ private:
+  template <typename AppendFn>
+  void UpdateImpl(double ts, double w, AppendFn&& append) {
+    SWSKETCH_CHECK_GE(ts, now_);
+    now_ = ts;
+    Expire(ts);
+
+    if (w <= 0.0) return;
+
+    for (auto& a : actives_) {
+      if (!a.started) {
+        a.start_ts = ts;
+        a.started = true;
+      }
+      append(a.sketch, next_id_);
+      a.end_ts = ts;
+    }
+    ++next_id_;
+    level1_mass_ += w;
+    ++level1_rows_;
+
+    // Close the level-1 block on mass overflow (Algorithm 7.1 line 7) or,
+    // as a safety valve when max_norm_sq grossly over-estimates the actual
+    // norms, on row-count overflow — otherwise a single level-1 block could
+    // span more than a window and the active sketch would cover expired
+    // rows. With correctly-sized R the mass rule always fires first.
+    const uint64_t row_cap = std::max<uint64_t>(1, options_.window_size / 8);
+    if (level1_mass_ > level1_capacity_ || level1_rows_ >= row_cap) {
+      level1_mass_ = 0.0;
+      level1_rows_ = 0;
+      ++closed_l1_;
+      // Algorithm 7.1 lines 7-11: close the active block at every level
+      // whose dyadic boundary aligns with the new level-1 count.
+      for (size_t li = 0; li < options_.levels; ++li) {
+        const uint64_t span = 1ULL << li;  // Level li+1 covers 2^li blocks.
+        if (closed_l1_ % span != 0) break;
+        levels_[li].push_back(Block(std::move(actives_[li].sketch),
+                                    closed_l1_ - span, closed_l1_,
+                                    actives_[li].start_ts,
+                                    actives_[li].end_ts));
+        actives_[li] = Active{factory_(li + 1), 0.0, 0.0, false};
+      }
+    }
+  }
+
+ public:
+  void AdvanceTo(double now) override {
+    SWSKETCH_CHECK_GE(now, now_);
+    now_ = now;
+    Expire(now);
+  }
+
+  Matrix Query() override {
+    Expire(now_);
+    const double start = window_.Start(now_);
+
+    // First level-1 block fully inside the window.
+    uint64_t j0 = closed_l1_;
+    for (const Block& blk : levels_[0]) {
+      if (blk.start_ts >= start) {
+        j0 = blk.l1_begin;
+        break;
+      }
+    }
+
+    Matrix b(0, dim_);
+    // Greedy maximal-dyadic cover of [j0, closed_l1_): at position p, take
+    // the largest aligned block that fits — at most 2 per level overall.
+    uint64_t p = j0;
+    while (p < closed_l1_) {
+      size_t li = options_.levels - 1;
+      while (li > 0) {
+        const uint64_t span = 1ULL << li;
+        if (p % span == 0 && p + span <= closed_l1_) break;
+        --li;
+      }
+      const uint64_t span = 1ULL << li;
+      const Block* blk = FindBlock(li, p);
+      SWSKETCH_CHECK(blk != nullptr);
+      b = b.VStack(blk->sketch.Approximation());
+      p += span;
+    }
+    // The level-1 active sketch covers the most recent rows.
+    if (actives_[0].started) {
+      b = b.VStack(actives_[0].sketch.Approximation());
+    }
+    return b;
+  }
+
+  size_t RowsStored() const override {
+    size_t n = 0;
+    for (const auto& level : levels_) {
+      for (const Block& blk : level) n += blk.sketch.RowsStored();
+    }
+    for (const auto& a : actives_) n += a.sketch.RowsStored();
+    return n;
+  }
+
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return name_; }
+  const WindowSpec& window() const override { return window_; }
+
+  size_t NumLevels() const { return options_.levels; }
+
+  /// Total closed blocks currently retained.
+  size_t NumBlocks() const {
+    size_t n = 0;
+    for (const auto& level : levels_) n += level.size();
+    return n;
+  }
+
+  /// Serializes framework state (counters, actives, closed blocks); the
+  /// concrete subclass writes its configuration first.
+  void SerializeCore(ByteWriter* writer) const {
+    writer->Put(level1_capacity_);
+    writer->Put(level1_mass_);
+    writer->Put<uint64_t>(level1_rows_);
+    writer->Put<uint64_t>(closed_l1_);
+    writer->Put<uint64_t>(next_id_);
+    writer->Put(now_);
+    writer->Put<uint64_t>(actives_.size());
+    for (const Active& a : actives_) {
+      writer->Put(a.start_ts);
+      writer->Put(a.end_ts);
+      writer->Put<uint8_t>(a.started ? 1 : 0);
+      a.sketch.Serialize(writer);
+    }
+    writer->Put<uint64_t>(levels_.size());
+    for (const auto& level : levels_) {
+      writer->Put<uint64_t>(level.size());
+      for (const Block& blk : level) {
+        writer->Put<uint64_t>(blk.l1_begin);
+        writer->Put<uint64_t>(blk.l1_end);
+        writer->Put(blk.start_ts);
+        writer->Put(blk.end_ts);
+        blk.sketch.Serialize(writer);
+      }
+    }
+  }
+
+  /// Loads framework state into a freshly-constructed matching object.
+  Status DeserializeCore(ByteReader* reader) {
+    uint64_t num_actives = 0, num_levels = 0;
+    if (!reader->Get(&level1_capacity_) || !reader->Get(&level1_mass_) ||
+        !reader->Get(&level1_rows_) || !reader->Get(&closed_l1_) ||
+        !reader->Get(&next_id_) || !reader->Get(&now_) ||
+        !reader->Get(&num_actives) || num_actives != actives_.size()) {
+      return Status::InvalidArgument("corrupt DI payload");
+    }
+    for (Active& a : actives_) {
+      uint8_t started = 0;
+      if (!reader->Get(&a.start_ts) || !reader->Get(&a.end_ts) ||
+          !reader->Get(&started)) {
+        return Status::InvalidArgument("corrupt DI payload");
+      }
+      a.started = started != 0;
+      auto sketch = SketchT::Deserialize(reader);
+      if (!sketch.ok()) return sketch.status();
+      a.sketch = sketch.take();
+    }
+    if (!reader->Get(&num_levels) || num_levels != levels_.size()) {
+      return Status::InvalidArgument("corrupt DI payload");
+    }
+    for (auto& level : levels_) {
+      uint64_t blocks = 0;
+      if (!reader->Get(&blocks)) {
+        return Status::InvalidArgument("corrupt DI payload");
+      }
+      level.clear();
+      for (uint64_t i = 0; i < blocks; ++i) {
+        uint64_t begin = 0, end = 0;
+        double st = 0.0, et = 0.0;
+        if (!reader->Get(&begin) || !reader->Get(&end) ||
+            !reader->Get(&st) || !reader->Get(&et)) {
+          return Status::InvalidArgument("corrupt DI payload");
+        }
+        auto sketch = SketchT::Deserialize(reader);
+        if (!sketch.ok()) return sketch.status();
+        level.push_back(Block(sketch.take(), begin, end, st, et));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Test hook: structural invariants — dyadic alignment and time order.
+  void CheckInvariants() const {
+    for (size_t li = 0; li < levels_.size(); ++li) {
+      const uint64_t span = 1ULL << li;
+      uint64_t prev_end = 0;
+      bool first = true;
+      for (const Block& blk : levels_[li]) {
+        SWSKETCH_CHECK_EQ(blk.l1_end - blk.l1_begin, span);
+        SWSKETCH_CHECK_EQ(blk.l1_begin % span, 0u);
+        if (!first) SWSKETCH_CHECK_EQ(blk.l1_begin, prev_end);
+        prev_end = blk.l1_end;
+        first = false;
+      }
+    }
+  }
+
+ private:
+  struct Active {
+    SketchT sketch;
+    double start_ts = 0.0;
+    double end_ts = 0.0;
+    bool started = false;
+  };
+
+  struct Block {
+    SketchT sketch;
+    uint64_t l1_begin;  // Covered level-1 block range [begin, end).
+    uint64_t l1_end;
+    double start_ts;
+    double end_ts;
+
+    Block(SketchT s, uint64_t begin, uint64_t end, double st, double et)
+        : sketch(std::move(s)),
+          l1_begin(begin),
+          l1_end(end),
+          start_ts(st),
+          end_ts(et) {}
+  };
+
+  const Block* FindBlock(size_t li, uint64_t l1_begin) const {
+    for (const Block& blk : levels_[li]) {
+      if (blk.l1_begin == l1_begin) return &blk;
+    }
+    return nullptr;
+  }
+
+  void Expire(double now) {
+    const double start = window_.Start(now);
+    for (auto& level : levels_) {
+      while (!level.empty() && level.front().end_ts < start) {
+        level.pop_front();
+      }
+    }
+  }
+
+  size_t dim_;
+  WindowSpec window_;
+  DyadicIntervalOptions options_;
+  LevelSketchFactory factory_;
+  std::string name_;
+
+  double level1_capacity_ = 0.0;
+  double level1_mass_ = 0.0;
+  uint64_t level1_rows_ = 0;
+  uint64_t closed_l1_ = 0;
+  uint64_t next_id_ = 0;
+  double now_ = 0.0;
+
+  std::vector<Active> actives_;              // One active block per level.
+  std::vector<std::deque<Block>> levels_;    // Closed blocks, oldest first.
+};
+
+/// DI-FD (Section 7.3): Frequent Directions per block, sizes halving from
+/// `ell_top` at the highest level downward.
+class DiFd : public DyadicInterval<FrequentDirections> {
+ public:
+  struct Options {
+    size_t levels = 6;
+    uint64_t window_size = 10000;
+    double max_norm_sq = 1.0;
+    /// FD rows at the top level; level i gets max(ell_min, ell_top >>
+    /// (L - i)). Query output has roughly 2 * ell_top rows.
+    size_t ell_top = 32;
+    size_t ell_min = 2;
+  };
+
+  DiFd(size_t dim, Options options);
+
+  /// Checkpoint/resume of the full sliding-window state.
+  static constexpr uint32_t kSerialTag = 0x44494601;
+  void Serialize(ByteWriter* writer) const;
+  static Result<DiFd> Deserialize(ByteReader* reader);
+  Status SerializeTo(ByteWriter* writer) const override {
+    Serialize(writer);
+    return Status::OK();
+  }
+
+ private:
+  Options di_options_;
+};
+
+/// DI-RP (Appendix A): random projection per block.
+class DiRp : public DyadicInterval<RandomProjection> {
+ public:
+  struct Options {
+    size_t levels = 6;
+    uint64_t window_size = 10000;
+    double max_norm_sq = 1.0;
+    size_t ell_top = 64;
+    size_t ell_min = 8;
+    uint64_t seed = 1;
+  };
+
+  DiRp(size_t dim, Options options);
+};
+
+/// DI-HASH (Appendix A): feature hashing per block.
+class DiHash : public DyadicInterval<HashSketch> {
+ public:
+  struct Options {
+    size_t levels = 6;
+    uint64_t window_size = 10000;
+    double max_norm_sq = 1.0;
+    size_t ell_top = 64;
+    size_t ell_min = 8;
+    uint64_t seed = 1;
+  };
+
+  DiHash(size_t dim, Options options);
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_CORE_DYADIC_INTERVAL_H_

@@ -1,0 +1,14 @@
+#include "core/exact_window.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+void ExactWindow::Update(std::span<const double> row, double ts) {
+  SWSKETCH_CHECK_EQ(row.size(), dim_);
+  buffer_.Add(Row(std::vector<double>(row.begin(), row.end()), ts));
+}
+
+}  // namespace swsketch

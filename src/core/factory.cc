@@ -1,0 +1,145 @@
+#include "core/factory.h"
+
+#include "core/best_rank_k.h"
+#include "core/dyadic_interval.h"
+#include "core/exact_window.h"
+#include "core/logarithmic_method.h"
+#include "core/swor.h"
+#include "core/swr.h"
+
+namespace swsketch {
+
+namespace {
+
+Status RequireSequence(const WindowSpec& window, const std::string& algo) {
+  if (window.type() != WindowType::kSequence) {
+    return Status::InvalidArgument(
+        algo + " supports sequence-based windows only (Section 7)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SlidingWindowSketch>> MakeSlidingWindowSketch(
+    size_t dim, WindowSpec window, const SketchConfig& config) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (config.ell == 0) return Status::InvalidArgument("ell must be positive");
+  const std::string& a = config.algorithm;
+
+  if (a == "swr") {
+    return std::unique_ptr<SlidingWindowSketch>(new SwrSketch(
+        dim, window,
+        SwrSketch::Options{.ell = config.ell,
+                           .frobenius_eps = config.frobenius_eps,
+                           .exact_frobenius = config.exact_frobenius,
+                           .seed = config.seed}));
+  }
+  if (a == "swor" || a == "swor-all") {
+    return std::unique_ptr<SlidingWindowSketch>(new SworSketch(
+        dim, window,
+        SworSketch::Options{
+            .ell = config.ell,
+            .query_mode = a == "swor-all" ? SworSketch::QueryMode::kAll
+                                          : SworSketch::QueryMode::kTopEll,
+            .frobenius_eps = config.frobenius_eps,
+            .exact_frobenius = config.exact_frobenius,
+            .seed = config.seed}));
+  }
+  if (a == "lm-fd") {
+    return std::unique_ptr<SlidingWindowSketch>(new LmFd(
+        dim, window,
+        LmFd::Options{.ell = config.ell,
+                      .blocks_per_level = config.blocks_per_level,
+                      .block_capacity = config.lm_block_capacity}));
+  }
+  if (a == "lm-rp") {
+    return std::unique_ptr<SlidingWindowSketch>(new LmRp(
+        dim, window,
+        LmRp::Options{.ell = config.ell,
+                      .blocks_per_level = config.blocks_per_level,
+                      .block_capacity = config.lm_block_capacity,
+                      .seed = config.seed}));
+  }
+  if (a == "lm-hash") {
+    return std::unique_ptr<SlidingWindowSketch>(new LmHash(
+        dim, window,
+        LmHash::Options{.ell = config.ell,
+                        .blocks_per_level = config.blocks_per_level,
+                        .block_capacity = config.lm_block_capacity,
+                        .seed = config.seed}));
+  }
+  if (a == "di-fd") {
+    if (Status s = RequireSequence(window, a); !s.ok()) return s;
+    return std::unique_ptr<SlidingWindowSketch>(new DiFd(
+        dim, DiFd::Options{
+                 .levels = config.levels,
+                 .window_size = static_cast<uint64_t>(window.extent()),
+                 .max_norm_sq = config.max_norm_sq,
+                 .ell_top = config.ell}));
+  }
+  if (a == "di-rp") {
+    if (Status s = RequireSequence(window, a); !s.ok()) return s;
+    return std::unique_ptr<SlidingWindowSketch>(new DiRp(
+        dim, DiRp::Options{
+                 .levels = config.levels,
+                 .window_size = static_cast<uint64_t>(window.extent()),
+                 .max_norm_sq = config.max_norm_sq,
+                 .ell_top = config.ell,
+                 .seed = config.seed}));
+  }
+  if (a == "di-hash") {
+    if (Status s = RequireSequence(window, a); !s.ok()) return s;
+    return std::unique_ptr<SlidingWindowSketch>(new DiHash(
+        dim, DiHash::Options{
+                 .levels = config.levels,
+                 .window_size = static_cast<uint64_t>(window.extent()),
+                 .max_norm_sq = config.max_norm_sq,
+                 .ell_top = config.ell,
+                 .seed = config.seed}));
+  }
+  if (a == "exact") {
+    return std::unique_ptr<SlidingWindowSketch>(new ExactWindow(dim, window));
+  }
+  if (a == "best") {
+    return std::unique_ptr<SlidingWindowSketch>(
+        new BestRankK(dim, window, config.ell));
+  }
+  return Status::InvalidArgument("unknown algorithm: " + a);
+}
+
+namespace {
+
+template <typename T>
+Result<std::unique_ptr<SlidingWindowSketch>> LoadAs(ByteReader* reader) {
+  auto loaded = T::Deserialize(reader);
+  if (!loaded.ok()) return loaded.status();
+  return std::unique_ptr<SlidingWindowSketch>(
+      std::make_unique<T>(std::move(loaded.take())));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SlidingWindowSketch>> DeserializeSlidingWindowSketch(
+    ByteReader* reader) {
+  uint32_t tag = 0;
+  if (!reader->Peek(&tag)) {
+    return Status::InvalidArgument("empty sketch payload");
+  }
+  switch (tag) {
+    case SwrSketch::kSerialTag: return LoadAs<SwrSketch>(reader);
+    case SworSketch::kSerialTag: return LoadAs<SworSketch>(reader);
+    case LmFd::kSerialTag: return LoadAs<LmFd>(reader);
+    case LmHash::kSerialTag: return LoadAs<LmHash>(reader);
+    case DiFd::kSerialTag: return LoadAs<DiFd>(reader);
+    default:
+      return Status::InvalidArgument("unknown sketch serialization tag");
+  }
+}
+
+std::vector<std::string> KnownAlgorithms() {
+  return {"swr",   "swor",  "swor-all", "lm-fd", "lm-hash", "lm-rp",
+          "di-fd", "di-rp", "di-hash",  "exact", "best"};
+}
+
+}  // namespace swsketch

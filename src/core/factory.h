@@ -1,0 +1,67 @@
+// Name-based construction of sliding-window sketches, used by benches,
+// examples and integration tests to sweep algorithms uniformly.
+#ifndef SWSKETCH_CORE_FACTORY_H_
+#define SWSKETCH_CORE_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sliding_window_sketch.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace swsketch {
+
+/// Union of the knobs of every algorithm; each algorithm reads the subset
+/// it understands.
+struct SketchConfig {
+  /// One of: swr, swor, swor-all, lm-fd, lm-hash, lm-rp, di-fd, di-rp,
+  /// di-hash, exact, best.
+  std::string algorithm = "lm-fd";
+
+  /// Sample count (samplers), FD rows per block (LM-FD), top-level size
+  /// (DI-*), hash buckets (LM-HASH), or k (best).
+  size_t ell = 32;
+
+  /// LM: blocks per level (b ~ 1/epsilon).
+  size_t blocks_per_level = 8;
+
+  /// LM: block capacity in squared-norm mass. 0 means ell — the paper's
+  /// convention, which assumes row norms of order 1. When typical norms
+  /// are far from 1, set this to ell * (typical squared norm) so level-1
+  /// blocks hold about ell rows and the FD amortization works as analyzed.
+  double lm_block_capacity = 0.0;
+
+  /// DI: number of dyadic levels (L ~ log2(R / epsilon)).
+  size_t levels = 6;
+
+  /// DI: a-priori bound R on squared row norms.
+  double max_norm_sq = 1.0;
+
+  /// Samplers: exponential-histogram error for the ||A||_F^2 tracker, or
+  /// exact tracking when exact_frobenius is set.
+  double frobenius_eps = 0.05;
+  bool exact_frobenius = false;
+
+  uint64_t seed = 1;
+};
+
+/// Builds the sketch named by `config.algorithm`, or InvalidArgument for
+/// unknown names / incompatible window types (DI requires sequence
+/// windows).
+Result<std::unique_ptr<SlidingWindowSketch>> MakeSlidingWindowSketch(
+    size_t dim, WindowSpec window, const SketchConfig& config);
+
+/// All algorithm names the factory accepts.
+std::vector<std::string> KnownAlgorithms();
+
+/// Reloads a sketch serialized with SlidingWindowSketch::SerializeTo,
+/// dispatching on the serialized tag (SWR, SWOR, LM-FD, LM-HASH, DI-FD).
+Result<std::unique_ptr<SlidingWindowSketch>> DeserializeSlidingWindowSketch(
+    ByteReader* reader);
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_CORE_FACTORY_H_

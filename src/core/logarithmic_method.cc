@@ -1,0 +1,120 @@
+#include "core/logarithmic_method.h"
+
+namespace swsketch {
+
+namespace {
+
+double ResolveCapacity(double requested, size_t ell) {
+  return requested > 0.0 ? requested : static_cast<double>(ell);
+}
+
+}  // namespace
+
+LmFd::LmFd(size_t dim, WindowSpec window, Options options)
+    : LogarithmicMethod<FrequentDirections>(
+          dim, window,
+          LogarithmicMethodOptions{
+              .block_capacity =
+                  ResolveCapacity(options.block_capacity, options.ell),
+              .blocks_per_level = options.blocks_per_level},
+          [dim, ell = options.ell] {
+            return FrequentDirections(dim, ell);
+          },
+          "LM-FD"),
+      lm_options_(options) {}
+
+void LmFd::Serialize(ByteWriter* writer) const {
+  WriteHeader(writer, LmFd::kSerialTag, 1);
+  writer->Put<uint64_t>(dim());
+  window().Serialize(writer);
+  writer->Put<uint64_t>(lm_options_.ell);
+  writer->Put<uint64_t>(lm_options_.blocks_per_level);
+  writer->Put(lm_options_.block_capacity);
+  SerializeCore(writer);
+}
+
+Result<LmFd> LmFd::Deserialize(ByteReader* reader) {
+  if (!CheckHeader(reader, LmFd::kSerialTag, 1)) {
+    return Status::InvalidArgument("bad LmFd header");
+  }
+  uint64_t dim = 0, ell = 0, b = 0;
+  double capacity = 0.0;
+  if (!reader->Get(&dim)) return Status::InvalidArgument("corrupt LmFd");
+  auto window = WindowSpec::Deserialize(reader);
+  if (!window.ok()) return window.status();
+  if (!reader->Get(&ell) || !reader->Get(&b) || !reader->Get(&capacity) ||
+      ell < 2 || b < 2) {
+    return Status::InvalidArgument("corrupt LmFd payload");
+  }
+  LmFd sketch(dim, *window,
+              Options{.ell = ell, .blocks_per_level = b,
+                      .block_capacity = capacity});
+  if (Status s = sketch.DeserializeCore(reader); !s.ok()) return s;
+  return sketch;
+}
+
+LmHash::LmHash(size_t dim, WindowSpec window, Options options)
+    : LogarithmicMethod<HashSketch>(
+          dim, window,
+          LogarithmicMethodOptions{
+              .block_capacity =
+                  ResolveCapacity(options.block_capacity, options.ell),
+              .blocks_per_level = options.blocks_per_level},
+          [dim, ell = options.ell, seed = options.seed] {
+            return HashSketch(dim, ell, seed);
+          },
+          "LM-HASH"),
+      lm_options_(options) {}
+
+void LmHash::Serialize(ByteWriter* writer) const {
+  WriteHeader(writer, LmHash::kSerialTag, 1);
+  writer->Put<uint64_t>(dim());
+  window().Serialize(writer);
+  writer->Put<uint64_t>(lm_options_.ell);
+  writer->Put<uint64_t>(lm_options_.blocks_per_level);
+  writer->Put(lm_options_.block_capacity);
+  writer->Put<uint64_t>(lm_options_.seed);
+  SerializeCore(writer);
+}
+
+Result<LmHash> LmHash::Deserialize(ByteReader* reader) {
+  if (!CheckHeader(reader, LmHash::kSerialTag, 1)) {
+    return Status::InvalidArgument("bad LmHash header");
+  }
+  uint64_t dim = 0, ell = 0, b = 0, seed = 0;
+  double capacity = 0.0;
+  if (!reader->Get(&dim)) return Status::InvalidArgument("corrupt LmHash");
+  auto window = WindowSpec::Deserialize(reader);
+  if (!window.ok()) return window.status();
+  if (!reader->Get(&ell) || !reader->Get(&b) || !reader->Get(&capacity) ||
+      !reader->Get(&seed) || ell == 0 || b < 2) {
+    return Status::InvalidArgument("corrupt LmHash payload");
+  }
+  LmHash sketch(dim, *window,
+                Options{.ell = ell, .blocks_per_level = b,
+                        .block_capacity = capacity, .seed = seed});
+  if (Status s = sketch.DeserializeCore(reader); !s.ok()) return s;
+  return sketch;
+}
+
+LmRp::LmRp(size_t dim, WindowSpec window, Options options)
+    : LogarithmicMethod<RandomProjection>(
+          dim, window,
+          LogarithmicMethodOptions{
+              .block_capacity =
+                  ResolveCapacity(options.block_capacity, options.ell),
+              .blocks_per_level = options.blocks_per_level},
+          [dim, ell = options.ell, seed = options.seed]() mutable {
+            // Each block needs independent signs.
+            return RandomProjection(dim, ell,
+                                    seed = seed * 6364136223846793005ULL + 1);
+          },
+          "LM-RP") {}
+
+// Explicit instantiations keep the template's heavy code out of every
+// translation unit that includes the header.
+template class LogarithmicMethod<FrequentDirections>;
+template class LogarithmicMethod<HashSketch>;
+template class LogarithmicMethod<RandomProjection>;
+
+}  // namespace swsketch

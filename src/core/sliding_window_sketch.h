@@ -1,0 +1,68 @@
+// Interface for sliding-window matrix sketches: the paper's problem
+// statement (Section 1). A sketch continuously consumes timestamped rows
+// and can at any moment produce an approximation B for the matrix A_W of
+// the rows currently in the window.
+#ifndef SWSKETCH_CORE_SLIDING_WINDOW_SKETCH_H_
+#define SWSKETCH_CORE_SLIDING_WINDOW_SKETCH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse_vector.h"
+#include "stream/window.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace swsketch {
+
+/// Continuously queryable sliding-window matrix sketch.
+class SlidingWindowSketch {
+ public:
+  virtual ~SlidingWindowSketch() = default;
+
+  /// Consumes a row arriving at time `ts` (sequence windows: arrival
+  /// index). Timestamps must be non-decreasing.
+  virtual void Update(std::span<const double> row, double ts) = 0;
+
+  /// Sparse-row variant. The default densifies and calls Update;
+  /// frameworks whose update fans a row into many block sketches (DI)
+  /// override it with an O(nnz)-per-sketch fast path.
+  virtual void UpdateSparse(const SparseVector& row, double ts) {
+    const std::vector<double> dense = row.ToDense();
+    Update(dense, ts);
+  }
+
+  /// Moves the window forward to `now` without an arrival (time-based
+  /// windows slide between arrivals). Default: remembers `now` for Query.
+  virtual void AdvanceTo(double now) = 0;
+
+  /// Approximation B for the current window. May expire internal state
+  /// (hence non-const).
+  virtual Matrix Query() = 0;
+
+  /// Rows currently materialized by the sketch: the paper's "sketch size".
+  virtual size_t RowsStored() const = 0;
+
+  /// Row dimensionality d.
+  virtual size_t dim() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// The window this sketch maintains.
+  virtual const WindowSpec& window() const = 0;
+
+  /// Checkpoints the full sketch state; Unimplemented for algorithms
+  /// without serialization support. Reload with
+  /// DeserializeSlidingWindowSketch (factory.h), which dispatches on the
+  /// serialized tag.
+  virtual Status SerializeTo(ByteWriter*) const {
+    return Status::Unimplemented(name() + " does not support serialization");
+  }
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_CORE_SLIDING_WINDOW_SKETCH_H_

@@ -1,0 +1,174 @@
+#include "core/swor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sketch/priority_sampler.h"
+#include "util/logging.h"
+
+namespace swsketch {
+
+SworSketch::SworSketch(size_t dim, WindowSpec window, Options options)
+    : dim_(dim),
+      window_(window),
+      options_(options),
+      rng_(options.seed),
+      frobenius_(options.exact_frobenius
+                     ? FrobeniusTracker::Mode::kExact
+                     : FrobeniusTracker::Mode::kExponentialHistogram,
+                 options.frobenius_eps) {
+  SWSKETCH_CHECK_GT(options_.ell, 0u);
+}
+
+void SworSketch::Update(std::span<const double> row, double ts) {
+  SWSKETCH_CHECK_EQ(row.size(), dim_);
+  SWSKETCH_CHECK_GE(ts, now_);
+  now_ = ts;
+  Expire(ts);
+
+  const double w = NormSq(row);
+  if (w <= 0.0) return;
+  frobenius_.Add(w, ts);
+
+  const double lp = LogPriority(&rng_, w);
+  // Algorithm 5.2 lines 4-8: bump the rank of every dominated candidate
+  // and evict those pushed past ell. Compaction is done in one pass.
+  size_t write = 0;
+  for (size_t read = 0; read < queue_.size(); ++read) {
+    Candidate& c = queue_[read];
+    if (lp > c.log_priority) ++c.rank;
+    if (c.rank > options_.ell) continue;  // Dropped.
+    if (write != read) queue_[write] = std::move(c);
+    ++write;
+  }
+  queue_.resize(write);
+  queue_.push_back(Candidate{
+      MakeSharedRow(std::vector<double>(row.begin(), row.end()), ts), lp, 1});
+}
+
+void SworSketch::AdvanceTo(double now) {
+  SWSKETCH_CHECK_GE(now, now_);
+  now_ = now;
+  Expire(now);
+}
+
+void SworSketch::Expire(double now) {
+  const double start = window_.Start(now);
+  while (!queue_.empty() && queue_.front().row->ts < start) {
+    queue_.pop_front();
+  }
+  frobenius_.EvictBefore(start);
+}
+
+Matrix SworSketch::Query() {
+  Expire(now_);
+  const double start = window_.Start(now_);
+  const double frob_sq = frobenius_.Estimate(start);
+  Matrix b(0, dim_);
+  if (frob_sq <= 0.0 || queue_.empty()) return b;
+
+  std::vector<const Candidate*> selected;
+  selected.reserve(queue_.size());
+  for (const auto& c : queue_) selected.push_back(&c);
+
+  if (options_.query_mode == QueryMode::kTopEll &&
+      selected.size() > options_.ell) {
+    std::nth_element(selected.begin(), selected.begin() + options_.ell - 1,
+                     selected.end(), [](const Candidate* a, const Candidate* b) {
+                       return a->log_priority > b->log_priority;
+                     });
+    selected.resize(options_.ell);
+  }
+
+  if (options_.query_mode == QueryMode::kTopEll) {
+    // Per-row rescaling by ||A||_F / (sqrt(ell) ||a_j||) — the paper's
+    // Section 5.1 query (responsible for the Figure 6 skew behavior).
+    const double frob = std::sqrt(frob_sq);
+    const double k = static_cast<double>(selected.size());
+    for (const Candidate* c : selected) {
+      b.AppendRowScaled(c->row->view(),
+                        frob / std::sqrt(k * c->row->NormSq()));
+    }
+    return b;
+  }
+
+  // SWOR-ALL: all candidates with the common factor
+  // ||A||_F / sqrt(sum of candidate squared norms) (Section 3 scheme).
+  double sampled_mass = 0.0;
+  for (const Candidate* c : selected) sampled_mass += c->row->NormSq();
+  if (sampled_mass <= 0.0) return b;
+  const double scale = std::sqrt(frob_sq / sampled_mass);
+  for (const Candidate* c : selected) {
+    b.AppendRowScaled(c->row->view(), scale);
+  }
+  return b;
+}
+
+void SworSketch::Serialize(ByteWriter* writer) const {
+  WriteHeader(writer, SworSketch::kSerialTag, 1);
+  writer->Put<uint64_t>(dim_);
+  window_.Serialize(writer);
+  writer->Put<uint64_t>(options_.ell);
+  writer->Put<uint8_t>(options_.query_mode == QueryMode::kAll ? 1 : 0);
+  writer->Put(options_.frobenius_eps);
+  writer->Put<uint8_t>(options_.exact_frobenius ? 1 : 0);
+  writer->Put<uint64_t>(options_.seed);
+  rng_.Serialize(writer);
+  writer->Put(now_);
+  frobenius_.Serialize(writer);
+  writer->Put<uint64_t>(queue_.size());
+  for (const auto& c : queue_) {
+    writer->Put(c.log_priority);
+    writer->Put<uint64_t>(c.rank);
+    writer->Put(c.row->ts);
+    writer->PutVector(c.row->values);
+  }
+}
+
+Result<SworSketch> SworSketch::Deserialize(ByteReader* reader) {
+  if (!CheckHeader(reader, SworSketch::kSerialTag, 1)) {
+    return Status::InvalidArgument("bad SworSketch header");
+  }
+  uint64_t dim = 0;
+  if (!reader->Get(&dim)) {
+    return Status::InvalidArgument("corrupt SworSketch payload");
+  }
+  auto window = WindowSpec::Deserialize(reader);
+  if (!window.ok()) return window.status();
+  Options options;
+  uint64_t ell = 0, seed = 0;
+  uint8_t all = 0, exact = 0;
+  if (!reader->Get(&ell) || !reader->Get(&all) ||
+      !reader->Get(&options.frobenius_eps) || !reader->Get(&exact) ||
+      !reader->Get(&seed) || ell == 0) {
+    return Status::InvalidArgument("corrupt SworSketch payload");
+  }
+  options.ell = ell;
+  options.query_mode = all ? QueryMode::kAll : QueryMode::kTopEll;
+  options.exact_frobenius = exact != 0;
+  options.seed = seed;
+  SworSketch sketch(dim, *window, options);
+  uint64_t n = 0;
+  if (!sketch.rng_.Deserialize(reader) || !reader->Get(&sketch.now_) ||
+      !sketch.frobenius_.Deserialize(reader) || !reader->Get(&n)) {
+    return Status::InvalidArgument("corrupt SworSketch payload");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    Candidate c;
+    uint64_t rank = 0;
+    double ts = 0.0;
+    std::vector<double> values;
+    if (!reader->Get(&c.log_priority) || !reader->Get(&rank) ||
+        !reader->Get(&ts) || !reader->GetVector(&values) ||
+        values.size() != dim || rank == 0 || rank > ell) {
+      return Status::InvalidArgument("corrupt SworSketch payload");
+    }
+    c.rank = rank;
+    c.row = MakeSharedRow(std::move(values), ts);
+    sketch.queue_.push_back(std::move(c));
+  }
+  return sketch;
+}
+
+}  // namespace swsketch

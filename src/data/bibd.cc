@@ -1,0 +1,37 @@
+#include "data/bibd.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+BibdStream::BibdStream(Options options) : options_(options), rng_(options.seed) {
+  SWSKETCH_CHECK_GT(options_.row_weight, 0u);
+  SWSKETCH_CHECK_LE(options_.row_weight, options_.dim);
+}
+
+std::optional<Row> BibdStream::Next() {
+  if (produced_ >= options_.rows) return std::nullopt;
+  std::vector<double> values(options_.dim, 0.0);
+  for (size_t idx :
+       rng_.SampleWithoutReplacement(options_.dim, options_.row_weight)) {
+    values[idx] = 1.0;
+  }
+  const double ts = static_cast<double>(produced_);
+  ++produced_;
+  return Row(std::move(values), ts);
+}
+
+DatasetInfo BibdStream::info() const {
+  DatasetInfo info;
+  info.name = name();
+  info.rows = options_.rows;
+  info.dim = options_.dim;
+  info.window = WindowSpec::Sequence(options_.window);
+  info.max_norm_sq = static_cast<double>(options_.row_weight);
+  info.norm_ratio_hint = 1.0;  // All rows share one norm.
+  return info;
+}
+
+}  // namespace swsketch

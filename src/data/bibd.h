@@ -1,0 +1,42 @@
+// BIBD-sim: stand-in for the bibd_22_8 incidence matrix (UF Sparse Matrix
+// Collection). The rows of the real matrix are 0/1 indicators of the
+// C(8,2) = 28 element-pairs covered by each block of a (22, 8) design, so
+// every row has exactly 28 ones out of d = 231 columns and all row norms
+// are equal (norm-ratio R = 1) — the property the experiments use BIBD for
+// (DI-FD's sweet spot). We generate random constant-weight 0/1 rows with
+// the same d, weight, and R.
+#ifndef SWSKETCH_DATA_BIBD_H_
+#define SWSKETCH_DATA_BIBD_H_
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace swsketch {
+
+/// Constant-row-weight binary incidence stream.
+class BibdStream : public DatasetStream {
+ public:
+  struct Options {
+    size_t rows = 100000;
+    size_t dim = 231;
+    size_t row_weight = 28;  // Ones per row; C(8,2) for bibd_22_8.
+    uint64_t window = 10000;
+    uint64_t seed = 7;
+  };
+
+  explicit BibdStream(Options options);
+
+  std::optional<Row> Next() override;
+  size_t dim() const override { return options_.dim; }
+  std::string name() const override { return "BIBD"; }
+  DatasetInfo info() const override;
+
+ private:
+  Options options_;
+  Rng rng_;
+  size_t produced_ = 0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_DATA_BIBD_H_

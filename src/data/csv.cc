@@ -1,0 +1,112 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace swsketch {
+
+namespace {
+
+// Splits a CSV line into doubles; returns false on any unparseable field.
+bool ParseDoubles(const std::string& line, std::vector<double>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= line.size()) {
+    size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) comma = line.size();
+    const std::string field = line.substr(pos, comma - pos);
+    if (field.empty()) return false;
+    char* end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0') return false;
+    out->push_back(v);
+    if (comma == line.size()) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+CsvRowStream::CsvRowStream(std::ifstream file, Options options,
+                           std::string name)
+    : file_(std::move(file)), options_(options), name_(std::move(name)) {}
+
+Result<std::unique_ptr<CsvRowStream>> CsvRowStream::Open(
+    const std::string& path, Options options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  auto stream = std::unique_ptr<CsvRowStream>(
+      new CsvRowStream(std::move(file), options, path));
+
+  std::string line;
+  if (options.skip_header && !std::getline(stream->file_, line)) {
+    return Status::InvalidArgument("CSV file has no data lines: " + path);
+  }
+  if (!std::getline(stream->file_, line)) {
+    return Status::InvalidArgument("CSV file is empty: " + path);
+  }
+  auto first = stream->ParseLine(line);
+  if (!first.has_value()) {
+    return Status::InvalidArgument("malformed first CSV data line: " + path);
+  }
+  stream->dim_ = first->dim();
+  stream->first_row_ = std::move(first);
+  return stream;
+}
+
+std::optional<Row> CsvRowStream::ParseLine(const std::string& line) {
+  std::vector<double> fields;
+  if (!ParseDoubles(line, &fields)) return std::nullopt;
+  double ts;
+  std::vector<double> values;
+  if (options_.first_column_is_timestamp) {
+    if (fields.size() < 2) return std::nullopt;
+    ts = fields[0];
+    if (ts < last_ts_) return std::nullopt;  // Out-of-order stamp.
+    values.assign(fields.begin() + 1, fields.end());
+  } else {
+    ts = static_cast<double>(line_index_);
+    values = std::move(fields);
+  }
+  last_ts_ = ts;
+  ++line_index_;
+  return Row(std::move(values), ts);
+}
+
+std::optional<Row> CsvRowStream::Next() {
+  if (first_row_.has_value()) {
+    auto row = std::move(*first_row_);
+    first_row_.reset();
+    return row;
+  }
+  std::string line;
+  while (std::getline(file_, line)) {
+    if (line.empty()) continue;
+    auto row = ParseLine(line);
+    if (!row.has_value() || row->dim() != dim_) return std::nullopt;
+    return row;
+  }
+  return std::nullopt;
+}
+
+Status WriteMatrixCsv(const Matrix& m, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot write CSV file: " + path);
+  }
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j) file << ',';
+      file << m(i, j);
+    }
+    file << '\n';
+  }
+  return file.good() ? Status::OK()
+                     : Status::Internal("short write to " + path);
+}
+
+}  // namespace swsketch

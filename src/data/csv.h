@@ -1,0 +1,59 @@
+// CSV row streams: run the sliding-window sketches on your own data.
+// Format: one row per line, comma-separated doubles; optionally the first
+// column is the timestamp (otherwise the 0-based line index is used, i.e.
+// sequence-window semantics).
+#ifndef SWSKETCH_DATA_CSV_H_
+#define SWSKETCH_DATA_CSV_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "stream/row_stream.h"
+#include "util/status.h"
+
+namespace swsketch {
+
+/// Streams rows from a CSV file.
+class CsvRowStream : public RowStream {
+ public:
+  struct Options {
+    /// First column is the row timestamp.
+    bool first_column_is_timestamp = false;
+    /// Skip the first line (header).
+    bool skip_header = false;
+  };
+
+  /// Opens the file and validates the first data line (which fixes d).
+  static Result<std::unique_ptr<CsvRowStream>> Open(const std::string& path,
+                                                    Options options);
+  static Result<std::unique_ptr<CsvRowStream>> Open(const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  std::optional<Row> Next() override;
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return name_; }
+
+ private:
+  CsvRowStream(std::ifstream file, Options options, std::string name);
+
+  // Parses one line; empty optional at EOF / on malformed trailing data.
+  std::optional<Row> ParseLine(const std::string& line);
+
+  std::ifstream file_;
+  Options options_;
+  std::string name_;
+  size_t dim_ = 0;
+  size_t line_index_ = 0;
+  std::optional<Row> first_row_;  // Pre-parsed during Open.
+  double last_ts_ = 0.0;
+};
+
+/// Writes a matrix as CSV (one row per line).
+Status WriteMatrixCsv(const Matrix& m, const std::string& path);
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_DATA_CSV_H_

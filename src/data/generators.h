@@ -1,0 +1,37 @@
+// Shared declarations for the dataset generators reproducing the paper's
+// experimental workloads (Tables 2 and 3). Every generator is a streaming
+// RowStream: rows are produced on demand and never materialized in bulk.
+//
+// Real-data substitutions (see DESIGN.md §2): BIBD / PAMAP / WIKI / RAIL
+// are synthetic simulators that reproduce the properties the experiments
+// actually exercise — norm-ratio R, sparsity pattern, and arrival process.
+#ifndef SWSKETCH_DATA_GENERATORS_H_
+#define SWSKETCH_DATA_GENERATORS_H_
+
+#include <memory>
+#include <string>
+
+#include "stream/row_stream.h"
+#include "stream/window.h"
+
+namespace swsketch {
+
+/// Metadata a generator reports about itself, mirroring Tables 2 / 3.
+struct DatasetInfo {
+  std::string name;
+  size_t rows = 0;         // n.
+  size_t dim = 0;          // d.
+  WindowSpec window = WindowSpec::Sequence(1);  // N or delta.
+  double max_norm_sq = 0.0;                     // Upper bound on ||a||^2.
+  double norm_ratio_hint = 0.0;  // Expected R = max/min squared-norm ratio.
+};
+
+/// A RowStream that also describes itself.
+class DatasetStream : public RowStream {
+ public:
+  virtual DatasetInfo info() const = 0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_DATA_GENERATORS_H_

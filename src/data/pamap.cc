@@ -1,0 +1,86 @@
+#include "data/pamap.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+PamapStream::PamapStream(Options options)
+    : options_(options),
+      rng_(options.seed),
+      baseline_(options.dim, 0.0),
+      state_(options.dim, 0.0) {
+  SWSKETCH_CHECK_GT(options_.dim, 0u);
+  if (options_.plant_skewed_window) {
+    // The paper locates its Figure-6 window at rows 125k-135k out of 198k
+    // (~63% into the stream, one window long).
+    skew_begin_ = static_cast<size_t>(0.63 * static_cast<double>(options_.rows));
+    skew_end_ = skew_begin_ + options_.window;
+  }
+}
+
+void PamapStream::MaybeSwitchRegime() {
+  if (produced_ < regime_end_) return;
+  const double len =
+      rng_.Exponential(1.0 / static_cast<double>(options_.regime_length));
+  regime_end_ = produced_ + 1 + static_cast<size_t>(len);
+  // Log-uniform magnitude in [1, magnitude_max].
+  regime_scale_ = std::exp(rng_.Uniform(0.0, std::log(options_.magnitude_max)));
+  for (size_t j = 0; j < options_.dim; ++j) {
+    baseline_[j] = rng_.Gaussian() * regime_scale_;
+    state_[j] = baseline_[j];
+  }
+}
+
+std::optional<Row> PamapStream::Next() {
+  if (produced_ >= options_.rows) return std::nullopt;
+  MaybeSwitchRegime();
+
+  double scale = regime_scale_;
+  bool spike = false;
+  if (options_.plant_skewed_window && produced_ >= skew_begin_ &&
+      produced_ < skew_end_) {
+    // Inside the planted window: tiny rows, except a handful of huge ones
+    // (the "ell - 1 large rows" configuration of Section 8.1 obs. (2)).
+    const double spike_prob =
+        30.0 / static_cast<double>(options_.window);
+    spike = rng_.Bernoulli(spike_prob);
+    scale = spike ? options_.magnitude_max : 0.3;
+  }
+
+  std::vector<double> values(options_.dim);
+  for (size_t j = 0; j < options_.dim; ++j) {
+    // Mean-reverting walk around the regime baseline.
+    state_[j] = 0.9 * state_[j] + 0.1 * baseline_[j] +
+                0.3 * regime_scale_ * rng_.Gaussian();
+    values[j] = spike || scale != regime_scale_
+                    ? scale * (0.5 * rng_.Gaussian() + (spike ? 1.0 : 0.0))
+                    : state_[j];
+    // Keep every row's squared norm >= 1 (the paper's normalization
+    // assumption 1 <= ||a||^2 <= R).
+  }
+  // Enforce the lower norm bound by nudging the first channel if needed.
+  double norm_sq = 0.0;
+  for (double v : values) norm_sq += v * v;
+  if (norm_sq < 1.0) values[0] += (values[0] >= 0.0 ? 1.0 : -1.0);
+
+  const double ts = static_cast<double>(produced_);
+  ++produced_;
+  return Row(std::move(values), ts);
+}
+
+DatasetInfo PamapStream::info() const {
+  DatasetInfo info;
+  info.name = name();
+  info.rows = options_.rows;
+  info.dim = options_.dim;
+  info.window = WindowSpec::Sequence(options_.window);
+  // Worst squared norm ~ d * (magnitude_max * few-sigma)^2.
+  info.max_norm_sq = static_cast<double>(options_.dim) *
+                     options_.magnitude_max * options_.magnitude_max * 16.0;
+  info.norm_ratio_hint = 9.0e4;  // Table 2's R for PAMAP.
+  return info;
+}
+
+}  // namespace swsketch

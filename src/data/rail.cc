@@ -1,0 +1,63 @@
+#include "data/rail.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+RailStream::RailStream(Options options) : options_(options), rng_(options.seed) {
+  SWSKETCH_CHECK_GT(options_.dim, 0u);
+  SWSKETCH_CHECK_GE(options_.nnz_max, options_.nnz_min);
+  SWSKETCH_CHECK_LE(options_.nnz_max, options_.dim);
+  SWSKETCH_CHECK_GE(options_.cost_max, 1);
+}
+
+std::optional<std::pair<SparseVector, double>> RailStream::Generate() {
+  if (produced_ >= options_.rows) return std::nullopt;
+
+  const size_t nnz =
+      options_.nnz_min +
+      static_cast<size_t>(
+          rng_.UniformInt(options_.nnz_max - options_.nnz_min + 1));
+  std::vector<uint32_t> indices;
+  std::vector<double> values;
+  indices.reserve(nnz);
+  values.reserve(nnz);
+  for (size_t idx : rng_.SampleWithoutReplacement(options_.dim, nnz)) {
+    indices.push_back(static_cast<uint32_t>(idx));
+    values.push_back(static_cast<double>(
+        1 + rng_.UniformInt(static_cast<uint64_t>(options_.cost_max))));
+  }
+
+  clock_ += rng_.Exponential(1.0 / options_.mean_interarrival);
+  ++produced_;
+  return std::make_pair(
+      SparseVector(options_.dim, std::move(indices), std::move(values)),
+      clock_);
+}
+
+std::optional<Row> RailStream::Next() {
+  auto sparse = Generate();
+  if (!sparse.has_value()) return std::nullopt;
+  return Row(sparse->first.ToDense(), sparse->second);
+}
+
+std::optional<std::pair<SparseVector, double>> RailStream::NextSparse() {
+  return Generate();
+}
+
+DatasetInfo RailStream::info() const {
+  DatasetInfo info;
+  info.name = name();
+  info.rows = options_.rows;
+  info.dim = options_.dim;
+  info.window = WindowSpec::Time(options_.window);
+  info.max_norm_sq = static_cast<double>(options_.nnz_max) *
+                     static_cast<double>(options_.cost_max) *
+                     static_cast<double>(options_.cost_max);
+  info.norm_ratio_hint = 12.0;  // Table 3's R for RAIL.
+  return info;
+}
+
+}  // namespace swsketch

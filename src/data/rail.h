@@ -1,0 +1,49 @@
+// RAIL-sim: stand-in for the rail2586 crew-scheduling matrix (Table 3:
+// d = 2586 trips, 923 269 rows, ~8.7 nonzero integer costs per row) with
+// the synthetic Poisson arrival process the paper itself adds (interarrival
+// times exponential with mean 0.5, window delta = 5000 => about 10 000 rows
+// per window). Rows are sparse with small-integer costs, giving the modest
+// norm ratio (R ~ 12) of the real matrix. Dimensionality is scaled to 400
+// by default (DESIGN.md substitution table).
+#ifndef SWSKETCH_DATA_RAIL_H_
+#define SWSKETCH_DATA_RAIL_H_
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace swsketch {
+
+/// Sparse integer-cost stream with Poisson arrivals.
+class RailStream : public DatasetStream {
+ public:
+  struct Options {
+    size_t rows = 100000;
+    size_t dim = 400;
+    size_t nnz_min = 4;
+    size_t nnz_max = 14;
+    int cost_max = 2;       // Costs uniform in [1, cost_max].
+    double mean_interarrival = 0.5;
+    double window = 5000.0;  // Time window delta.
+    uint64_t seed = 31;
+  };
+
+  explicit RailStream(Options options);
+
+  std::optional<Row> Next() override;
+  std::optional<std::pair<SparseVector, double>> NextSparse() override;
+  size_t dim() const override { return options_.dim; }
+  std::string name() const override { return "RAIL"; }
+  DatasetInfo info() const override;
+
+ private:
+  std::optional<std::pair<SparseVector, double>> Generate();
+
+  Options options_;
+  Rng rng_;
+  size_t produced_ = 0;
+  double clock_ = 0.0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_DATA_RAIL_H_

@@ -1,0 +1,69 @@
+#include "data/wiki.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+WikiStream::WikiStream(Options options) : options_(options), rng_(options.seed) {
+  SWSKETCH_CHECK_GT(options_.dim, 0u);
+  SWSKETCH_CHECK_GE(options_.nnz_max, options_.nnz_min);
+  SWSKETCH_CHECK_LE(options_.nnz_max, options_.dim);
+}
+
+std::optional<std::pair<SparseVector, double>> WikiStream::Generate() {
+  if (produced_ >= options_.rows) return std::nullopt;
+
+  const size_t nnz =
+      options_.nnz_min +
+      static_cast<size_t>(
+          rng_.UniformInt(options_.nnz_max - options_.nnz_min + 1));
+  std::vector<uint32_t> indices;
+  std::vector<double> values;
+  indices.reserve(nnz);
+  values.reserve(nnz);
+  for (size_t idx : rng_.SampleWithoutReplacement(options_.dim, nnz)) {
+    // tf-idf-like weight: (1 + log tf) with tf geometric-ish, times an
+    // idf factor log-uniform in [1, 4].
+    const double tf = 1.0 + rng_.Exponential(0.7);
+    const double idf = std::exp(rng_.Uniform(0.0, std::log(4.0)));
+    indices.push_back(static_cast<uint32_t>(idx));
+    values.push_back((1.0 + std::log(tf)) * idf);
+  }
+
+  // Accelerating arrivals: t_i = T * ((i+1)/n)^{1/3} => the rate grows
+  // quadratically, few rows early / many late (Section 8.2's observation).
+  const double frac = static_cast<double>(produced_ + 1) /
+                      static_cast<double>(options_.rows);
+  const double ts = options_.span * std::cbrt(frac);
+  ++produced_;
+  return std::make_pair(
+      SparseVector(options_.dim, std::move(indices), std::move(values)), ts);
+}
+
+std::optional<Row> WikiStream::Next() {
+  auto sparse = Generate();
+  if (!sparse.has_value()) return std::nullopt;
+  return Row(sparse->first.ToDense(), sparse->second);
+}
+
+std::optional<std::pair<SparseVector, double>> WikiStream::NextSparse() {
+  return Generate();
+}
+
+DatasetInfo WikiStream::info() const {
+  DatasetInfo info;
+  info.name = name();
+  info.rows = options_.rows;
+  info.dim = options_.dim;
+  info.window = WindowSpec::Time(options_.window);
+  // Max squared norm ~ nnz_max * (max weight)^2, with weights rarely
+  // exceeding ~12.
+  info.max_norm_sq = static_cast<double>(options_.nnz_max) * 150.0;
+  info.norm_ratio_hint = 422.81;  // Table 3's R for WIKI.
+  return info;
+}
+
+}  // namespace swsketch

@@ -1,0 +1,92 @@
+#include "distributed/distributed.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+FrequentDirections MergeFrequentDirections(
+    std::span<const FrequentDirections* const> workers) {
+  SWSKETCH_CHECK_GT(workers.size(), 0u);
+  FrequentDirections merged(workers[0]->dim(), workers[0]->ell());
+  for (const FrequentDirections* w : workers) {
+    merged.MergeWith(*w);
+  }
+  return merged;
+}
+
+Matrix MergeWindowQueries(std::span<SlidingWindowSketch* const> workers) {
+  SWSKETCH_CHECK_GT(workers.size(), 0u);
+  Matrix b(0, workers[0]->dim());
+  for (SlidingWindowSketch* w : workers) {
+    b = b.VStack(w->Query());
+  }
+  return b;
+}
+
+DistributedSwr::DistributedSwr(std::vector<SwrSketch*> workers)
+    : workers_(std::move(workers)) {
+  SWSKETCH_CHECK_GT(workers_.size(), 0u);
+  for (const SwrSketch* w : workers_) {
+    SWSKETCH_CHECK_EQ(w->ell(), workers_[0]->ell());
+    SWSKETCH_CHECK_EQ(w->dim(), workers_[0]->dim());
+  }
+}
+
+void DistributedSwr::Update(size_t worker_index, std::span<const double> row,
+                            double ts) {
+  SWSKETCH_CHECK_LT(worker_index, workers_.size());
+  now_ = std::max(now_, ts);
+  workers_[worker_index]->Update(row, ts);
+}
+
+void DistributedSwr::AdvanceTo(double now) {
+  now_ = std::max(now_, now);
+  for (SwrSketch* w : workers_) w->AdvanceTo(now_);
+}
+
+Matrix DistributedSwr::Query() {
+  AdvanceTo(now_);
+  const size_t ell = workers_[0]->ell();
+  const size_t dim = workers_[0]->dim();
+
+  // Union-window Frobenius mass = sum of the workers' window masses
+  // (sub-streams are disjoint).
+  double frob_sq = 0.0;
+  std::vector<std::vector<std::optional<SwrSketch::ChainSample>>> samples;
+  samples.reserve(workers_.size());
+  for (SwrSketch* w : workers_) {
+    frob_sq += w->FrobeniusSqEstimate();
+    samples.push_back(w->ChainSamples());
+  }
+
+  Matrix b(0, dim);
+  if (frob_sq <= 0.0) return b;
+  const double frob = std::sqrt(frob_sq);
+  for (size_t s = 0; s < ell; ++s) {
+    // Max-stability: the union sample for slot s is the highest-priority
+    // candidate across workers.
+    const SwrSketch::ChainSample* best = nullptr;
+    for (const auto& worker_samples : samples) {
+      const auto& cand = worker_samples[s];
+      if (cand.has_value() &&
+          (best == nullptr || cand->log_priority > best->log_priority)) {
+        best = &*cand;
+      }
+    }
+    if (best == nullptr) continue;
+    const double w = best->row->NormSq();
+    b.AppendRowScaled(best->row->view(),
+                      frob / std::sqrt(static_cast<double>(ell) * w));
+  }
+  return b;
+}
+
+size_t DistributedSwr::RowsStored() const {
+  size_t n = 0;
+  for (const SwrSketch* w : workers_) n += w->RowsStored();
+  return n;
+}
+
+}  // namespace swsketch

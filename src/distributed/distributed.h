@@ -1,0 +1,70 @@
+// Distributed sliding-window sketching — the extension the paper lists as
+// future work (Section 9), built from the same primitives the paper's
+// frameworks rest on:
+//
+//  * mergeability (Section 6.1): Frequent Directions sketches from k
+//    workers merge into one sketch for the union stream within the summed
+//    error budgets — the distributed-streams setting of the paper's
+//    reference [21];
+//  * max-stability of priorities: norm-proportional priority samples from
+//    disjoint sub-streams combine by taking the highest-priority candidate
+//    per sample slot, yielding an exact SWR sample of the union window;
+//  * decomposability (Lemma 7.1): per-worker window approximations simply
+//    stack into an approximation of the union window, with additive error.
+#ifndef SWSKETCH_DISTRIBUTED_DISTRIBUTED_H_
+#define SWSKETCH_DISTRIBUTED_DISTRIBUTED_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/sliding_window_sketch.h"
+#include "core/swr.h"
+#include "sketch/frequent_directions.h"
+
+namespace swsketch {
+
+/// Merges per-worker Frequent Directions sketches (equal dim and ell) into
+/// one sketch of the concatenated input. Workers are left untouched.
+FrequentDirections MergeFrequentDirections(
+    std::span<const FrequentDirections* const> workers);
+
+/// Stacks per-worker sliding-window approximations into an approximation
+/// of the union window (decomposability): B = [B_1; ...; B_k]. Valid for
+/// any sketch type; the covariance error is at most the sum of the
+/// workers' errors (each relative to its own sub-window mass).
+Matrix MergeWindowQueries(std::span<SlidingWindowSketch* const> workers);
+
+/// Coordinator for distributed SWR: each worker runs SwrSketch over its
+/// local sub-stream (same window spec, same ell, distinct seeds). A query
+/// selects, per sample slot, the worker candidate with the highest
+/// priority — which is distributed norm-proportional sampling of the union
+/// window — and rescales by the summed Frobenius estimate.
+class DistributedSwr {
+ public:
+  /// Workers are borrowed and must outlive the coordinator. All must share
+  /// ell and dim; seeds must differ for sample independence.
+  explicit DistributedSwr(std::vector<SwrSketch*> workers);
+
+  /// Routes a row to worker `worker_index` (the caller's partitioning).
+  void Update(size_t worker_index, std::span<const double> row, double ts);
+
+  /// Moves every worker's window forward (e.g. on coordinator heartbeat).
+  void AdvanceTo(double now);
+
+  /// The union-window approximation.
+  Matrix Query();
+
+  /// Total candidate rows stored across workers.
+  size_t RowsStored() const;
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  std::vector<SwrSketch*> workers_;
+  double now_ = 0.0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_DISTRIBUTED_DISTRIBUTED_H_

@@ -1,0 +1,74 @@
+#include "eval/cov_err.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "linalg/power_iteration.h"
+#include "linalg/subspace_iteration.h"
+#include "linalg/svd.h"
+#include "util/logging.h"
+
+namespace swsketch {
+
+double CovarianceError(const Matrix& window_gram, double window_frob_sq,
+                       const Matrix& b) {
+  SWSKETCH_CHECK_GT(window_frob_sq, 0.0);
+  Matrix diff = window_gram;
+  if (!b.empty()) {
+    SWSKETCH_CHECK_EQ(b.cols(), window_gram.cols());
+    for (size_t i = 0; i < b.rows(); ++i) {
+      diff.AddOuterProduct(b.Row(i), -1.0);
+    }
+  }
+  return SpectralNormSymmetric(diff) / window_frob_sq;
+}
+
+double CovarianceErrorDense(const Matrix& a, const Matrix& b) {
+  return CovarianceError(a.Gram(), a.FrobeniusNormSq(), b);
+}
+
+double ProjectionError(const Matrix& a, const Matrix& b, size_t k) {
+  SWSKETCH_CHECK_GT(k, 0u);
+  SWSKETCH_CHECK_GT(a.rows(), 0u);
+  const size_t d = a.cols();
+  const double frob_sq = a.FrobeniusNormSq();
+  SWSKETCH_CHECK_GT(frob_sq, 0.0);
+
+  // Numerator: ||A - A V_k V_k^T||_F^2 = ||A||_F^2 - ||A V_k||_F^2, where
+  // V_k spans the top-k right singular directions of B.
+  double captured = 0.0;
+  if (!b.empty()) {
+    SWSKETCH_CHECK_EQ(b.cols(), d);
+    const SvdResult svd = ThinSvd(b);
+    const size_t kk = std::min(k, svd.vt.rows());
+    std::vector<double> proj(a.rows());
+    for (size_t c = 0; c < kk; ++c) {
+      std::vector<double> v(d);
+      for (size_t j = 0; j < d; ++j) v[j] = svd.vt(c, j);
+      a.Apply(v, proj);
+      for (double p : proj) captured += p * p;
+    }
+  }
+  const double residual = std::max(frob_sq - captured, 0.0);
+
+  // Denominator: ||A - A_k||_F^2 = ||A||_F^2 - sum of top-k eigenvalues of
+  // A^T A.
+  const Matrix gram = a.Gram();
+  const TopEigen top = TopEigenpairsPsd(gram, std::min(k, d));
+  double best_captured = 0.0;
+  for (double l : top.values) best_captured += std::max(l, 0.0);
+  const double best_residual = std::max(frob_sq - best_captured, 0.0);
+
+  if (best_residual <= 1e-12 * frob_sq) {
+    // A is (numerically) rank <= k: either B nails it too, or the metric
+    // is infinite.
+    return residual <= 1e-9 * frob_sq
+               ? 1.0
+               : std::numeric_limits<double>::infinity();
+  }
+  return residual / best_residual;
+}
+
+}  // namespace swsketch

@@ -1,0 +1,35 @@
+// Covariance error (the paper's quality metric):
+//   cova-err(A, B) = ||A^T A - B^T B||_2 / ||A||_F^2.
+// Computed exactly at evaluation checkpoints: the d x d difference is
+// symmetric (generally indefinite), so its spectral norm comes from power
+// iteration on the difference matrix.
+#ifndef SWSKETCH_EVAL_COV_ERR_H_
+#define SWSKETCH_EVAL_COV_ERR_H_
+
+#include "linalg/matrix.h"
+
+namespace swsketch {
+
+/// cova-err given the exact window Gram matrix and squared Frobenius norm.
+/// `b` is the approximation (any number of rows, same column count).
+double CovarianceError(const Matrix& window_gram, double window_frob_sq,
+                       const Matrix& b);
+
+/// Covariance error between two explicit matrices (test/diagnostic form).
+double CovarianceErrorDense(const Matrix& a, const Matrix& b);
+
+/// Projection error — the relative-error metric of the FD follow-up work
+/// ([19], [20]; the "different error metrics" the paper's Section 9 points
+/// to): project A onto the top-k row space of B and compare the residual
+/// against the optimal rank-k residual:
+///
+///   proj-err(A, B, k) = ||A - A pi_{B,k}||_F^2 / ||A - A_k||_F^2  (>= 1)
+///
+/// 1 is optimal; values near 1 mean B's top-k subspace captures A as well
+/// as A's own top-k subspace. Returns +inf when A is exactly rank <= k
+/// but B's subspace misses it.
+double ProjectionError(const Matrix& a, const Matrix& b, size_t k);
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_EVAL_COV_ERR_H_

@@ -1,0 +1,127 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+#include "core/best_rank_k.h"
+#include "eval/cov_err.h"
+#include "stream/window_buffer.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace swsketch {
+
+std::vector<HarnessResult> RunMany(RowStream* stream,
+                                   std::span<SlidingWindowSketch* const>
+                                       sketches,
+                                   const HarnessOptions& options) {
+  SWSKETCH_CHECK_GT(sketches.size(), 0u);
+  SWSKETCH_CHECK_GT(options.total_rows, 0u);
+  const WindowSpec window = sketches[0]->window();
+  WindowBuffer buffer(window);
+
+  // Checkpoint row indices, evenly spaced across the stream; immature
+  // windows (before the first full window) are skipped at runtime.
+  std::vector<size_t> ckpt_indices;
+  const size_t nc = std::max<size_t>(options.num_checkpoints, 1);
+  for (size_t i = 1; i <= nc; ++i) {
+    size_t idx = options.total_rows * i / (nc + 1);
+    if (idx > 0) ckpt_indices.push_back(idx - 1);
+  }
+  ckpt_indices.erase(std::unique(ckpt_indices.begin(), ckpt_indices.end()),
+                     ckpt_indices.end());
+
+  std::vector<HarnessResult> results(sketches.size());
+  std::vector<CostAccumulator> costs(sketches.size());
+
+  double first_ts = 0.0;
+  bool have_first = false;
+  size_t row_index = 0;
+  size_t next_ckpt = 0;
+  const size_t dim = stream->dim();
+
+  while (auto row = stream->Next()) {
+    if (!have_first) {
+      first_ts = row->ts;
+      have_first = true;
+    }
+    for (size_t s = 0; s < sketches.size(); ++s) {
+      if (options.measure_update_time) {
+        Timer t;
+        sketches[s]->Update(row->view(), row->ts);
+        costs[s].Add(t.ElapsedNanos());
+      } else {
+        sketches[s]->Update(row->view(), row->ts);
+      }
+    }
+    buffer.Add(*row);
+
+    for (size_t s = 0; s < sketches.size(); ++s) {
+      results[s].max_rows_stored =
+          std::max(results[s].max_rows_stored, sketches[s]->RowsStored());
+    }
+
+    const bool at_ckpt = next_ckpt < ckpt_indices.size() &&
+                         row_index == ckpt_indices[next_ckpt];
+    if (at_ckpt) {
+      ++next_ckpt;
+      // Window maturity: a full sequence window, or a full time span.
+      const bool mature =
+          window.type() == WindowType::kSequence
+              ? buffer.size() >= static_cast<size_t>(window.extent())
+              : (row->ts - first_ts) >= window.extent();
+      if (mature && !buffer.empty()) {
+        const Matrix gram = buffer.GramMatrix(dim);
+        const double frob_sq = buffer.FrobeniusNormSq();
+        double best_err = 0.0, zero_err = 0.0;
+        if (options.best_k > 0) {
+          const ReferenceErrors refs =
+              BestAndZeroError(gram, options.best_k, frob_sq);
+          best_err = refs.best_err;
+          zero_err = refs.zero_err;
+        }
+        for (size_t s = 0; s < sketches.size(); ++s) {
+          Checkpoint c;
+          c.row_index = row_index;
+          c.ts = row->ts;
+          c.rows_stored = sketches[s]->RowsStored();
+          c.window_rows = buffer.size();
+          c.best_err = best_err;
+          c.zero_err = zero_err;
+          const Matrix b = sketches[s]->Query();
+          c.cova_err = CovarianceError(gram, frob_sq, b);
+          results[s].checkpoints.push_back(c);
+        }
+      }
+    }
+    ++row_index;
+  }
+
+  for (size_t s = 0; s < sketches.size(); ++s) {
+    HarnessResult& r = results[s];
+    r.rows_processed = row_index;
+    r.avg_update_ns = costs[s].AverageNanos();
+    double sum = 0.0, best_sum = 0.0, zero_sum = 0.0;
+    for (const Checkpoint& c : r.checkpoints) {
+      sum += c.cova_err;
+      best_sum += c.best_err;
+      zero_sum += c.zero_err;
+      r.max_err = std::max(r.max_err, c.cova_err);
+      r.max_best_err = std::max(r.max_best_err, c.best_err);
+    }
+    if (!r.checkpoints.empty()) {
+      r.avg_err = sum / static_cast<double>(r.checkpoints.size());
+      r.avg_best_err = best_sum / static_cast<double>(r.checkpoints.size());
+      r.avg_zero_err = zero_sum / static_cast<double>(r.checkpoints.size());
+    }
+  }
+  return results;
+}
+
+HarnessResult RunSketch(RowStream* stream, SlidingWindowSketch* sketch,
+                        const HarnessOptions& options) {
+  SlidingWindowSketch* arr[1] = {sketch};
+  return RunMany(stream, std::span<SlidingWindowSketch* const>(arr, 1),
+                 options)[0];
+}
+
+}  // namespace swsketch

@@ -1,0 +1,71 @@
+// Experiment harness: drives a row stream through a sliding-window sketch,
+// measuring at checkpoints the observed covariance error against the exact
+// window (kept in an evaluation-only WindowBuffer), the rows stored by the
+// sketch, and the average per-row update cost. This is the machinery behind
+// every figure reproduction in bench/.
+#ifndef SWSKETCH_EVAL_HARNESS_H_
+#define SWSKETCH_EVAL_HARNESS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/sliding_window_sketch.h"
+#include "stream/row_stream.h"
+#include "stream/window.h"
+
+namespace swsketch {
+
+struct HarnessOptions {
+  /// Number of error checkpoints, spread evenly after warmup (one full
+  /// window).
+  size_t num_checkpoints = 10;
+  /// Total rows the stream will produce (drives checkpoint placement).
+  size_t total_rows = 0;
+  /// Measure per-update wall time (adds a timer call per row).
+  bool measure_update_time = true;
+  /// Also evaluate the optimal best-rank-k error at each checkpoint using
+  /// k = best_k (0 disables; used for the BEST reference series).
+  size_t best_k = 0;
+};
+
+/// Per-checkpoint measurement.
+struct Checkpoint {
+  size_t row_index = 0;
+  double ts = 0.0;
+  double cova_err = 0.0;
+  size_t rows_stored = 0;
+  size_t window_rows = 0;
+  double best_err = 0.0;  // Only when options.best_k > 0.
+  double zero_err = 0.0;  // err(B = 0) floor; only when best_k > 0.
+};
+
+/// Aggregated run result.
+struct HarnessResult {
+  std::vector<Checkpoint> checkpoints;
+  double avg_err = 0.0;
+  double max_err = 0.0;
+  double avg_best_err = 0.0;
+  double max_best_err = 0.0;
+  double avg_zero_err = 0.0;  // The B = 0 floor (Section 8.1 obs. (5)).
+  size_t max_rows_stored = 0;
+  double avg_update_ns = 0.0;
+  size_t rows_processed = 0;
+};
+
+/// Runs `stream` through `sketch` (both borrowed) and measures quality at
+/// checkpoints. The stream is consumed.
+HarnessResult RunSketch(RowStream* stream, SlidingWindowSketch* sketch,
+                        const HarnessOptions& options);
+
+/// Single-pass variant over many sketches sharing one stream and one exact
+/// window evaluation (the expensive Gram computation is done once per
+/// checkpoint regardless of how many sketches are measured). All sketches
+/// must share the same window spec.
+std::vector<HarnessResult> RunMany(
+    RowStream* stream, std::span<SlidingWindowSketch* const> sketches,
+    const HarnessOptions& options);
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_EVAL_HARNESS_H_

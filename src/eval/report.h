@@ -1,0 +1,40 @@
+// Plain-text table / CSV reporting for the experiment binaries. Each bench
+// prints the series the corresponding paper figure plots, one row per
+// (algorithm, sweep point).
+#ifndef SWSKETCH_EVAL_REPORT_H_
+#define SWSKETCH_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace swsketch {
+
+/// Column-aligned text table with an optional CSV dump.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string Num(double v);
+  static std::string Int(long long v);
+
+  /// Writes the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Writes comma-separated values (header + rows).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Figure 3(a): ... ==").
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_EVAL_REPORT_H_

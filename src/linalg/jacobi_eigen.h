@@ -1,0 +1,37 @@
+// Cyclic Jacobi eigensolver for dense symmetric matrices. This is the
+// numerical workhorse behind the SVD (via the Gram route), BEST rank-k
+// references and PCA examples. Jacobi is quadratic-per-sweep but extremely
+// robust and accurate for the moderate sizes this library needs
+// (sketch Gram matrices are l x l with l <= a few hundred).
+#ifndef SWSKETCH_LINALG_JACOBI_EIGEN_H_
+#define SWSKETCH_LINALG_JACOBI_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace swsketch {
+
+/// Eigendecomposition of a symmetric matrix: S = V diag(lambda) V^T with
+/// eigenvalues sorted in descending order and eigenvectors as columns of V.
+struct SymmetricEigen {
+  std::vector<double> eigenvalues;  // Descending.
+  Matrix eigenvectors;              // n x n, column i pairs eigenvalues[i].
+};
+
+/// Options controlling the sweep loop.
+struct JacobiOptions {
+  int max_sweeps = 64;
+  // Stop when the off-diagonal Frobenius norm falls below
+  // tol * ||S||_F (relative convergence criterion).
+  double tol = 1e-12;
+};
+
+/// Computes the full eigendecomposition of symmetric `S`. Symmetry is
+/// enforced by averaging S and S^T before iterating, so tiny asymmetries
+/// from accumulated floating point error are tolerated.
+SymmetricEigen JacobiEigen(const Matrix& s, const JacobiOptions& options = {});
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_LINALG_JACOBI_EIGEN_H_

@@ -1,0 +1,205 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  for (const auto& r : rows) {
+    if (cols_ == 0) cols_ = r.size();
+    SWSKETCH_CHECK_EQ(r.size(), cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::AppendRow(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  SWSKETCH_CHECK_EQ(row.size(), cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+void Matrix::AppendRowScaled(std::span<const double> row, double scale) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  SWSKETCH_CHECK_EQ(row.size(), cols_);
+  data_.reserve(data_.size() + cols_);
+  for (double v : row) data_.push_back(v * scale);
+  ++rows_;
+}
+
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::TruncateRows(size_t k) {
+  SWSKETCH_CHECK_LE(k, rows_);
+  rows_ = k;
+  data_.resize(rows_ * cols_);
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = src[j];
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  SWSKETCH_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* dst = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) dst[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (size_t i = 0; i < rows_; ++i) g.AddOuterProduct(Row(i));
+  return g;
+}
+
+Matrix Matrix::GramOuter() const {
+  Matrix g(rows_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    for (size_t j = i; j < rows_; ++j) {
+      const double* b = RowPtr(j);
+      double s = 0.0;
+      for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+void Matrix::AddOuterProduct(std::span<const double> v, double scale) {
+  SWSKETCH_CHECK_EQ(rows_, cols_);
+  SWSKETCH_CHECK_EQ(v.size(), cols_);
+  // Upper triangle only, then mirror: halves the flops for the hot path of
+  // exact-Gram evaluation.
+  for (size_t i = 0; i < cols_; ++i) {
+    const double vi = v[i] * scale;
+    if (vi == 0.0) continue;
+    double* row = RowPtr(i);
+    for (size_t j = i; j < cols_; ++j) row[j] += vi * v[j];
+  }
+  for (size_t i = 1; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) (*this)(i, j) = (*this)(j, i);
+  }
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  SWSKETCH_CHECK_EQ(rows_, other.rows_);
+  SWSKETCH_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  SWSKETCH_CHECK_EQ(rows_, other.rows_);
+  SWSKETCH_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
+  return out;
+}
+
+void Matrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+double Matrix::FrobeniusNormSq() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+void Matrix::Apply(std::span<const double> x, std::span<double> y) const {
+  SWSKETCH_CHECK_EQ(x.size(), cols_);
+  SWSKETCH_CHECK_EQ(y.size(), rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double s = 0.0;
+    for (size_t j = 0; j < cols_; ++j) s += a[j] * x[j];
+    y[i] = s;
+  }
+}
+
+void Matrix::ApplyTranspose(std::span<const double> x,
+                            std::span<double> y) const {
+  SWSKETCH_CHECK_EQ(x.size(), rows_);
+  SWSKETCH_CHECK_EQ(y.size(), cols_);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* a = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) y[j] += xi * a[j];
+  }
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  return MaxAbsDiff(other) <= tol;
+}
+
+Matrix Matrix::VStack(const Matrix& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  SWSKETCH_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  out.data_.insert(out.data_.end(), other.data_.begin(), other.data_.end());
+  out.rows_ += other.rows_;
+  return out;
+}
+
+void Matrix::Serialize(ByteWriter* writer) const {
+  writer->Put<uint64_t>(rows_);
+  writer->Put<uint64_t>(cols_);
+  writer->PutVector(data_);
+}
+
+Result<Matrix> Matrix::Deserialize(ByteReader* reader) {
+  uint64_t rows = 0, cols = 0;
+  std::vector<double> data;
+  if (!reader->Get(&rows) || !reader->Get(&cols) ||
+      !reader->GetVector(&data) || data.size() != rows * cols) {
+    return Status::InvalidArgument("corrupt Matrix payload");
+  }
+  Matrix m(rows, cols);
+  m.data_ = std::move(data);
+  return m;
+}
+
+}  // namespace swsketch

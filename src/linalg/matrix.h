@@ -1,0 +1,126 @@
+// Dense row-major matrix of doubles: the storage type for windows, sketches
+// and approximation outputs. Deliberately minimal: the library only needs
+// append-row growth, Gram products, transposed multiplies and elementwise
+// combination; heavy decompositions live in their own modules.
+#ifndef SWSKETCH_LINALG_MATRIX_H_
+#define SWSKETCH_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace swsketch {
+
+/// Dense row-major matrix. Rows are contiguous; `Row(i)` is a cheap span.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from a nested initializer list; all inner lists must have the
+  /// same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Zero(size_t rows, size_t cols) { return Matrix(rows, cols); }
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  std::span<double> Row(size_t i) { return {&data_[i * cols_], cols_}; }
+  std::span<const double> Row(size_t i) const {
+    return {&data_[i * cols_], cols_};
+  }
+  double* RowPtr(size_t i) { return &data_[i * cols_]; }
+  const double* RowPtr(size_t i) const { return &data_[i * cols_]; }
+
+  std::span<double> Data() { return {data_.data(), data_.size()}; }
+  std::span<const double> Data() const { return {data_.data(), data_.size()}; }
+
+  /// Appends a row; on the first append to an empty matrix the column count
+  /// is adopted from the row, afterwards it must match.
+  void AppendRow(std::span<const double> row);
+
+  /// Appends `row` scaled by `scale`.
+  void AppendRowScaled(std::span<const double> row, double scale);
+
+  /// Reserves storage for `rows` rows (avoids reallocation in streaming
+  /// loops).
+  void ReserveRows(size_t rows) { data_.reserve(rows * cols_); }
+
+  /// Sets every entry to zero, keeping the shape.
+  void SetZero();
+
+  /// Keeps only the first k rows.
+  void TruncateRows(size_t k);
+
+  /// Returns the transposed matrix.
+  Matrix Transpose() const;
+
+  /// this * other (naive ikj loop order; fine for the small/rectangular
+  /// shapes the library produces).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// A^T * A, a cols x cols symmetric PSD matrix. Uses symmetric rank-1
+  /// accumulation (only the upper triangle is computed, then mirrored).
+  Matrix Gram() const;
+
+  /// A * A^T, a rows x rows symmetric PSD matrix.
+  Matrix GramOuter() const;
+
+  /// M += scale * v v^T for a square matrix with cols() == v.size().
+  void AddOuterProduct(std::span<const double> v, double scale = 1.0);
+
+  /// this += scale * other (shapes must match).
+  void AddScaled(const Matrix& other, double scale);
+
+  /// this - other.
+  Matrix Subtract(const Matrix& other) const;
+
+  /// Multiplies every entry by `s`.
+  void Scale(double s);
+
+  /// Sum of squared entries.
+  double FrobeniusNormSq() const;
+
+  /// y = A x (x has cols() entries, y gets rows() entries).
+  void Apply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T x (x has rows() entries, y gets cols() entries).
+  void ApplyTranspose(std::span<const double> x, std::span<double> y) const;
+
+  /// Max |a_ij - b_ij|; infinity when shapes differ.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// True when shapes match and entries differ by at most `tol`.
+  bool ApproxEquals(const Matrix& other, double tol) const;
+
+  /// Vertical stack [this; other]; column counts must match (an empty
+  /// matrix acts as the identity element).
+  Matrix VStack(const Matrix& other) const;
+
+  /// Binary serialization (shape + row-major payload).
+  void Serialize(ByteWriter* writer) const;
+  static Result<Matrix> Deserialize(ByteReader* reader);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_LINALG_MATRIX_H_

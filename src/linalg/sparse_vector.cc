@@ -1,0 +1,60 @@
+#include "linalg/sparse_vector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+SparseVector::SparseVector(size_t dim, std::vector<uint32_t> indices,
+                           std::vector<double> values)
+    : dim_(dim), indices_(std::move(indices)), values_(std::move(values)) {
+  SWSKETCH_CHECK_EQ(indices_.size(), values_.size());
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    SWSKETCH_CHECK_LT(indices_[i], dim_);
+    if (i > 0) SWSKETCH_CHECK_LT(indices_[i - 1], indices_[i]);
+  }
+}
+
+SparseVector SparseVector::FromDense(std::span<const double> dense,
+                                     double tolerance) {
+  std::vector<uint32_t> idx;
+  std::vector<double> val;
+  for (size_t j = 0; j < dense.size(); ++j) {
+    if (std::fabs(dense[j]) > tolerance) {
+      idx.push_back(static_cast<uint32_t>(j));
+      val.push_back(dense[j]);
+    }
+  }
+  return SparseVector(dense.size(), std::move(idx), std::move(val));
+}
+
+double SparseVector::NormSq() const {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return s;
+}
+
+double SparseVector::Dot(std::span<const double> dense) const {
+  SWSKETCH_DCHECK(dense.size() == dim_);
+  double s = 0.0;
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    s += values_[i] * dense[indices_[i]];
+  }
+  return s;
+}
+
+void SparseVector::AxpyInto(std::span<double> dense, double scale) const {
+  SWSKETCH_DCHECK(dense.size() == dim_);
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    dense[indices_[i]] += scale * values_[i];
+  }
+}
+
+std::vector<double> SparseVector::ToDense() const {
+  std::vector<double> out(dim_, 0.0);
+  AxpyInto(out);
+  return out;
+}
+
+}  // namespace swsketch

@@ -1,0 +1,195 @@
+#include "linalg/tridiag_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swsketch {
+namespace {
+
+// Householder reduction of symmetric a (n x n, modified in place to hold
+// the accumulated orthogonal transform) to tridiagonal form: diagonal in
+// d, sub-diagonal in e[1..n-1] (EISPACK tred2).
+void Tred2(Matrix* a_ptr, std::vector<double>* d_ptr,
+           std::vector<double>* e_ptr) {
+  Matrix& a = *a_ptr;
+  std::vector<double>& d = *d_ptr;
+  std::vector<double>& e = *e_ptr;
+  const size_t n = a.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+
+  for (size_t i = n - 1; i >= 1; --i) {
+    const size_t l = i - 1;
+    double h = 0.0, scale = 0.0;
+    if (i > 1) {
+      for (size_t k = 0; k <= l; ++k) scale += std::fabs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (size_t k = 0; k <= j; ++k) {
+            a(j, k) -= f * e[k] + g * a(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate transformation.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t l = i;  // Columns [0, i).
+    if (d[i] != 0.0) {
+      for (size_t j = 0; j < l; ++j) {
+        double g = 0.0;
+        for (size_t k = 0; k < l; ++k) g += a(i, k) * a(k, j);
+        for (size_t k = 0; k < l; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (size_t j = 0; j < l; ++j) {
+      a(j, i) = 0.0;
+      a(i, j) = 0.0;
+    }
+  }
+}
+
+double SignLike(double a, double b) { return b >= 0.0 ? std::fabs(a) : -std::fabs(a); }
+
+// Implicit-shift QL on the tridiagonal (d, e), rotating the columns of z
+// (EISPACK tql2). Returns false if an eigenvalue fails to converge.
+bool Tql2(std::vector<double>* d_ptr, std::vector<double>* e_ptr,
+          Matrix* z_ptr) {
+  std::vector<double>& d = *d_ptr;
+  std::vector<double>& e = *e_ptr;
+  Matrix& z = *z_ptr;
+  const size_t n = d.size();
+  if (n == 0) return true;
+  for (size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iterations == 50) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + SignLike(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m - l > 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+}  // namespace
+
+SymmetricEigen TridiagEigen(const Matrix& s) {
+  SWSKETCH_CHECK_EQ(s.rows(), s.cols());
+  const size_t n = s.rows();
+  SymmetricEigen out;
+  if (n == 0) {
+    out.eigenvectors = Matrix();
+    return out;
+  }
+  if (n == 1) {
+    out.eigenvalues = {s(0, 0)};
+    out.eigenvectors = Matrix::Identity(1);
+    return out;
+  }
+
+  // Symmetrize into the workspace.
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = 0.5 * (s(i, j) + s(j, i));
+  }
+  std::vector<double> d, e;
+  Tred2(&a, &d, &e);
+  if (!Tql2(&d, &e, &a)) {
+    // Extremely rare non-convergence: fall back to the robust solver.
+    return JacobiEigen(s);
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return d[x] > d[y]; });
+  SymmetricEigen out2;
+  out2.eigenvalues.resize(n);
+  out2.eigenvectors = Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    out2.eigenvalues[c] = d[order[c]];
+    for (size_t r = 0; r < n; ++r) {
+      out2.eigenvectors(r, c) = a(r, order[c]);
+    }
+  }
+  return out2;
+}
+
+SymmetricEigen SymmetricEigenSolve(const Matrix& s, size_t jacobi_cutoff) {
+  return s.rows() <= jacobi_cutoff ? JacobiEigen(s) : TridiagEigen(s);
+}
+
+}  // namespace swsketch

@@ -1,0 +1,47 @@
+// Exact covariance tracking: the O(d^2)-space streaming "sketch" that
+// maintains A^T A directly (Section 1). In the unbounded model this is the
+// trivially optimal solution for moderate d; over sliding windows Theorem
+// 4.1 shows nothing like it can exist in sublinear space — which is what
+// makes the paper's problem interesting. Included as a baseline and for the
+// lower-bound demonstration bench.
+#ifndef SWSKETCH_SKETCH_EXACT_COVARIANCE_H_
+#define SWSKETCH_SKETCH_EXACT_COVARIANCE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "sketch/matrix_sketch.h"
+
+namespace swsketch {
+
+/// Maintains G = A^T A exactly with d^2 space and d^2 update cost.
+class ExactCovariance : public MatrixSketch {
+ public:
+  explicit ExactCovariance(size_t dim);
+
+  void Append(std::span<const double> row, uint64_t id = 0) override;
+
+  /// Returns B = diag(sqrt(lambda)) V^T from the eigendecomposition of G,
+  /// a d x d matrix with B^T B = A^T A exactly (up to fp error).
+  Matrix Approximation() const override;
+
+  size_t RowsStored() const override { return dim_; }
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return "ExactCov"; }
+
+  /// Direct access to the maintained covariance matrix.
+  const Matrix& Covariance() const { return gram_; }
+
+  double frobenius_norm_sq() const { return frob_sq_; }
+
+ private:
+  size_t dim_;
+  Matrix gram_;
+  double frob_sq_ = 0.0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_SKETCH_EXACT_COVARIANCE_H_

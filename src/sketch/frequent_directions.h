@@ -1,0 +1,94 @@
+// Frequent Directions (Liberty, KDD'13): the deterministic streaming matrix
+// sketch the paper builds LM-FD and DI-FD on. Maintains B with at most
+// `ell` rows; when full, an SVD-based shrink zeroes the smallest directions
+// so that ||A^T A - B^T B|| <= shed_mass, where each shrink subtracting
+// lambda removes at least shrink_rank * lambda of Frobenius mass, giving
+// shed_mass <= ||A||_F^2 / shrink_rank (= 2 ||A||_F^2 / ell at the paper's
+// default shrink position ell/2).
+//
+// Mergeable (Section 6.1): two sketches of equal ell stack to 2*ell rows and
+// shrink back to ell without exceeding the summed error budgets.
+#ifndef SWSKETCH_SKETCH_FREQUENT_DIRECTIONS_H_
+#define SWSKETCH_SKETCH_FREQUENT_DIRECTIONS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse_vector.h"
+#include "sketch/matrix_sketch.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace swsketch {
+
+/// Deterministic Frequent Directions sketch.
+class FrequentDirections : public MatrixSketch {
+ public:
+  struct Options {
+    /// Maximum rows kept by the sketch (l in the paper). Must be >= 2.
+    size_t ell = 16;
+    /// 1-indexed singular value whose square is subtracted on shrink.
+    /// 0 means the paper's default ceil(ell / 2) ("FD with ell/2 empty rows
+    /// after each shrink"). Must be <= ell.
+    size_t shrink_rank = 0;
+  };
+
+  FrequentDirections(size_t dim, Options options);
+  FrequentDirections(size_t dim, size_t ell)
+      : FrequentDirections(dim, Options{.ell = ell, .shrink_rank = 0}) {}
+
+  void Append(std::span<const double> row, uint64_t id = 0) override;
+
+  /// Sparse fast path: O(nnz) scatter instead of an O(d) copy (the shrink
+  /// cost is unchanged).
+  void AppendSparse(const SparseVector& row, uint64_t id = 0);
+
+  /// Appends every row of `m`.
+  void AppendMatrix(const Matrix& m);
+
+  Matrix Approximation() const override;
+  size_t RowsStored() const override { return used_; }
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return "FD"; }
+
+  size_t ell() const { return options_.ell; }
+  size_t shrink_rank() const { return shrink_rank_; }
+
+  /// Total spectral mass subtracted by shrinks so far. The FD guarantee is
+  /// ||A^T A - B^T B|| <= shed_mass() <= ||A||_F^2 / shrink_rank.
+  double shed_mass() const { return shed_mass_; }
+
+  /// Sum of squared norms of everything appended (= ||A||_F^2).
+  double input_mass() const { return input_mass_; }
+
+  /// Merges `other` into this sketch (Section 6.1): stack, SVD, shrink with
+  /// sigma_{ell+1}^2 so the merged size is at most ell. Requires matching
+  /// dim and ell.
+  void MergeWith(const FrequentDirections& other);
+
+  /// Forces a shrink now (exposed for tests).
+  void ShrinkNow();
+
+  /// Checkpoint/resume: full sketch state.
+  void Serialize(ByteWriter* writer) const;
+  static Result<FrequentDirections> Deserialize(ByteReader* reader);
+
+ private:
+  // Shrinks the current buffer with lambda = sigma_{rank}^2 (1-indexed;
+  // values beyond the actual rank mean lambda = 0) and re-materializes b_.
+  void ShrinkWithRank(size_t rank);
+
+  size_t dim_;
+  Options options_;
+  size_t shrink_rank_;  // Resolved (options_.shrink_rank or ell/2).
+  Matrix b_;            // ell x dim; rows [0, used_) are occupied.
+  size_t used_ = 0;
+  double shed_mass_ = 0.0;
+  double input_mass_ = 0.0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_SKETCH_FREQUENT_DIRECTIONS_H_

@@ -1,0 +1,53 @@
+#include "sketch/incremental_svd.h"
+
+#include <algorithm>
+
+#include "linalg/svd.h"
+#include "util/logging.h"
+
+namespace swsketch {
+
+IncrementalSvd::IncrementalSvd(size_t dim, size_t ell)
+    : dim_(dim), ell_(ell), buffer_(2 * ell, dim) {
+  SWSKETCH_CHECK_GE(ell, 1u);
+}
+
+void IncrementalSvd::Append(std::span<const double> row, uint64_t) {
+  SWSKETCH_CHECK_EQ(row.size(), dim_);
+  if (used_ == buffer_.rows()) TruncateNow();
+  std::copy(row.begin(), row.end(), buffer_.RowPtr(used_));
+  ++used_;
+}
+
+void IncrementalSvd::TruncateNow() {
+  if (used_ <= ell_) return;
+  Matrix occupied(0, dim_);
+  occupied.ReserveRows(used_);
+  for (size_t i = 0; i < used_; ++i) occupied.AppendRow(buffer_.Row(i));
+  const SvdResult svd = ThinSvd(occupied);
+  buffer_.SetZero();
+  size_t out = 0;
+  for (size_t i = 0; i < svd.singular_values.size() && out < ell_; ++i) {
+    double* dst = buffer_.RowPtr(out);
+    const double* v = svd.vt.RowPtr(i);
+    for (size_t j = 0; j < dim_; ++j) dst[j] = svd.singular_values[i] * v[j];
+    ++out;
+  }
+  used_ = out;
+}
+
+Matrix IncrementalSvd::Approximation() const {
+  Matrix out(0, dim_);
+  out.ReserveRows(std::min(used_, ell_));
+  // Report at most ell rows (truncating lazily if the buffer is mid-fill).
+  if (used_ <= ell_) {
+    for (size_t i = 0; i < used_; ++i) out.AppendRow(buffer_.Row(i));
+    return out;
+  }
+  IncrementalSvd tmp = *this;
+  tmp.TruncateNow();
+  for (size_t i = 0; i < tmp.used_; ++i) out.AppendRow(tmp.buffer_.Row(i));
+  return out;
+}
+
+}  // namespace swsketch

@@ -1,0 +1,47 @@
+// Incremental SVD ("iSVD" in Ghashami-Desai-Phillips [19], the paper's
+// reference for streaming sketch comparisons): maintain the best rank-ell
+// approximation of everything seen, by buffering rows and truncating back
+// to ell via SVD — Frequent Directions WITHOUT the sigma^2 subtraction.
+// Practically accurate on benign streams but carries no worst-case
+// guarantee (adversarial streams break it, as [19] shows); included as the
+// classic baseline the FD line of work improves on.
+#ifndef SWSKETCH_SKETCH_INCREMENTAL_SVD_H_
+#define SWSKETCH_SKETCH_INCREMENTAL_SVD_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "sketch/matrix_sketch.h"
+
+namespace swsketch {
+
+/// Truncation-based incremental SVD sketch.
+class IncrementalSvd : public MatrixSketch {
+ public:
+  /// `ell`: rank kept after each truncation. The buffer holds up to
+  /// 2 * ell rows so the SVD cost amortizes like FD's.
+  IncrementalSvd(size_t dim, size_t ell);
+
+  void Append(std::span<const double> row, uint64_t id = 0) override;
+  Matrix Approximation() const override;
+  size_t RowsStored() const override { return used_; }
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return "iSVD"; }
+
+  size_t ell() const { return ell_; }
+
+  /// Forces a truncation now (exposed for tests).
+  void TruncateNow();
+
+ private:
+  size_t dim_;
+  size_t ell_;
+  Matrix buffer_;  // 2 * ell x dim; rows [0, used_) occupied.
+  size_t used_ = 0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_SKETCH_INCREMENTAL_SVD_H_

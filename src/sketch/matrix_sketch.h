@@ -1,0 +1,43 @@
+// Interface for streaming (unbounded) matrix sketches, Section 3 of the
+// paper. A sketch consumes rows and can produce an approximation matrix B
+// with few rows such that B^T B ~ A^T A.
+//
+// The sliding-window frameworks (LM, DI) are class templates over concrete
+// sketch types rather than this interface — mergeability is a typed
+// operation — but the interface gives examples/benches a uniform handle.
+#ifndef SWSKETCH_SKETCH_MATRIX_SKETCH_H_
+#define SWSKETCH_SKETCH_MATRIX_SKETCH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace swsketch {
+
+/// Streaming matrix sketch over an unbounded row stream.
+class MatrixSketch {
+ public:
+  virtual ~MatrixSketch() = default;
+
+  /// Consumes one row. `id` is the global arrival index; hashing-based
+  /// sketches need it for cross-sketch consistency, others ignore it.
+  virtual void Append(std::span<const double> row, uint64_t id) = 0;
+
+  /// Current approximation matrix B.
+  virtual Matrix Approximation() const = 0;
+
+  /// Number of materialized rows held by the sketch (the paper's sketch
+  /// size measure).
+  virtual size_t RowsStored() const = 0;
+
+  /// Row dimensionality d.
+  virtual size_t dim() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_SKETCH_MATRIX_SKETCH_H_

@@ -1,0 +1,172 @@
+#include "sketch/priority_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+
+namespace swsketch {
+
+double LogPriority(Rng* rng, double norm_sq) {
+  SWSKETCH_DCHECK(norm_sq > 0.0);
+  return std::log(rng->UniformOpen01()) / norm_sq;
+}
+
+StreamingSwrSampler::StreamingSwrSampler(size_t dim, size_t ell, uint64_t seed)
+    : dim_(dim), chains_(ell), rng_(seed) {
+  SWSKETCH_CHECK_GT(ell, 0u);
+  for (auto& c : chains_) {
+    c.best_log_priority = -std::numeric_limits<double>::infinity();
+  }
+}
+
+void StreamingSwrSampler::Append(std::span<const double> row, uint64_t) {
+  SWSKETCH_CHECK_EQ(row.size(), dim_);
+  const double w = NormSq(row);
+  if (w <= 0.0) return;  // All-zero rows carry no sampling weight.
+  frob_sq_ += w;
+  for (auto& c : chains_) {
+    const double lp = LogPriority(&rng_, w);
+    if (lp > c.best_log_priority) {
+      c.best_log_priority = lp;
+      c.row.assign(row.begin(), row.end());
+      c.norm_sq = w;
+      c.has_sample = true;
+    }
+  }
+}
+
+Matrix StreamingSwrSampler::Approximation() const {
+  Matrix b(0, dim_);
+  const double ell = static_cast<double>(chains_.size());
+  const double frob = std::sqrt(frob_sq_);
+  for (const auto& c : chains_) {
+    if (!c.has_sample) continue;
+    b.AppendRowScaled(c.row, frob / (std::sqrt(ell * c.norm_sq)));
+  }
+  return b;
+}
+
+size_t StreamingSwrSampler::RowsStored() const {
+  size_t n = 0;
+  for (const auto& c : chains_) n += c.has_sample ? 1 : 0;
+  return n;
+}
+
+std::vector<std::vector<double>> StreamingSwrSampler::Samples() const {
+  std::vector<std::vector<double>> out;
+  for (const auto& c : chains_) {
+    if (c.has_sample) out.push_back(c.row);
+  }
+  return out;
+}
+
+StreamingSworSampler::StreamingSworSampler(size_t dim, size_t ell,
+                                           uint64_t seed)
+    : dim_(dim), ell_(ell), rng_(seed) {
+  SWSKETCH_CHECK_GT(ell, 0u);
+  reservoir_.reserve(ell);
+}
+
+void StreamingSworSampler::Append(std::span<const double> row, uint64_t) {
+  SWSKETCH_CHECK_EQ(row.size(), dim_);
+  const double w = NormSq(row);
+  if (w <= 0.0) return;
+  frob_sq_ += w;
+  const double lp = LogPriority(&rng_, w);
+
+  auto heap_cmp = [](const Entry& a, const Entry& b) {
+    return a.log_priority > b.log_priority;  // Min-heap.
+  };
+  if (reservoir_.size() < ell_) {
+    reservoir_.push_back(
+        Entry{lp, std::vector<double>(row.begin(), row.end()), w});
+    std::push_heap(reservoir_.begin(), reservoir_.end(), heap_cmp);
+    return;
+  }
+  if (lp > reservoir_.front().log_priority) {
+    std::pop_heap(reservoir_.begin(), reservoir_.end(), heap_cmp);
+    reservoir_.back() =
+        Entry{lp, std::vector<double>(row.begin(), row.end()), w};
+    std::push_heap(reservoir_.begin(), reservoir_.end(), heap_cmp);
+  }
+}
+
+Matrix StreamingSworSampler::Approximation() const {
+  // Per-row rescaling by ||A||_F / (sqrt(ell) ||a_j||), the scheme the
+  // paper's Section 5.1 query uses (and the source of the Figure 6
+  // skew pathology). Note sum_j ||b_j||^2 = ||A||_F^2 exactly.
+  Matrix b(0, dim_);
+  if (reservoir_.empty() || frob_sq_ <= 0.0) return b;
+  const double ell = static_cast<double>(reservoir_.size());
+  const double frob = std::sqrt(frob_sq_);
+  for (const auto& e : reservoir_) {
+    b.AppendRowScaled(e.row, frob / std::sqrt(ell * e.norm_sq));
+  }
+  return b;
+}
+
+std::vector<std::vector<double>> StreamingSworSampler::Samples() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(reservoir_.size());
+  for (const auto& e : reservoir_) out.push_back(e.row);
+  return out;
+}
+
+Matrix SampleRowsOffline(const Matrix& a, size_t ell, bool with_replacement,
+                         Rng* rng) {
+  const size_t n = a.rows();
+  SWSKETCH_CHECK_GT(n, 0u);
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = NormSq(a.Row(i));
+    total += weights[i];
+  }
+  SWSKETCH_CHECK_GT(total, 0.0);
+  const double frob = std::sqrt(total);
+
+  Matrix b(0, a.cols());
+  if (with_replacement) {
+    // ell independent draws, each proportional to w_i; rescale by
+    // ||A||_F / (sqrt(ell) ||a_i||).
+    for (size_t s = 0; s < ell; ++s) {
+      double target = rng->Uniform01() * total;
+      size_t pick = n - 1;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += weights[i];
+        if (target < acc) {
+          pick = i;
+          break;
+        }
+      }
+      b.AppendRowScaled(
+          a.Row(pick),
+          frob / std::sqrt(static_cast<double>(ell) * weights[pick]));
+    }
+    return b;
+  }
+
+  // Without replacement via priorities: take the top-ell log-priorities.
+  // Per-row rescaling (Section 5.1); under heavy norm skew this is what
+  // makes SWOR's error GROW with ell (Figure 6).
+  std::vector<std::pair<double, size_t>> pri(n);
+  for (size_t i = 0; i < n; ++i) {
+    pri[i] = {LogPriority(rng, weights[i]), i};
+  }
+  const size_t k = std::min(ell, n);
+  std::partial_sort(pri.begin(), pri.begin() + k, pri.end(),
+                    [](const auto& x, const auto& y) { return x.first > y.first; });
+  for (size_t s = 0; s < k; ++s) {
+    const size_t pick = pri[s].second;
+    b.AppendRowScaled(a.Row(pick),
+                      frob / std::sqrt(static_cast<double>(k) * weights[pick]));
+  }
+  return b;
+}
+
+}  // namespace swsketch

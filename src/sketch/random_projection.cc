@@ -1,0 +1,91 @@
+#include "sketch/random_projection.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+RandomProjection::RandomProjection(size_t dim, size_t ell, uint64_t seed)
+    : dim_(dim), b_(ell, dim), rng_(seed), scale_(1.0 / std::sqrt(
+                                               static_cast<double>(ell))) {
+  SWSKETCH_CHECK_GT(ell, 0u);
+}
+
+void RandomProjection::Append(std::span<const double> row, uint64_t) {
+  SWSKETCH_CHECK_EQ(row.size(), dim_);
+  const size_t ell = b_.rows();
+  // Draw the sign column in 64-bit batches.
+  uint64_t bits = 0;
+  int available = 0;
+  for (size_t i = 0; i < ell; ++i) {
+    if (available == 0) {
+      bits = rng_.Next();
+      available = 64;
+    }
+    const double r = (bits & 1) ? scale_ : -scale_;
+    bits >>= 1;
+    --available;
+    double* dst = b_.RowPtr(i);
+    for (size_t j = 0; j < dim_; ++j) dst[j] += r * row[j];
+  }
+}
+
+void RandomProjection::AppendSparse(const SparseVector& row, uint64_t) {
+  SWSKETCH_CHECK_EQ(row.dim(), dim_);
+  const size_t ell = b_.rows();
+  uint64_t bits = 0;
+  int available = 0;
+  for (size_t i = 0; i < ell; ++i) {
+    if (available == 0) {
+      bits = rng_.Next();
+      available = 64;
+    }
+    const double r = (bits & 1) ? scale_ : -scale_;
+    bits >>= 1;
+    --available;
+    row.AxpyInto({b_.RowPtr(i), dim_}, r);
+  }
+}
+
+void RandomProjection::MergeWith(const RandomProjection& other) {
+  SWSKETCH_CHECK_EQ(dim_, other.dim_);
+  SWSKETCH_CHECK_EQ(b_.rows(), other.b_.rows());
+  b_.AddScaled(other.b_, 1.0);
+}
+
+namespace {
+constexpr uint32_t kRpTag = 0x52500001;
+}  // namespace
+
+void RandomProjection::Serialize(ByteWriter* writer) const {
+  WriteHeader(writer, kRpTag, 1);
+  writer->Put<uint64_t>(dim_);
+  rng_.Serialize(writer);
+  b_.Serialize(writer);
+}
+
+Result<RandomProjection> RandomProjection::Deserialize(ByteReader* reader) {
+  if (!CheckHeader(reader, kRpTag, 1)) {
+    return Status::InvalidArgument("bad RandomProjection header");
+  }
+  uint64_t dim = 0;
+  if (!reader->Get(&dim)) {
+    return Status::InvalidArgument("corrupt RandomProjection payload");
+  }
+  Rng rng(0);
+  if (!rng.Deserialize(reader)) {
+    return Status::InvalidArgument("corrupt RandomProjection payload");
+  }
+  auto b = Matrix::Deserialize(reader);
+  if (!b.ok()) return b.status();
+  if (b->cols() != dim || b->rows() == 0) {
+    return Status::InvalidArgument("corrupt RandomProjection payload");
+  }
+  RandomProjection rp(dim, b->rows(), 0);
+  rp.rng_ = rng;
+  rp.b_ = b.take();
+  return rp;
+}
+
+}  // namespace swsketch

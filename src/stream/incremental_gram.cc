@@ -1,0 +1,59 @@
+#include "stream/incremental_gram.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+IncrementalWindowGram::IncrementalWindowGram(size_t dim, WindowSpec window)
+    : dim_(dim), window_(window), gram_(dim, dim) {
+  SWSKETCH_CHECK_GT(dim, 0u);
+}
+
+void IncrementalWindowGram::Add(std::span<const double> row, double ts) {
+  SWSKETCH_CHECK_EQ(row.size(), dim_);
+  SWSKETCH_CHECK_GE(ts, now_);
+  now_ = ts;
+  gram_.AddOuterProduct(row);
+  frob_sq_ += NormSq(row);
+  rows_.emplace_back(std::vector<double>(row.begin(), row.end()), ts);
+  ++ops_since_refresh_;
+  Expire(ts);
+}
+
+void IncrementalWindowGram::AdvanceTo(double now) {
+  SWSKETCH_CHECK_GE(now, now_);
+  now_ = now;
+  Expire(now);
+}
+
+void IncrementalWindowGram::Expire(double now) {
+  const double start = window_.Start(now);
+  while (!rows_.empty() && rows_.front().ts < start) {
+    gram_.AddOuterProduct(rows_.front().view(), -1.0);
+    frob_sq_ -= rows_.front().NormSq();
+    rows_.pop_front();
+    ++ops_since_refresh_;
+  }
+  if (rows_.empty()) {
+    // Exactly zero, not fp residue.
+    gram_.SetZero();
+    frob_sq_ = 0.0;
+    ops_since_refresh_ = 0;
+  } else if (ops_since_refresh_ >= refresh_interval_) {
+    Refresh();
+  }
+}
+
+void IncrementalWindowGram::Refresh() {
+  gram_.SetZero();
+  frob_sq_ = 0.0;
+  for (const Row& r : rows_) {
+    gram_.AddOuterProduct(r.view());
+    frob_sq_ += r.NormSq();
+  }
+  ops_since_refresh_ = 0;
+}
+
+}  // namespace swsketch

@@ -1,0 +1,42 @@
+// The unit of streaming input: a d-dimensional row with a timestamp.
+#ifndef SWSKETCH_STREAM_ROW_H_
+#define SWSKETCH_STREAM_ROW_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace swsketch {
+
+/// One stream element. For sequence-based windows the timestamp is the
+/// 0-based arrival index; for time-based windows it is the (real-valued)
+/// arrival time. Timestamps are non-decreasing.
+struct Row {
+  std::vector<double> values;
+  double ts = 0.0;
+
+  Row() = default;
+  Row(std::vector<double> v, double t) : values(std::move(v)), ts(t) {}
+
+  size_t dim() const { return values.size(); }
+  std::span<const double> view() const { return values; }
+
+  /// Squared Euclidean norm — the row's "weight" throughout the paper.
+  double NormSq() const { return swsketch::NormSq(values); }
+};
+
+/// Shared immutable row. The sliding-window samplers keep many live
+/// references to the same row (one per independent sampler); sharing makes
+/// appending a candidate O(1) instead of O(d).
+using SharedRow = std::shared_ptr<const Row>;
+
+inline SharedRow MakeSharedRow(std::vector<double> values, double ts) {
+  return std::make_shared<const Row>(std::move(values), ts);
+}
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_STREAM_ROW_H_

@@ -1,0 +1,42 @@
+// Pull-based row stream abstraction. Dataset generators implement this so
+// experiments never materialize full datasets in memory.
+#ifndef SWSKETCH_STREAM_ROW_STREAM_H_
+#define SWSKETCH_STREAM_ROW_STREAM_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "linalg/sparse_vector.h"
+#include "stream/row.h"
+
+namespace swsketch {
+
+/// Producer of a (finite or unbounded) sequence of rows with non-decreasing
+/// timestamps.
+class RowStream {
+ public:
+  virtual ~RowStream() = default;
+
+  /// Returns the next row, or nullopt when the stream is exhausted.
+  virtual std::optional<Row> Next() = 0;
+
+  /// Sparse-native variant: (row, timestamp). The default densifies via
+  /// Next(); sparse generators (WIKI, RAIL) override it to avoid the O(d)
+  /// materialization entirely.
+  virtual std::optional<std::pair<SparseVector, double>> NextSparse() {
+    auto row = Next();
+    if (!row.has_value()) return std::nullopt;
+    return std::make_pair(SparseVector::FromDense(row->values), row->ts);
+  }
+
+  /// Row dimensionality d.
+  virtual size_t dim() const = 0;
+
+  /// Human-readable name used in reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_STREAM_ROW_STREAM_H_

@@ -1,0 +1,39 @@
+#include "stream/window_buffer.h"
+
+#include <utility>
+
+namespace swsketch {
+
+void WindowBuffer::Add(Row row) {
+  now_ = row.ts;
+  rows_.push_back(std::move(row));
+  AdvanceTo(now_);
+}
+
+void WindowBuffer::AdvanceTo(double now) {
+  now_ = now;
+  const double start = spec_.Start(now);
+  while (!rows_.empty() && rows_.front().ts < start) rows_.pop_front();
+}
+
+Matrix WindowBuffer::ToMatrix() const {
+  if (rows_.empty()) return Matrix();
+  Matrix a(0, rows_.front().dim());
+  a.ReserveRows(rows_.size());
+  for (const auto& r : rows_) a.AppendRow(r.view());
+  return a;
+}
+
+Matrix WindowBuffer::GramMatrix(size_t dim) const {
+  Matrix g(dim, dim);
+  for (const auto& r : rows_) g.AddOuterProduct(r.view());
+  return g;
+}
+
+double WindowBuffer::FrobeniusNormSq() const {
+  double s = 0.0;
+  for (const auto& r : rows_) s += r.NormSq();
+  return s;
+}
+
+}  // namespace swsketch

@@ -1,0 +1,51 @@
+// Evaluation-only container holding the raw rows of the current window.
+// This is what the lower bound (Theorem 4.1) says any exact method must pay
+// for; sketches never use it. The harness uses it to compute exact window
+// Gram matrices at checkpoints.
+#ifndef SWSKETCH_STREAM_WINDOW_BUFFER_H_
+#define SWSKETCH_STREAM_WINDOW_BUFFER_H_
+
+#include <deque>
+
+#include "linalg/matrix.h"
+#include "stream/row.h"
+#include "stream/window.h"
+
+namespace swsketch {
+
+/// Keeps exactly the rows inside the sliding window.
+class WindowBuffer {
+ public:
+  explicit WindowBuffer(WindowSpec spec) : spec_(spec) {}
+
+  /// Adds a row and expires rows that left the window as of `row.ts`.
+  void Add(Row row);
+
+  /// Expires rows for a window ending at `now` without adding anything
+  /// (time-based windows can slide without arrivals).
+  void AdvanceTo(double now);
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::deque<Row>& rows() const { return rows_; }
+
+  /// Exact window matrix A (copies rows; evaluation-time only).
+  Matrix ToMatrix() const;
+
+  /// Exact Gram matrix A^T A of the window.
+  Matrix GramMatrix(size_t dim) const;
+
+  /// Exact squared Frobenius norm of the window matrix.
+  double FrobeniusNormSq() const;
+
+  const WindowSpec& spec() const { return spec_; }
+
+ private:
+  WindowSpec spec_;
+  std::deque<Row> rows_;
+  double now_ = 0.0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_STREAM_WINDOW_BUFFER_H_

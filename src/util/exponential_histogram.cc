@@ -1,0 +1,99 @@
+#include "util/exponential_histogram.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+ExponentialHistogram::ExponentialHistogram(double eps)
+    : eps_(eps), last_ts_(-std::numeric_limits<double>::infinity()) {
+  SWSKETCH_CHECK_GT(eps, 0.0);
+  SWSKETCH_CHECK_LT(eps, 1.0);
+}
+
+void ExponentialHistogram::Add(double value, double ts) {
+  SWSKETCH_CHECK_GT(value, 0.0);
+  SWSKETCH_CHECK_GE(ts, last_ts_);
+  last_ts_ = ts;
+  for (auto& b : boundaries_) b.suffix_sum += value;
+  Boundary nb;
+  nb.start_ts = ts;
+  nb.suffix_sum = value;
+  nb.adjacent_to_next = false;
+  if (!boundaries_.empty()) boundaries_.back().adjacent_to_next = true;
+  boundaries_.push_back(nb);
+  Compact();
+}
+
+void ExponentialHistogram::Compact() {
+  if (boundaries_.size() < 3) return;
+  // Greedy pass from the oldest boundary: starting at i, find the youngest
+  // j > i + 1 with s_j >= (1 - eps) * s_i and delete everything strictly
+  // between them. Runs of arrival-adjacent boundaries collapse too, since
+  // adjacency only protects a boundary from deletion when it is needed to
+  // certify exactness; after deleting the middle, the survivors i and j
+  // still satisfy the smooth-histogram invariant via the ratio test.
+  std::deque<Boundary> kept;
+  size_t i = 0;
+  const size_t n = boundaries_.size();
+  while (i < n) {
+    kept.push_back(boundaries_[i]);
+    if (i + 1 >= n) break;
+    const double threshold = (1.0 - eps_) * boundaries_[i].suffix_sum;
+    // Suffix sums are strictly decreasing (values are positive), so the
+    // youngest boundary still above the threshold is found by binary search.
+    size_t lo = i + 1, hi = n - 1, j = i + 1;
+    while (lo <= hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (boundaries_[mid].suffix_sum >= threshold) {
+        j = mid;
+        lo = mid + 1;
+      } else {
+        if (mid == 0) break;
+        hi = mid - 1;
+      }
+    }
+    // Record whether the next kept boundary is the immediate next arrival.
+    kept.back().adjacent_to_next = (j == i + 1) && boundaries_[i].adjacent_to_next;
+    i = j;
+  }
+  boundaries_.swap(kept);
+}
+
+double ExponentialHistogram::Estimate(double window_start) const {
+  for (const auto& b : boundaries_) {
+    if (b.start_ts >= window_start) return b.suffix_sum;
+  }
+  return 0.0;
+}
+
+void ExponentialHistogram::EvictBefore(double window_start) {
+  while (!boundaries_.empty() && boundaries_.front().start_ts < window_start) {
+    boundaries_.pop_front();
+  }
+}
+
+double ExponentialHistogram::OldestSuffixSum() const {
+  return boundaries_.empty() ? 0.0 : boundaries_.front().suffix_sum;
+}
+
+void ExponentialHistogram::Serialize(ByteWriter* writer) const {
+  writer->Put(eps_);
+  writer->Put(last_ts_);
+  std::vector<Boundary> flat(boundaries_.begin(), boundaries_.end());
+  writer->PutVector(flat);
+}
+
+bool ExponentialHistogram::Deserialize(ByteReader* reader) {
+  std::vector<Boundary> flat;
+  if (!reader->Get(&eps_) || !reader->Get(&last_ts_) ||
+      !reader->GetVector(&flat)) {
+    return false;
+  }
+  boundaries_.assign(flat.begin(), flat.end());
+  return true;
+}
+
+}  // namespace swsketch

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Supports --name=value and --name value forms plus boolean switches.
+#ifndef SWSKETCH_UTIL_FLAGS_H_
+#define SWSKETCH_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace swsketch {
+
+/// Parsed view of argv. Unrecognized non-flag arguments are collected in
+/// positional(). Parsing never fails; lookups provide typed defaults.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// True if --name was present at all (with or without a value).
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_UTIL_FLAGS_H_

@@ -1,0 +1,66 @@
+// CHECK-style invariant macros. Internal invariant violations abort with a
+// message; recoverable errors use Status (see status.h).
+#ifndef SWSKETCH_UTIL_LOGGING_H_
+#define SWSKETCH_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace swsketch {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& extra) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               extra.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string FormatPair(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs " << b << ")";
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace swsketch
+
+#define SWSKETCH_CHECK(cond)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::swsketch::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                      \
+  } while (0)
+
+#define SWSKETCH_CHECK_OP(op, a, b)                                        \
+  do {                                                                     \
+    auto _swa = (a);                                                       \
+    auto _swb = (b);                                                       \
+    if (!(_swa op _swb)) {                                                 \
+      ::swsketch::internal::CheckFailed(                                   \
+          __FILE__, __LINE__, #a " " #op " " #b,                           \
+          ::swsketch::internal::FormatPair(_swa, _swb));                   \
+    }                                                                      \
+  } while (0)
+
+#define SWSKETCH_CHECK_EQ(a, b) SWSKETCH_CHECK_OP(==, a, b)
+#define SWSKETCH_CHECK_NE(a, b) SWSKETCH_CHECK_OP(!=, a, b)
+#define SWSKETCH_CHECK_LT(a, b) SWSKETCH_CHECK_OP(<, a, b)
+#define SWSKETCH_CHECK_LE(a, b) SWSKETCH_CHECK_OP(<=, a, b)
+#define SWSKETCH_CHECK_GT(a, b) SWSKETCH_CHECK_OP(>, a, b)
+#define SWSKETCH_CHECK_GE(a, b) SWSKETCH_CHECK_OP(>=, a, b)
+
+// Debug-only check: compiled out in NDEBUG builds (hot loops).
+#ifdef NDEBUG
+#define SWSKETCH_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define SWSKETCH_DCHECK(cond) SWSKETCH_CHECK(cond)
+#endif
+
+#endif  // SWSKETCH_UTIL_LOGGING_H_

@@ -1,0 +1,142 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swsketch {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  have_cached_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformOpen01() {
+  double u;
+  do {
+    u = Uniform01();
+  } while (u == 0.0);
+  return u;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform01();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  SWSKETCH_CHECK_GT(n, 0u);
+  // Lemire-style rejection to avoid modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller.
+  const double u1 = UniformOpen01();
+  const double u2 = Uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Exponential(double lambda) {
+  SWSKETCH_CHECK_GT(lambda, 0.0);
+  return -std::log(UniformOpen01()) / lambda;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  SWSKETCH_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's multiplicative method.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= Uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for stream
+  // arrival simulation at large rates.
+  const double g = Gaussian(mean, std::sqrt(mean));
+  return g <= 0.0 ? 0 : static_cast<uint64_t>(g + 0.5);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SWSKETCH_CHECK_LE(k, n);
+  // Floyd's algorithm: k iterations, O(k) expected set operations.
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  std::vector<bool> in(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(j + 1));
+    if (in[t]) t = j;
+    in[t] = true;
+    picked.push_back(t);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+void Rng::Serialize(ByteWriter* writer) const {
+  for (uint64_t s : s_) writer->Put(s);
+  writer->Put<uint8_t>(have_cached_gaussian_ ? 1 : 0);
+  writer->Put(cached_gaussian_);
+}
+
+bool Rng::Deserialize(ByteReader* reader) {
+  for (auto& s : s_) {
+    if (!reader->Get(&s)) return false;
+  }
+  uint8_t cached = 0;
+  if (!reader->Get(&cached) || !reader->Get(&cached_gaussian_)) return false;
+  have_cached_gaussian_ = cached != 0;
+  return true;
+}
+
+}  // namespace swsketch

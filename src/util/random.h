@@ -1,0 +1,81 @@
+// Deterministic, seedable pseudo-random number generation used throughout
+// the library. We ship our own xoshiro256** implementation so results are
+// reproducible across standard libraries (std::mt19937 distributions are
+// not portable across implementations).
+#ifndef SWSKETCH_UTIL_RANDOM_H_
+#define SWSKETCH_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.h"
+
+namespace swsketch {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+
+  /// Uniform double in the open interval (0, 1); never returns 0.
+  double UniformOpen01();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling,
+  /// so the result is exactly uniform.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Gaussian();
+
+  /// Gaussian with the given mean / standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda);
+
+  /// Poisson-distributed count with the given mean (Knuth for small mean,
+  /// normal approximation above 64).
+  uint64_t Poisson(double mean);
+
+  /// Bernoulli trial with probability p.
+  bool Bernoulli(double p) { return Uniform01() < p; }
+
+  /// k distinct indices sampled uniformly from [0, n), in sorted order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Full generator state, for checkpoint/resume of randomized sketches.
+  void Serialize(ByteWriter* writer) const;
+  bool Deserialize(ByteReader* reader);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_UTIL_RANDOM_H_

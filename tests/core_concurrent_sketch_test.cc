@@ -1,0 +1,97 @@
+// Tests for the thread-safe sketch wrapper: one ingest thread, several
+// query threads, no crashes / data races (run under TSAN in CI setups),
+// and results identical to a single-threaded run.
+#include "core/concurrent_sketch.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+std::unique_ptr<SlidingWindowSketch> MakeInner() {
+  SketchConfig config;
+  config.algorithm = "lm-fd";
+  config.ell = 12;
+  auto r = MakeSlidingWindowSketch(8, WindowSpec::Sequence(200), config);
+  EXPECT_TRUE(r.ok());
+  return r.take();
+}
+
+TEST(ConcurrentSketchTest, DelegatesAndDecoratesName) {
+  ConcurrentSketch sketch(MakeInner());
+  EXPECT_EQ(sketch.dim(), 8u);
+  EXPECT_EQ(sketch.name(), "LM-FD+lock");
+  EXPECT_EQ(sketch.window().type(), WindowType::kSequence);
+}
+
+TEST(ConcurrentSketchTest, MatchesUnwrappedBehaviour) {
+  ConcurrentSketch wrapped(MakeInner());
+  auto plain = MakeInner();
+  Rng rng(1);
+  for (int i = 0; i < 800; ++i) {
+    std::vector<double> row(8);
+    for (auto& v : row) v = rng.Gaussian();
+    wrapped.Update(row, i);
+    plain->Update(row, i);
+  }
+  EXPECT_TRUE(wrapped.Query().ApproxEquals(plain->Query(), 0.0));
+  EXPECT_EQ(wrapped.RowsStored(), plain->RowsStored());
+}
+
+TEST(ConcurrentSketchTest, ConcurrentReadersWithWriter) {
+  ConcurrentSketch sketch(MakeInner());
+  std::atomic<bool> done{false};
+  std::atomic<size_t> queries{0};
+
+  std::thread writer([&] {
+    Rng rng(2);
+    for (int i = 0; i < 3000; ++i) {
+      std::vector<double> row(8);
+      for (auto& v : row) v = rng.Gaussian();
+      sketch.Update(row, i);
+    }
+    done = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      // do-while: at least one query even if the writer already finished
+      // (the writer is fast; under machine load readers may start late).
+      do {
+        Matrix b = sketch.Query();
+        EXPECT_LE(b.cols(), 8u);
+        (void)sketch.RowsStored();
+        ++queries;
+      } while (!done);
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_GT(sketch.Query().rows(), 0u);
+}
+
+TEST(ConcurrentSketchTest, SparseUpdatesForwarded) {
+  ConcurrentSketch sketch(MakeInner());
+  SparseVector v(8, {2}, {3.0});
+  sketch.UpdateSparse(v, 0.0);
+  EXPECT_GT(sketch.RowsStored(), 0u);
+}
+
+TEST(ConcurrentSketchTest, NullInnerDies) {
+  // Earlier tests in this binary spawn threads; fork-style death tests are
+  // flaky in that situation, so use the threadsafe style here.
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(ConcurrentSketch sketch(nullptr), "");
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,187 @@
+// Tests for the Dyadic Interval framework and DI-FD / DI-RP / DI-HASH
+// (Section 7).
+#include "core/dyadic_interval.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/cov_err.h"
+#include "stream/window_buffer.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+std::vector<double> UnitishRow(Rng* rng, size_t d) {
+  // Rows with squared norm in [1, ~2]: the R ~ 1 regime DI-FD targets.
+  std::vector<double> r(d);
+  for (auto& v : r) v = rng->Gaussian();
+  const double n = Norm(r);
+  for (auto& v : r) v = v / n * (1.0 + 0.4 * rng->Uniform01());
+  return r;
+}
+
+double WindowErr(SlidingWindowSketch* sketch, const WindowBuffer& buffer,
+                 size_t d) {
+  return CovarianceError(buffer.GramMatrix(d), buffer.FrobeniusNormSq(),
+                         sketch->Query());
+}
+
+TEST(DiFdTest, ErrorSmallOnNormalizedStream) {
+  const size_t d = 10;
+  const uint64_t w = 512;
+  DiFd sketch(d, DiFd::Options{.levels = 5,
+                               .window_size = w,
+                               .max_norm_sq = 2.0,
+                               .ell_top = 24});
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(1);
+  for (int i = 0; i < 3000; ++i) {
+    auto row = UnitishRow(&rng, d);
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+  }
+  EXPECT_LT(WindowErr(&sketch, buffer, d), 0.3);
+}
+
+TEST(DiFdTest, DyadicInvariantsHold) {
+  DiFd sketch(4, DiFd::Options{.levels = 4,
+                               .window_size = 256,
+                               .max_norm_sq = 2.0,
+                               .ell_top = 8});
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    sketch.Update(UnitishRow(&rng, 4), i);
+    if (i % 127 == 0) sketch.CheckInvariants();
+  }
+  sketch.CheckInvariants();
+}
+
+TEST(DiFdTest, QueryRowsNearTwiceEllTop) {
+  // Section 8 setup: the top level has ~ell/2 rows so the query output has
+  // roughly ell rows. With our parameterization (<= 2 blocks per level,
+  // sizes halving) the output is O(ell_top) with a small constant.
+  const size_t ell_top = 16;
+  DiFd sketch(6, DiFd::Options{.levels = 5,
+                               .window_size = 512,
+                               .max_norm_sq = 2.0,
+                               .ell_top = ell_top});
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) sketch.Update(UnitishRow(&rng, 6), i);
+  const size_t rows = sketch.Query().rows();
+  EXPECT_GT(rows, 0u);
+  EXPECT_LE(rows, 8 * ell_top);
+}
+
+TEST(DiFdTest, SpaceIsSublinearInWindow) {
+  const uint64_t w = 4096;
+  DiFd sketch(5, DiFd::Options{.levels = 6,
+                               .window_size = w,
+                               .max_norm_sq = 2.0,
+                               .ell_top = 16});
+  Rng rng(4);
+  size_t max_rows = 0;
+  for (int i = 0; i < 12000; ++i) {
+    sketch.Update(UnitishRow(&rng, 5), i);
+    max_rows = std::max(max_rows, sketch.RowsStored());
+  }
+  EXPECT_LT(max_rows, w / 2);
+}
+
+TEST(DiFdTest, ErrorDecreasesWithEllTop) {
+  const size_t d = 8;
+  const uint64_t w = 512;
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 3000; ++i) rows.push_back(UnitishRow(&rng, d));
+  auto run = [&](size_t ell_top) {
+    DiFd sketch(d, DiFd::Options{.levels = 5,
+                                 .window_size = w,
+                                 .max_norm_sq = 2.0,
+                                 .ell_top = ell_top});
+    WindowBuffer buffer(WindowSpec::Sequence(w));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      sketch.Update(rows[i], static_cast<double>(i));
+      buffer.Add(Row(rows[i], static_cast<double>(i)));
+    }
+    return WindowErr(&sketch, buffer, d);
+  };
+  EXPECT_LT(run(32), run(4) + 1e-12);
+}
+
+TEST(DiFdTest, EarlyQueriesBeforeFirstBlockClose) {
+  // Before any level-1 block closes, the query is served entirely by the
+  // level-1 active sketch and must still be accurate (raw FD error).
+  const size_t d = 4;
+  DiFd sketch(d, DiFd::Options{.levels = 4,
+                               .window_size = 1024,
+                               .max_norm_sq = 2.0,
+                               .ell_top = 16});
+  WindowBuffer buffer(WindowSpec::Sequence(1024));
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    auto row = UnitishRow(&rng, d);
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+  }
+  EXPECT_LT(WindowErr(&sketch, buffer, d), 0.5);
+}
+
+TEST(DiRpTest, ErrorReasonable) {
+  const size_t d = 6;
+  const uint64_t w = 512;
+  DiRp sketch(d, DiRp::Options{.levels = 4,
+                               .window_size = w,
+                               .max_norm_sq = 2.0,
+                               .ell_top = 128,
+                               .seed = 7});
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(8);
+  for (int i = 0; i < 2500; ++i) {
+    auto row = UnitishRow(&rng, d);
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+  }
+  EXPECT_LT(WindowErr(&sketch, buffer, d), 0.6);
+  EXPECT_EQ(sketch.name(), "DI-RP");
+}
+
+TEST(DiHashTest, ErrorReasonable) {
+  const size_t d = 6;
+  const uint64_t w = 512;
+  DiHash sketch(d, DiHash::Options{.levels = 4,
+                                   .window_size = w,
+                                   .max_norm_sq = 2.0,
+                                   .ell_top = 256,
+                                   .seed = 9});
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(10);
+  for (int i = 0; i < 2500; ++i) {
+    auto row = UnitishRow(&rng, d);
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+  }
+  EXPECT_LT(WindowErr(&sketch, buffer, d), 0.6);
+  EXPECT_EQ(sketch.name(), "DI-HASH");
+}
+
+TEST(DyadicIntervalTest, BlocksExpire) {
+  DiFd sketch(3, DiFd::Options{.levels = 4,
+                               .window_size = 128,
+                               .max_norm_sq = 2.0,
+                               .ell_top = 8});
+  Rng rng(11);
+  for (int i = 0; i < 600; ++i) sketch.Update(UnitishRow(&rng, 3), i);
+  const size_t mid = sketch.NumBlocks();
+  for (int i = 600; i < 1200; ++i) sketch.Update(UnitishRow(&rng, 3), i);
+  EXPECT_LT(sketch.NumBlocks(), mid + 16);  // Bounded, not linear growth.
+}
+
+TEST(DyadicIntervalTest, SequenceWindowOnlyByConstruction) {
+  DiFd sketch(3, DiFd::Options{.levels = 3, .window_size = 64});
+  EXPECT_EQ(sketch.window().type(), WindowType::kSequence);
+}
+
+}  // namespace
+}  // namespace swsketch

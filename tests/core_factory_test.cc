@@ -1,0 +1,89 @@
+// Tests for the name-based sketch factory.
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+TEST(FactoryTest, BuildsEveryKnownAlgorithmOnSequenceWindows) {
+  for (const std::string& algo : KnownAlgorithms()) {
+    SketchConfig config;
+    config.algorithm = algo;
+    config.ell = 8;
+    auto r = MakeSlidingWindowSketch(6, WindowSpec::Sequence(100), config);
+    ASSERT_TRUE(r.ok()) << algo << ": " << r.status().ToString();
+    EXPECT_EQ((*r)->dim(), 6u) << algo;
+  }
+}
+
+TEST(FactoryTest, DiRequiresSequenceWindow) {
+  for (const char* algo : {"di-fd", "di-rp", "di-hash"}) {
+    SketchConfig config;
+    config.algorithm = algo;
+    auto r = MakeSlidingWindowSketch(4, WindowSpec::Time(5.0), config);
+    EXPECT_FALSE(r.ok()) << algo;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FactoryTest, TimeWindowAlgorithmsBuild) {
+  for (const char* algo :
+       {"swr", "swor", "swor-all", "lm-fd", "lm-hash", "exact", "best"}) {
+    SketchConfig config;
+    config.algorithm = algo;
+    auto r = MakeSlidingWindowSketch(4, WindowSpec::Time(5.0), config);
+    ASSERT_TRUE(r.ok()) << algo;
+  }
+}
+
+TEST(FactoryTest, UnknownAlgorithmRejected) {
+  SketchConfig config;
+  config.algorithm = "magic";
+  auto r = MakeSlidingWindowSketch(4, WindowSpec::Sequence(10), config);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FactoryTest, InvalidDimOrEllRejected) {
+  SketchConfig config;
+  auto r0 = MakeSlidingWindowSketch(0, WindowSpec::Sequence(10), config);
+  EXPECT_FALSE(r0.ok());
+  config.ell = 0;
+  auto r1 = MakeSlidingWindowSketch(4, WindowSpec::Sequence(10), config);
+  EXPECT_FALSE(r1.ok());
+}
+
+TEST(FactoryTest, BuiltSketchesAreFunctional) {
+  Rng rng(1);
+  for (const std::string& algo : KnownAlgorithms()) {
+    SketchConfig config;
+    config.algorithm = algo;
+    config.ell = 8;
+    config.max_norm_sq = 16.0;
+    auto r = MakeSlidingWindowSketch(5, WindowSpec::Sequence(64), config);
+    ASSERT_TRUE(r.ok()) << algo;
+    auto& sketch = *r;
+    for (int i = 0; i < 300; ++i) {
+      std::vector<double> row(5);
+      for (auto& v : row) v = rng.Gaussian();
+      sketch->Update(row, i);
+    }
+    Matrix b = sketch->Query();
+    EXPECT_EQ(b.cols(), 5u) << algo;
+    EXPECT_GT(sketch->RowsStored(), 0u) << algo;
+    EXPECT_FALSE(sketch->name().empty()) << algo;
+  }
+}
+
+TEST(FactoryTest, SworAllNameDistinct) {
+  SketchConfig config;
+  config.algorithm = "swor-all";
+  auto r = MakeSlidingWindowSketch(3, WindowSpec::Sequence(10), config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->name(), "SWOR-ALL");
+}
+
+}  // namespace
+}  // namespace swsketch

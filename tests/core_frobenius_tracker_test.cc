@@ -1,0 +1,68 @@
+// Tests for the sliding-window ||A||_F^2 tracker used by the samplers.
+#include "core/frobenius_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+TEST(FrobeniusTrackerTest, ExactModeIsExact) {
+  FrobeniusTracker t(FrobeniusTracker::Mode::kExact, 0.1);
+  for (int i = 0; i < 100; ++i) t.Add(2.0, static_cast<double>(i));
+  // Window [40, 99]: 60 entries of 2.0.
+  EXPECT_DOUBLE_EQ(t.Estimate(40.0), 120.0);
+  t.EvictBefore(40.0);
+  EXPECT_DOUBLE_EQ(t.Estimate(40.0), 120.0);
+  EXPECT_EQ(t.AuxiliarySize(), 60u);
+}
+
+TEST(FrobeniusTrackerTest, ExactModeAfterEvictOlderQueriesAreGone) {
+  FrobeniusTracker t(FrobeniusTracker::Mode::kExact, 0.1);
+  for (int i = 0; i < 10; ++i) t.Add(1.0, static_cast<double>(i));
+  t.EvictBefore(5.0);
+  EXPECT_DOUBLE_EQ(t.Estimate(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.Estimate(8.0), 2.0);
+}
+
+TEST(FrobeniusTrackerTest, EhModeWithinEps) {
+  const double eps = 0.1;
+  FrobeniusTracker t(FrobeniusTracker::Mode::kExponentialHistogram, eps);
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = 1.0 + 9.0 * rng.Uniform01();
+    t.Add(v, static_cast<double>(i));
+    values.push_back(v);
+  }
+  for (int start = 0; start < 3000; start += 311) {
+    double exact = 0.0;
+    for (int i = start; i < 3000; ++i) exact += values[i];
+    const double est = t.Estimate(start);
+    EXPECT_LE(est, exact * (1 + 1e-9));
+    EXPECT_GE(est, exact * (1 - eps) - 1e-9);
+  }
+}
+
+TEST(FrobeniusTrackerTest, EhModeUsesFarLessSpaceThanExact) {
+  FrobeniusTracker eh(FrobeniusTracker::Mode::kExponentialHistogram, 0.1);
+  FrobeniusTracker exact(FrobeniusTracker::Mode::kExact, 0.1);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = 1.0 + rng.Uniform01();
+    eh.Add(v, static_cast<double>(i));
+    exact.Add(v, static_cast<double>(i));
+  }
+  EXPECT_LT(eh.AuxiliarySize() * 20, exact.AuxiliarySize());
+}
+
+TEST(FrobeniusTrackerTest, EmptyEstimateZero) {
+  FrobeniusTracker t(FrobeniusTracker::Mode::kExponentialHistogram, 0.1);
+  EXPECT_EQ(t.Estimate(0.0), 0.0);
+  FrobeniusTracker e(FrobeniusTracker::Mode::kExact, 0.1);
+  EXPECT_EQ(e.Estimate(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,180 @@
+// Tests for the Logarithmic Method framework and LM-FD / LM-HASH
+// (Section 6).
+#include "core/logarithmic_method.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/cov_err.h"
+#include "stream/window_buffer.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+std::vector<double> RandomRow(Rng* rng, size_t d, double scale = 1.0) {
+  std::vector<double> r(d);
+  for (auto& v : r) v = scale * rng->Gaussian();
+  return r;
+}
+
+double WindowErr(SlidingWindowSketch* sketch, const WindowBuffer& buffer,
+                 size_t d) {
+  return CovarianceError(buffer.GramMatrix(d), buffer.FrobeniusNormSq(),
+                         sketch->Query());
+}
+
+TEST(LmFdTest, ErrorSmallOnStationaryStream) {
+  const size_t d = 10, w = 500;
+  LmFd sketch(d, WindowSpec::Sequence(w),
+              LmFd::Options{.ell = 24, .blocks_per_level = 8});
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(1);
+  for (int i = 0; i < 3000; ++i) {
+    auto row = RandomRow(&rng, d);
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+  }
+  EXPECT_LT(WindowErr(&sketch, buffer, d), 0.30);
+}
+
+TEST(LmFdTest, ErrorDecreasesWithBudget) {
+  const size_t d = 8, w = 400;
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 2500; ++i) rows.push_back(RandomRow(&rng, d));
+
+  auto run = [&](size_t ell, size_t b) {
+    LmFd sketch(d, WindowSpec::Sequence(w),
+                LmFd::Options{.ell = ell, .blocks_per_level = b});
+    WindowBuffer buffer(WindowSpec::Sequence(w));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      sketch.Update(rows[i], static_cast<double>(i));
+      buffer.Add(Row(rows[i], static_cast<double>(i)));
+    }
+    return WindowErr(&sketch, buffer, d);
+  };
+  const double coarse = run(8, 4);
+  const double fine = run(48, 16);
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(LmFdTest, SpaceIsSublinearInWindow) {
+  const size_t d = 6, w = 4000;
+  LmFd sketch(d, WindowSpec::Sequence(w),
+              LmFd::Options{.ell = 16, .blocks_per_level = 6});
+  Rng rng(3);
+  size_t max_rows = 0;
+  for (int i = 0; i < 12000; ++i) {
+    sketch.Update(RandomRow(&rng, d), i);
+    max_rows = std::max(max_rows, sketch.RowsStored());
+  }
+  // LM-FD space ~ ell * b * L << window size.
+  EXPECT_LT(max_rows, w / 2);
+  EXPECT_GT(sketch.NumLevels(), 1u);
+}
+
+TEST(LmFdTest, InvariantsHoldThroughout) {
+  const size_t d = 5;
+  LmFd sketch(d, WindowSpec::Sequence(600),
+              LmFd::Options{.ell = 12, .blocks_per_level = 4});
+  Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    sketch.Update(RandomRow(&rng, d), i);
+    if (i % 97 == 0) sketch.CheckInvariants();
+  }
+  sketch.CheckInvariants();
+}
+
+TEST(LmFdTest, TimeWindowWithGaps) {
+  const size_t d = 4;
+  LmFd sketch(d, WindowSpec::Time(50.0),
+              LmFd::Options{.ell = 12, .blocks_per_level = 4});
+  WindowBuffer buffer(WindowSpec::Time(50.0));
+  Rng rng(5);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.Exponential(2.0);
+    auto row = RandomRow(&rng, d);
+    sketch.Update(row, t);
+    buffer.Add(Row(row, t));
+  }
+  EXPECT_LT(WindowErr(&sketch, buffer, d), 0.35);
+  // Long silence: window empties.
+  sketch.AdvanceTo(t + 1000.0);
+  EXPECT_EQ(sketch.Query().rows(), 0u);
+}
+
+TEST(LmFdTest, OversizedRowHandled) {
+  // A row with squared norm far above the block capacity must flow through
+  // the unmergeable-block path without breaking invariants or accuracy.
+  const size_t d = 4, w = 200;
+  LmFd sketch(d, WindowSpec::Sequence(w),
+              LmFd::Options{.ell = 8, .blocks_per_level = 4});
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(6);
+  for (int i = 0; i < 1500; ++i) {
+    std::vector<double> row = (i % 301 == 0)
+                                  ? std::vector<double>{100.0, 0, 0, 0}
+                                  : RandomRow(&rng, d);
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+    if (i % 211 == 0) sketch.CheckInvariants();
+  }
+  sketch.CheckInvariants();
+  // The huge rows dominate the spectrum; the sketch must capture them.
+  EXPECT_LT(WindowErr(&sketch, buffer, d), 0.30);
+}
+
+TEST(LmFdTest, ActiveBlockFastPathStoresRawRows) {
+  // Fewer rows than one block: stored rows == arrived rows (raw), and the
+  // query must be exact.
+  const size_t d = 5;
+  LmFd sketch(d, WindowSpec::Sequence(100),
+              LmFd::Options{.ell = 32, .blocks_per_level = 4});
+  WindowBuffer buffer(WindowSpec::Sequence(100));
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    auto row = RandomRow(&rng, d);
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+  }
+  EXPECT_EQ(sketch.RowsStored(), 5u);
+  EXPECT_NEAR(WindowErr(&sketch, buffer, d), 0.0, 1e-9);
+}
+
+TEST(LmHashTest, ErrorReasonable) {
+  const size_t d = 6, w = 500;
+  LmHash sketch(d, WindowSpec::Sequence(w),
+                LmHash::Options{.ell = 256, .blocks_per_level = 8, .seed = 5});
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(8);
+  for (int i = 0; i < 2500; ++i) {
+    auto row = RandomRow(&rng, d);
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+  }
+  EXPECT_LT(WindowErr(&sketch, buffer, d), 0.4);
+}
+
+TEST(LmHashTest, NameAndWindow) {
+  LmHash sketch(4, WindowSpec::Time(9.0), LmHash::Options{});
+  EXPECT_EQ(sketch.name(), "LM-HASH");
+  EXPECT_EQ(sketch.window().type(), WindowType::kTime);
+}
+
+TEST(LogarithmicMethodTest, ExpiredBlocksAreDropped) {
+  const size_t d = 3;
+  LmFd sketch(d, WindowSpec::Sequence(100),
+              LmFd::Options{.ell = 8, .blocks_per_level = 4});
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) sketch.Update(RandomRow(&rng, d), i);
+  const size_t blocks_mid = sketch.NumBlocks();
+  for (int i = 1000; i < 2000; ++i) sketch.Update(RandomRow(&rng, d), i);
+  // Steady state: block count stays bounded rather than growing linearly.
+  EXPECT_LT(sketch.NumBlocks(), blocks_mid + 20);
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,137 @@
+// Tests for sliding-window PCA and the PCA change detector (the paper's
+// Section 1 application).
+#include "core/window_pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_window.h"
+#include "core/factory.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+std::unique_ptr<SlidingWindowSketch> MakeLmFd(size_t d, uint64_t w,
+                                              size_t ell) {
+  SketchConfig config;
+  config.algorithm = "lm-fd";
+  config.ell = ell;
+  auto r = MakeSlidingWindowSketch(d, WindowSpec::Sequence(w), config);
+  EXPECT_TRUE(r.ok());
+  return r.take();
+}
+
+// Rows concentrated on a k-dim axis-aligned subspace plus noise.
+std::vector<double> SubspaceRow(Rng* rng, size_t d, size_t first_axis,
+                                size_t k) {
+  std::vector<double> row(d);
+  for (auto& v : row) v = 0.05 * rng->Gaussian();
+  for (size_t c = 0; c < k; ++c) row[(first_axis + c) % d] += 3.0 * rng->Gaussian();
+  return row;
+}
+
+TEST(WindowPcaTest, RecoversDominantSubspace) {
+  const size_t d = 20, k = 3;
+  WindowPca pca(MakeLmFd(d, 500, 24));
+  Rng rng(1);
+  for (int i = 0; i < 1500; ++i) pca.Update(SubspaceRow(&rng, d, 0, k), i);
+  PcaResult r = pca.Principal(k);
+  ASSERT_EQ(r.components.rows(), k);
+  EXPECT_EQ(r.components.cols(), d);
+  // The recovered basis captures rows from the true subspace.
+  double energy = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    energy += WindowPca::CapturedEnergy(r.components,
+                                        SubspaceRow(&rng, d, 0, k));
+  }
+  EXPECT_GT(energy / 50.0, 0.9);
+  // Eigenvalues descending, positive for the signal directions.
+  EXPECT_GE(r.eigenvalues[0], r.eigenvalues[k - 1]);
+  EXPECT_GT(r.eigenvalues[k - 1], 0.0);
+}
+
+TEST(WindowPcaTest, MatchesExactWindowPca) {
+  // With an ExactWindow backend the PCA is the true window PCA.
+  const size_t d = 10;
+  auto exact = std::make_unique<ExactWindow>(d, WindowSpec::Sequence(100));
+  WindowPca pca(std::move(exact));
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) pca.Update(SubspaceRow(&rng, d, 2, 2), i);
+  PcaResult r = pca.Principal(2);
+  // Dominant directions are axes 2 and 3.
+  for (size_t c = 0; c < 2; ++c) {
+    double on_axes = r.components(c, 2) * r.components(c, 2) +
+                     r.components(c, 3) * r.components(c, 3);
+    EXPECT_GT(on_axes, 0.95);
+  }
+}
+
+TEST(WindowPcaTest, KClampedToDim) {
+  WindowPca pca(MakeLmFd(6, 50, 8));
+  std::vector<double> row(6, 1.0);
+  pca.Update(row, 0);
+  PcaResult r = pca.Principal(100);
+  EXPECT_EQ(r.components.rows(), 6u);
+}
+
+TEST(WindowPcaTest, SubspaceAffinityBounds) {
+  Matrix id2{{1, 0, 0, 0}, {0, 1, 0, 0}};
+  Matrix other{{0, 0, 1, 0}, {0, 0, 0, 1}};
+  EXPECT_NEAR(WindowPca::SubspaceAffinity(id2, id2), 1.0, 1e-12);
+  EXPECT_NEAR(WindowPca::SubspaceAffinity(id2, other), 0.0, 1e-12);
+}
+
+TEST(WindowPcaTest, CapturedEnergyEdgeCases) {
+  Matrix basis{{1, 0, 0}};
+  std::vector<double> zero(3, 0.0), aligned{2, 0, 0}, orth{0, 3, 0};
+  EXPECT_EQ(WindowPca::CapturedEnergy(basis, zero), 0.0);
+  EXPECT_NEAR(WindowPca::CapturedEnergy(basis, aligned), 1.0, 1e-12);
+  EXPECT_NEAR(WindowPca::CapturedEnergy(basis, orth), 0.0, 1e-12);
+}
+
+TEST(PcaChangeDetectorTest, FiresOnSubspaceRotation) {
+  const size_t d = 24, window = 400;
+  PcaChangeDetector detector(MakeLmFd(d, window, 16),
+                             PcaChangeDetector::Options{.k = 3,
+                                                        .threshold = 0.5});
+  Rng rng(3);
+  // Phase 1: subspace at axes 0..2.
+  for (int i = 0; i < 800; ++i) detector.Update(SubspaceRow(&rng, d, 0, 3), i);
+  detector.FreezeReference();
+  ASSERT_TRUE(detector.has_reference());
+  EXPECT_GT(detector.Score(), 0.9);
+  EXPECT_FALSE(detector.Alarm());
+  // Phase 2: rotated subspace at axes 12..14, for > one full window.
+  for (int i = 800; i < 800 + 2 * static_cast<int>(window); ++i) {
+    detector.Update(SubspaceRow(&rng, d, 12, 3), i);
+  }
+  EXPECT_LT(detector.Score(), 0.2);
+  EXPECT_TRUE(detector.Alarm());
+}
+
+TEST(PcaChangeDetectorTest, StableUnderStationaryStream) {
+  const size_t d = 16;
+  PcaChangeDetector detector(MakeLmFd(d, 300, 16),
+                             PcaChangeDetector::Options{.k = 2,
+                                                        .threshold = 0.5});
+  Rng rng(4);
+  for (int i = 0; i < 600; ++i) detector.Update(SubspaceRow(&rng, d, 4, 2), i);
+  detector.FreezeReference();
+  for (int i = 600; i < 1500; ++i) {
+    detector.Update(SubspaceRow(&rng, d, 4, 2), i);
+  }
+  EXPECT_FALSE(detector.Alarm());
+}
+
+TEST(PcaChangeDetectorTest, ScoreWithoutReferenceDies) {
+  PcaChangeDetector detector(MakeLmFd(4, 10, 4),
+                             PcaChangeDetector::Options{});
+  std::vector<double> row(4, 1.0);
+  detector.Update(row, 0);
+  EXPECT_DEATH(detector.Score(), "");
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,129 @@
+// Tests for CSV row streams and matrix CSV output.
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace swsketch {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string WriteTempFile(const std::string& contents) {
+    const std::string path = ::testing::TempDir() + "/swsketch_csv_" +
+                             std::to_string(counter_++) + ".csv";
+    std::ofstream f(path);
+    f << contents;
+    f.close();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+  int counter_ = 0;
+};
+
+TEST_F(CsvTest, ReadsRowsWithIndexTimestamps) {
+  auto path = WriteTempFile("1,2,3\n4,5,6\n7,8,9\n");
+  auto stream = CsvRowStream::Open(path);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ((*stream)->dim(), 3u);
+  auto r0 = (*stream)->Next();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->values, (std::vector<double>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(r0->ts, 0.0);
+  auto r1 = (*stream)->Next();
+  EXPECT_DOUBLE_EQ(r1->ts, 1.0);
+  auto r2 = (*stream)->Next();
+  EXPECT_DOUBLE_EQ(r2->values[2], 9.0);
+  EXPECT_FALSE((*stream)->Next().has_value());
+}
+
+TEST_F(CsvTest, TimestampColumnMode) {
+  auto path = WriteTempFile("0.5,1,2\n1.5,3,4\n");
+  CsvRowStream::Options options;
+  options.first_column_is_timestamp = true;
+  auto stream = CsvRowStream::Open(path, options);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ((*stream)->dim(), 2u);
+  auto r0 = (*stream)->Next();
+  EXPECT_DOUBLE_EQ(r0->ts, 0.5);
+  EXPECT_EQ(r0->values, (std::vector<double>{1, 2}));
+}
+
+TEST_F(CsvTest, HeaderSkipped) {
+  auto path = WriteTempFile("colA,colB\n1,2\n3,4\n");
+  CsvRowStream::Options options;
+  options.skip_header = true;
+  auto stream = CsvRowStream::Open(path, options);
+  ASSERT_TRUE(stream.ok());
+  auto r0 = (*stream)->Next();
+  EXPECT_EQ(r0->values, (std::vector<double>{1, 2}));
+}
+
+TEST_F(CsvTest, MissingFileReported) {
+  auto stream = CsvRowStream::Open("/nonexistent/file.csv");
+  EXPECT_FALSE(stream.ok());
+  EXPECT_EQ(stream.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, EmptyFileReported) {
+  auto path = WriteTempFile("");
+  auto stream = CsvRowStream::Open(path);
+  EXPECT_FALSE(stream.ok());
+}
+
+TEST_F(CsvTest, MalformedFirstLineReported) {
+  auto path = WriteTempFile("not,numbers,here\n");
+  auto stream = CsvRowStream::Open(path);
+  EXPECT_FALSE(stream.ok());
+}
+
+TEST_F(CsvTest, MalformedLaterLineEndsStream) {
+  auto path = WriteTempFile("1,2\n3,4\nbroken,line\n5,6\n");
+  auto stream = CsvRowStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE((*stream)->Next().has_value());
+  EXPECT_TRUE((*stream)->Next().has_value());
+  EXPECT_FALSE((*stream)->Next().has_value());
+}
+
+TEST_F(CsvTest, DimensionMismatchEndsStream) {
+  auto path = WriteTempFile("1,2\n3,4,5\n");
+  auto stream = CsvRowStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE((*stream)->Next().has_value());
+  EXPECT_FALSE((*stream)->Next().has_value());
+}
+
+TEST_F(CsvTest, OutOfOrderTimestampsEndStream) {
+  auto path = WriteTempFile("2.0,1\n1.0,2\n");
+  CsvRowStream::Options options;
+  options.first_column_is_timestamp = true;
+  auto stream = CsvRowStream::Open(path, options);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE((*stream)->Next().has_value());
+  EXPECT_FALSE((*stream)->Next().has_value());
+}
+
+TEST_F(CsvTest, WriteAndReadBackMatrix) {
+  Matrix m{{1.5, -2.25}, {0.0, 4.0}};
+  const std::string path = ::testing::TempDir() + "/swsketch_out.csv";
+  ASSERT_TRUE(WriteMatrixCsv(m, path).ok());
+  auto stream = CsvRowStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  auto r0 = (*stream)->Next();
+  EXPECT_EQ(r0->values, (std::vector<double>{1.5, -2.25}));
+  auto r1 = (*stream)->Next();
+  EXPECT_EQ(r1->values, (std::vector<double>{0.0, 4.0}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swsketch

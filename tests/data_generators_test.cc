@@ -1,0 +1,202 @@
+// Tests for the dataset generators (Tables 2 / 3 workloads).
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/bibd.h"
+#include "data/pamap.h"
+#include "data/rail.h"
+#include "data/synthetic.h"
+#include "data/wiki.h"
+
+namespace swsketch {
+namespace {
+
+TEST(SyntheticStreamTest, ShapeAndCount) {
+  SyntheticStream s(SyntheticStream::Options{.rows = 100, .dim = 20,
+                                             .signal_dim = 5});
+  size_t count = 0;
+  while (auto row = s.Next()) {
+    EXPECT_EQ(row->dim(), 20u);
+    EXPECT_DOUBLE_EQ(row->ts, static_cast<double>(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(SyntheticStreamTest, Deterministic) {
+  SyntheticStream a(SyntheticStream::Options{.rows = 10, .dim = 8,
+                                             .signal_dim = 3, .seed = 5});
+  SyntheticStream b(SyntheticStream::Options{.rows = 10, .dim = 8,
+                                             .signal_dim = 3, .seed = 5});
+  while (auto ra = a.Next()) {
+    auto rb = b.Next();
+    ASSERT_TRUE(rb.has_value());
+    EXPECT_EQ(ra->values, rb->values);
+  }
+}
+
+TEST(SyntheticStreamTest, SignalDominatesNoise) {
+  // With zeta = 10 the signal component carries most of the energy:
+  // average squared norm should be near signal_dim / 3 + d / zeta^2.
+  SyntheticStream s(SyntheticStream::Options{
+      .rows = 2000, .dim = 50, .signal_dim = 12, .zeta = 10.0});
+  double sum = 0.0;
+  size_t n = 0;
+  while (auto row = s.Next()) {
+    sum += row->NormSq();
+    ++n;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double expected = 12.0 / 3.0 + 50.0 / 100.0;
+  EXPECT_NEAR(mean, expected, expected * 0.2);
+}
+
+TEST(SyntheticStreamTest, ModerateNormRatio) {
+  SyntheticStream s(SyntheticStream::Options{.rows = 5000, .dim = 40,
+                                             .signal_dim = 10});
+  double lo = 1e300, hi = 0.0;
+  while (auto row = s.Next()) {
+    const double w = row->NormSq();
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_LT(hi / lo, 500.0);  // Table 2: R ~ 8 (we allow sampling slack).
+}
+
+TEST(BibdStreamTest, ConstantRowWeight) {
+  BibdStream s(BibdStream::Options{.rows = 200, .dim = 50, .row_weight = 7});
+  while (auto row = s.Next()) {
+    size_t ones = 0;
+    for (double v : row->values) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      ones += v == 1.0;
+    }
+    EXPECT_EQ(ones, 7u);
+    EXPECT_DOUBLE_EQ(row->NormSq(), 7.0);  // R = 1 regime.
+  }
+}
+
+TEST(BibdStreamTest, InfoMatchesBibd228) {
+  BibdStream s(BibdStream::Options{});
+  DatasetInfo info = s.info();
+  EXPECT_EQ(info.dim, 231u);
+  EXPECT_DOUBLE_EQ(info.norm_ratio_hint, 1.0);
+  EXPECT_DOUBLE_EQ(info.max_norm_sq, 28.0);
+}
+
+TEST(PamapStreamTest, HeavySkewInNorms) {
+  PamapStream s(PamapStream::Options{.rows = 60000, .window = 5000});
+  double lo = 1e300, hi = 0.0;
+  while (auto row = s.Next()) {
+    const double w = row->NormSq();
+    EXPECT_GE(w, 1.0 - 1e-9);  // Lower bound enforced.
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GT(hi / lo, 1e3);  // Table 2: R ~ 9e4; require heavy skew.
+}
+
+TEST(PamapStreamTest, SkewedWindowHasFewHugeRows) {
+  PamapStream s(PamapStream::Options{.rows = 40000, .window = 4000});
+  const size_t begin = s.skewed_window_begin();
+  ASSERT_GT(begin, 0u);
+  size_t idx = 0, huge = 0, tiny = 0;
+  while (auto row = s.Next()) {
+    if (idx >= begin && idx < begin + 4000) {
+      const double w = row->NormSq();
+      if (w > 1e4) {
+        ++huge;
+      } else if (w < 100.0) {
+        ++tiny;
+      }
+    }
+    ++idx;
+  }
+  EXPECT_GT(huge, 5u);
+  EXPECT_LT(huge, 200u);
+  EXPECT_GT(tiny, 3000u);
+}
+
+TEST(WikiStreamTest, AcceleratingArrivals) {
+  WikiStream s(WikiStream::Options{.rows = 10000, .dim = 100, .nnz_min = 10,
+                                   .nnz_max = 40, .span = 1000.0});
+  std::vector<double> ts;
+  while (auto row = s.Next()) ts.push_back(row->ts);
+  ASSERT_EQ(ts.size(), 10000u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  // Rows in the first half of TIME << rows in the second half.
+  const double mid = 500.0;
+  const size_t early = std::count_if(ts.begin(), ts.end(),
+                                     [&](double t) { return t < mid; });
+  EXPECT_LT(early, ts.size() / 4);
+}
+
+TEST(WikiStreamTest, SparseNonNegativeRows) {
+  WikiStream s(WikiStream::Options{.rows = 50, .dim = 200, .nnz_min = 10,
+                                   .nnz_max = 30});
+  while (auto row = s.Next()) {
+    size_t nnz = 0;
+    for (double v : row->values) {
+      EXPECT_GE(v, 0.0);
+      nnz += v != 0.0;
+    }
+    EXPECT_GE(nnz, 10u);
+    EXPECT_LE(nnz, 30u);
+  }
+}
+
+TEST(RailStreamTest, PoissonArrivalsAndIntegerCosts) {
+  RailStream s(RailStream::Options{.rows = 5000, .dim = 100,
+                                   .mean_interarrival = 0.5});
+  double prev = 0.0, total_gap = 0.0;
+  size_t n = 0;
+  while (auto row = s.Next()) {
+    EXPECT_GT(row->ts, prev);
+    total_gap += row->ts - prev;
+    prev = row->ts;
+    for (double v : row->values) {
+      EXPECT_TRUE(v == 0.0 || v == std::floor(v));
+      EXPECT_GE(v, 0.0);
+    }
+    ++n;
+  }
+  EXPECT_NEAR(total_gap / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(RailStreamTest, ModestNormRatio) {
+  RailStream s(RailStream::Options{.rows = 20000, .dim = 100});
+  double lo = 1e300, hi = 0.0;
+  while (auto row = s.Next()) {
+    const double w = row->NormSq();
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_LT(hi / lo, 60.0);  // Table 3: R ~ 12.
+  EXPECT_GE(lo, 1.0);
+}
+
+TEST(AllStreams, InfoIsConsistent) {
+  SyntheticStream syn(SyntheticStream::Options{.rows = 10, .dim = 20,
+                                               .signal_dim = 4});
+  BibdStream bibd(BibdStream::Options{.rows = 10});
+  PamapStream pamap(PamapStream::Options{.rows = 10});
+  WikiStream wiki(WikiStream::Options{.rows = 10});
+  RailStream rail(RailStream::Options{.rows = 10});
+  for (DatasetStream* s : std::vector<DatasetStream*>{
+           &syn, &bibd, &pamap, &wiki, &rail}) {
+    DatasetInfo info = s->info();
+    EXPECT_EQ(info.dim, s->dim());
+    EXPECT_EQ(info.name, s->name());
+    EXPECT_GT(info.max_norm_sq, 0.0);
+  }
+  // Window types match Tables 2 / 3.
+  EXPECT_EQ(syn.info().window.type(), WindowType::kSequence);
+  EXPECT_EQ(wiki.info().window.type(), WindowType::kTime);
+  EXPECT_EQ(rail.info().window.type(), WindowType::kTime);
+}
+
+}  // namespace
+}  // namespace swsketch

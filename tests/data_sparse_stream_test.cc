@@ -1,0 +1,71 @@
+// Tests for the sparse-native generator paths: NextSparse must produce
+// the same stream as Next (same RNG consumption), and the base-class
+// fallback must densify correctly.
+#include <gtest/gtest.h>
+
+#include "data/rail.h"
+#include "data/synthetic.h"
+#include "data/wiki.h"
+
+namespace swsketch {
+namespace {
+
+TEST(SparseStreamTest, WikiSparseMatchesDense) {
+  WikiStream dense(WikiStream::Options{.rows = 300, .dim = 120, .nnz_min = 10,
+                                       .nnz_max = 30, .seed = 3});
+  WikiStream sparse(WikiStream::Options{.rows = 300, .dim = 120, .nnz_min = 10,
+                                        .nnz_max = 30, .seed = 3});
+  while (true) {
+    auto d = dense.Next();
+    auto s = sparse.NextSparse();
+    ASSERT_EQ(d.has_value(), s.has_value());
+    if (!d.has_value()) break;
+    EXPECT_EQ(d->values, s->first.ToDense());
+    EXPECT_DOUBLE_EQ(d->ts, s->second);
+  }
+}
+
+TEST(SparseStreamTest, RailSparseMatchesDense) {
+  RailStream dense(RailStream::Options{.rows = 300, .dim = 90, .seed = 4});
+  RailStream sparse(RailStream::Options{.rows = 300, .dim = 90, .seed = 4});
+  while (true) {
+    auto d = dense.Next();
+    auto s = sparse.NextSparse();
+    ASSERT_EQ(d.has_value(), s.has_value());
+    if (!d.has_value()) break;
+    EXPECT_EQ(d->values, s->first.ToDense());
+    EXPECT_DOUBLE_EQ(d->ts, s->second);
+  }
+}
+
+TEST(SparseStreamTest, RailSparseNnzInRange) {
+  RailStream s(RailStream::Options{.rows = 200, .dim = 80, .nnz_min = 4,
+                                   .nnz_max = 14});
+  while (auto row = s.NextSparse()) {
+    EXPECT_GE(row->first.nnz(), 4u);
+    EXPECT_LE(row->first.nnz(), 14u);
+    EXPECT_EQ(row->first.dim(), 80u);
+  }
+}
+
+TEST(SparseStreamTest, DefaultFallbackDensifies) {
+  // SyntheticStream does not override NextSparse: the base-class fallback
+  // must gather nonzeros from Next().
+  SyntheticStream a(SyntheticStream::Options{.rows = 5, .dim = 12,
+                                             .signal_dim = 3, .seed = 7});
+  SyntheticStream b(SyntheticStream::Options{.rows = 5, .dim = 12,
+                                             .signal_dim = 3, .seed = 7});
+  while (true) {
+    auto d = a.Next();
+    auto s = b.NextSparse();
+    ASSERT_EQ(d.has_value(), s.has_value());
+    if (!d.has_value()) break;
+    const auto roundtrip = s->first.ToDense();
+    for (size_t j = 0; j < 12; ++j) {
+      EXPECT_DOUBLE_EQ(d->values[j], roundtrip[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,166 @@
+// Tests for the distributed sketching extension (Section 9 future work):
+// mergeable FD across workers, stacked window queries, and max-stable
+// distributed SWR.
+#include "distributed/distributed.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "eval/cov_err.h"
+#include "stream/window_buffer.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+std::vector<double> RandomRow(Rng* rng, size_t d) {
+  std::vector<double> r(d);
+  for (auto& v : r) v = rng->Gaussian();
+  return r;
+}
+
+TEST(DistributedFdTest, MergedSketchCoversUnion) {
+  const size_t d = 14, ell = 12, workers = 4;
+  Rng rng(1);
+  std::vector<FrequentDirections> fds;
+  for (size_t w = 0; w < workers; ++w) fds.emplace_back(d, ell);
+  Matrix all(0, d);
+  for (int i = 0; i < 600; ++i) {
+    auto row = RandomRow(&rng, d);
+    fds[i % workers].Append(row, i);
+    all.AppendRow(row);
+  }
+  std::vector<const FrequentDirections*> ptrs;
+  for (auto& f : fds) ptrs.push_back(&f);
+  FrequentDirections merged = MergeFrequentDirections(ptrs);
+  EXPECT_LE(merged.RowsStored(), ell);
+  // Error within the merged certificate and the paper-style bound.
+  const double err = CovarianceErrorDense(all, merged.Approximation());
+  EXPECT_LE(err * all.FrobeniusNormSq(), merged.shed_mass() * (1 + 1e-9));
+  EXPECT_LE(err, 4.0 / static_cast<double>(ell) + 1e-9);
+}
+
+TEST(DistributedFdTest, SingleWorkerIsIdentity) {
+  Rng rng(2);
+  FrequentDirections fd(8, 6);
+  for (int i = 0; i < 100; ++i) fd.Append(RandomRow(&rng, 8), i);
+  const FrequentDirections* ptr = &fd;
+  FrequentDirections merged =
+      MergeFrequentDirections(std::span<const FrequentDirections* const>(
+          &ptr, 1));
+  EXPECT_TRUE(merged.Approximation().ApproxEquals(fd.Approximation(), 1e-12));
+}
+
+TEST(MergeWindowQueriesTest, StackedQueriesApproximateUnionWindow) {
+  // Two workers, each with an LM-FD over its sub-stream; stacking their B's
+  // approximates the union window by decomposability.
+  const size_t d = 10;
+  const uint64_t w = 300;
+  SketchConfig config;
+  config.algorithm = "lm-fd";
+  config.ell = 16;
+  auto s1 = MakeSlidingWindowSketch(d, WindowSpec::Sequence(w), config);
+  auto s2 = MakeSlidingWindowSketch(d, WindowSpec::Sequence(w), config);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  WindowBuffer union_buffer(WindowSpec::Sequence(2 * w));
+  Rng rng(3);
+  for (int i = 0; i < 1500; ++i) {
+    auto row = RandomRow(&rng, d);
+    ((i % 2) ? *s1 : *s2)->Update(row, static_cast<double>(i / 2));
+    union_buffer.Add(Row(row, i));
+  }
+  std::vector<SlidingWindowSketch*> ptrs{s1->get(), s2->get()};
+  const Matrix b = MergeWindowQueries(ptrs);
+  const double err = CovarianceError(union_buffer.GramMatrix(d),
+                                     union_buffer.FrobeniusNormSq(), b);
+  EXPECT_LT(err, 0.4);
+}
+
+TEST(DistributedSwrTest, QueryMatchesStructure) {
+  const size_t d = 6, ell = 8, workers = 3;
+  std::vector<std::unique_ptr<SwrSketch>> owned;
+  std::vector<SwrSketch*> ptrs;
+  for (size_t w = 0; w < workers; ++w) {
+    owned.push_back(std::make_unique<SwrSketch>(
+        d, WindowSpec::Sequence(200),
+        SwrSketch::Options{.ell = ell, .exact_frobenius = true,
+                           .seed = 100 + w}));
+    ptrs.push_back(owned.back().get());
+  }
+  DistributedSwr coordinator(ptrs);
+  Rng rng(4);
+  for (int i = 0; i < 900; ++i) {
+    coordinator.Update(i % workers, RandomRow(&rng, d), i / workers);
+  }
+  Matrix b = coordinator.Query();
+  EXPECT_EQ(b.rows(), ell);  // One union sample per slot.
+  EXPECT_GT(coordinator.RowsStored(), ell);
+  EXPECT_EQ(coordinator.num_workers(), workers);
+}
+
+TEST(DistributedSwrTest, FrobeniusOfUnionPreserved) {
+  // With exact trackers, sum over sampled ||b_i||^2 = union ||A||_F^2.
+  const size_t d = 5, ell = 10;
+  std::vector<std::unique_ptr<SwrSketch>> owned;
+  std::vector<SwrSketch*> ptrs;
+  for (size_t w = 0; w < 2; ++w) {
+    owned.push_back(std::make_unique<SwrSketch>(
+        d, WindowSpec::Sequence(100),
+        SwrSketch::Options{.ell = ell, .exact_frobenius = true,
+                           .seed = 7 + w}));
+    ptrs.push_back(owned.back().get());
+  }
+  DistributedSwr coordinator(ptrs);
+  WindowBuffer b1(WindowSpec::Sequence(100)), b2(WindowSpec::Sequence(100));
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    auto row = RandomRow(&rng, d);
+    coordinator.Update(i % 2, row, i / 2);
+    ((i % 2) ? b2 : b1).Add(Row(row, i / 2));
+  }
+  const double union_frob = b1.FrobeniusNormSq() + b2.FrobeniusNormSq();
+  EXPECT_NEAR(coordinator.Query().FrobeniusNormSq(), union_frob,
+              1e-9 * union_frob);
+}
+
+TEST(DistributedSwrTest, HeavyWorkerDominatesSampling) {
+  // One worker's sub-stream carries almost all mass: union samples should
+  // almost always come from it (coordinate signature check).
+  const size_t d = 4, ell = 16;
+  std::vector<std::unique_ptr<SwrSketch>> owned;
+  std::vector<SwrSketch*> ptrs;
+  for (size_t w = 0; w < 2; ++w) {
+    owned.push_back(std::make_unique<SwrSketch>(
+        d, WindowSpec::Sequence(100),
+        SwrSketch::Options{.ell = ell, .exact_frobenius = true,
+                           .seed = 20 + w}));
+    ptrs.push_back(owned.back().get());
+  }
+  DistributedSwr coordinator(ptrs);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> light{0.01 * rng.Gaussian(), 0, 0, 0};
+    std::vector<double> heavy{0, 0, 0, 10.0 + rng.Gaussian()};
+    if (NormSq(light) == 0.0) light[0] = 0.01;
+    coordinator.Update(0, light, i);
+    coordinator.Update(1, heavy, i);
+  }
+  Matrix b = coordinator.Query();
+  size_t from_heavy = 0;
+  for (size_t i = 0; i < b.rows(); ++i) {
+    if (b(i, 3) != 0.0) ++from_heavy;
+  }
+  EXPECT_GE(from_heavy, b.rows() - 1);
+}
+
+TEST(DistributedSwrTest, MismatchedWorkersRejected) {
+  SwrSketch a(4, WindowSpec::Sequence(10), SwrSketch::Options{.ell = 4});
+  SwrSketch b(4, WindowSpec::Sequence(10), SwrSketch::Options{.ell = 8});
+  std::vector<SwrSketch*> ptrs{&a, &b};
+  EXPECT_DEATH(DistributedSwr coordinator(ptrs), "");
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,74 @@
+// Tests for the covariance error metric.
+#include "eval/cov_err.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(CovErrTest, IdenticalMatricesZeroError) {
+  Matrix a = RandomMatrix(30, 6, 1);
+  EXPECT_NEAR(CovarianceErrorDense(a, a), 0.0, 1e-12);
+}
+
+TEST(CovErrTest, EmptyApproximationGivesSpectralOverFrobenius) {
+  // B = 0 => error = ||A^T A|| / ||A||_F^2 = sigma_1^2 / sum sigma_i^2.
+  Matrix a(2, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const double err = CovarianceErrorDense(a, Matrix());
+  EXPECT_NEAR(err, 16.0 / 25.0, 1e-10);
+}
+
+TEST(CovErrTest, RowPermutationInvariant) {
+  Matrix a = RandomMatrix(20, 5, 2);
+  Matrix shuffled(0, 5);
+  for (size_t i = a.rows(); i-- > 0;) shuffled.AppendRow(a.Row(i));
+  EXPECT_NEAR(CovarianceErrorDense(a, shuffled), 0.0, 1e-12);
+}
+
+TEST(CovErrTest, ScalingBMatters) {
+  Matrix a = RandomMatrix(20, 5, 3);
+  Matrix b = a;
+  b.Scale(1.1);  // B^T B = 1.21 A^T A.
+  const double err = CovarianceErrorDense(a, b);
+  // ||0.21 A^T A|| / ||A||_F^2 = 0.21 sigma1^2/frob^2 > 0.
+  EXPECT_GT(err, 0.0);
+}
+
+TEST(CovErrTest, MatchesHandComputedExample) {
+  // A = I_2, B = [sqrt(2), 0]: A^T A - B^T B = diag(-1, 1), norm 1,
+  // frob(A)^2 = 2 => err = 0.5.
+  Matrix a = Matrix::Identity(2);
+  Matrix b(1, 2);
+  b(0, 0) = std::sqrt(2.0);
+  EXPECT_NEAR(CovarianceErrorDense(a, b), 0.5, 1e-10);
+}
+
+TEST(CovErrTest, GramFormMatchesDenseForm) {
+  Matrix a = RandomMatrix(40, 7, 4);
+  Matrix b = RandomMatrix(10, 7, 5);
+  const double dense = CovarianceErrorDense(a, b);
+  const double gram = CovarianceError(a.Gram(), a.FrobeniusNormSq(), b);
+  EXPECT_NEAR(dense, gram, 1e-9 * std::max(1.0, dense));
+}
+
+TEST(CovErrTest, RejectsNonPositiveFrobenius) {
+  EXPECT_DEATH(CovarianceError(Matrix(2, 2), 0.0, Matrix()), "");
+}
+
+}  // namespace
+}  // namespace swsketch

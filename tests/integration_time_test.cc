@@ -1,0 +1,95 @@
+// End-to-end integration on time-based windows (WIKI / RAIL style
+// workloads, Section 8.2).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "data/rail.h"
+#include "data/wiki.h"
+#include "eval/harness.h"
+
+namespace swsketch {
+namespace {
+
+std::unique_ptr<SlidingWindowSketch> Make(const std::string& algo, size_t dim,
+                                          double delta, size_t ell) {
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = ell;
+  auto r = MakeSlidingWindowSketch(dim, WindowSpec::Time(delta), config);
+  EXPECT_TRUE(r.ok()) << algo << ": " << r.status().ToString();
+  return r.take();
+}
+
+TEST(IntegrationTimeTest, RailPoissonArrivals) {
+  const size_t dim = 60, rows = 6000;
+  const double delta = 500.0;  // ~1000 rows per window at rate 2.
+  RailStream stream(RailStream::Options{
+      .rows = rows, .dim = dim, .mean_interarrival = 0.5, .window = delta});
+
+  std::vector<std::unique_ptr<SlidingWindowSketch>> sketches;
+  for (const char* algo : {"swr", "swor", "lm-fd"}) {
+    sketches.push_back(
+        Make(algo, dim, delta, std::string(algo) == "lm-fd" ? 24 : 48));
+  }
+  std::vector<SlidingWindowSketch*> ptrs;
+  for (auto& s : sketches) ptrs.push_back(s.get());
+
+  HarnessOptions options;
+  options.num_checkpoints = 4;
+  options.total_rows = rows;
+  auto results = RunMany(&stream, ptrs, options);
+  for (size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(ptrs[i]->name());
+    ASSERT_GT(results[i].checkpoints.size(), 0u);
+    EXPECT_LT(results[i].avg_err, 0.8);
+    // Sublinear in the ~1000-row window.
+    EXPECT_LT(results[i].max_rows_stored, 800u);
+  }
+  // Paper (Figures 7-8): LM-FD achieves the best error-space tradeoff on
+  // time-based windows.
+  EXPECT_LT(results[2].avg_err, results[0].avg_err);
+  EXPECT_LT(results[2].avg_err, results[1].avg_err);
+}
+
+TEST(IntegrationTimeTest, WikiAcceleratingArrivals) {
+  const size_t dim = 80, rows = 6000;
+  const double delta = 300.0;
+  WikiStream stream(WikiStream::Options{
+      .rows = rows, .dim = dim, .nnz_min = 10, .nnz_max = 40,
+      .span = 1500.0, .window = delta});
+
+  auto lm = Make("lm-fd", dim, delta, 24);
+  auto swr = Make("swr", dim, delta, 32);
+  std::vector<SlidingWindowSketch*> ptrs{lm.get(), swr.get()};
+  HarnessOptions options;
+  options.num_checkpoints = 5;
+  options.total_rows = rows;
+  auto results = RunMany(&stream, ptrs, options);
+  for (size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(ptrs[i]->name());
+    ASSERT_GT(results[i].checkpoints.size(), 0u);
+    EXPECT_LT(results[i].avg_err, 0.8);
+  }
+  // Window row counts must grow across checkpoints (accelerating rate).
+  const auto& ckpts = results[0].checkpoints;
+  EXPECT_GT(ckpts.back().window_rows, ckpts.front().window_rows);
+}
+
+TEST(IntegrationTimeTest, WindowSlidesThroughQuietPeriods) {
+  // After a long gap, time-window queries must reflect only recent data.
+  const size_t dim = 10;
+  auto lm = Make("lm-fd", dim, 10.0, 8);
+  std::vector<double> row(dim, 1.0);
+  for (int i = 0; i < 100; ++i) lm->Update(row, 0.1 * i);
+  EXPECT_GT(lm->Query().rows(), 0u);
+  lm->AdvanceTo(1000.0);
+  EXPECT_EQ(lm->Query().rows(), 0u);
+  // Stream resumes.
+  lm->Update(row, 1001.0);
+  EXPECT_GT(lm->Query().rows(), 0u);
+}
+
+}  // namespace
+}  // namespace swsketch

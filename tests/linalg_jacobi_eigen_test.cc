@@ -1,0 +1,124 @@
+// Tests for the Jacobi symmetric eigensolver.
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomSymmetric(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Gaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+Matrix Reconstruct(const SymmetricEigen& eig) {
+  const size_t n = eig.eigenvalues.size();
+  Matrix m(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    std::vector<double> v(n);
+    for (size_t r = 0; r < n; ++r) v[r] = eig.eigenvectors(r, c);
+    m.AddOuterProduct(v, eig.eigenvalues[c]);
+  }
+  return m;
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix m{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+  SymmetricEigen eig = JacobiEigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m{{2, 1}, {1, 2}};
+  SymmetricEigen eig = JacobiEigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-12);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(eig.eigenvectors(0, 0)), std::sqrt(0.5), 1e-10);
+}
+
+TEST(JacobiEigenTest, EigenvaluesSortedDescending) {
+  SymmetricEigen eig = JacobiEigen(RandomSymmetric(20, 1));
+  EXPECT_TRUE(std::is_sorted(eig.eigenvalues.rbegin(),
+                             eig.eigenvalues.rend()));
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  Matrix m = RandomSymmetric(15, 2);
+  SymmetricEigen eig = JacobiEigen(m);
+  EXPECT_TRUE(Reconstruct(eig).ApproxEquals(m, 1e-9));
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  SymmetricEigen eig = JacobiEigen(RandomSymmetric(12, 3));
+  const Matrix& v = eig.eigenvectors;
+  for (size_t a = 0; a < 12; ++a) {
+    for (size_t b = 0; b < 12; ++b) {
+      double dot = 0.0;
+      for (size_t r = 0; r < 12; ++r) dot += v(r, a) * v(r, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, TraceIsPreserved) {
+  Matrix m = RandomSymmetric(25, 4);
+  double trace = 0.0;
+  for (size_t i = 0; i < 25; ++i) trace += m(i, i);
+  SymmetricEigen eig = JacobiEigen(m);
+  double sum = 0.0;
+  for (double l : eig.eigenvalues) sum += l;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+TEST(JacobiEigenTest, PsdGramHasNonnegativeEigenvalues) {
+  Rng rng(5);
+  Matrix a(30, 8);
+  for (size_t i = 0; i < 30; ++i) {
+    for (size_t j = 0; j < 8; ++j) a(i, j) = rng.Gaussian();
+  }
+  SymmetricEigen eig = JacobiEigen(a.Gram());
+  for (double l : eig.eigenvalues) EXPECT_GE(l, -1e-9);
+}
+
+TEST(JacobiEigenTest, ToleratesSlightAsymmetry) {
+  Matrix m = RandomSymmetric(6, 6);
+  m(0, 1) += 1e-13;  // Tiny asymmetry, as from accumulated fp error.
+  SymmetricEigen eig = JacobiEigen(m);
+  EXPECT_EQ(eig.eigenvalues.size(), 6u);
+}
+
+TEST(JacobiEigenTest, OneByOne) {
+  Matrix m{{7}};
+  SymmetricEigen eig = JacobiEigen(m);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[0], 7.0);
+  EXPECT_DOUBLE_EQ(eig.eigenvectors(0, 0), 1.0);
+}
+
+TEST(JacobiEigenTest, RepeatedEigenvalues) {
+  // 2*I has eigenvalue 2 thrice; reconstruction must still hold.
+  Matrix m = Matrix::Identity(3);
+  m.Scale(2.0);
+  SymmetricEigen eig = JacobiEigen(m);
+  for (double l : eig.eigenvalues) EXPECT_NEAR(l, 2.0, 1e-12);
+  EXPECT_TRUE(Reconstruct(eig).ApproxEquals(m, 1e-10));
+}
+
+}  // namespace
+}  // namespace swsketch

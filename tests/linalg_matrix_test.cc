@@ -1,0 +1,176 @@
+// Tests for the dense Matrix type.
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+TEST(MatrixTest, ZeroConstruction) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, AppendRowAdoptsColumnCount) {
+  Matrix m;
+  std::vector<double> r{1, 2, 3};
+  m.AppendRow(r);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.AppendRowScaled(r, 2.0);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(MatrixTest, AppendRowMismatchedDies) {
+  Matrix m{{1, 2}};
+  std::vector<double> bad{1, 2, 3};
+  EXPECT_DEATH(m.AppendRow(bad), "");
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.Transpose().ApproxEquals(m, 0.0));
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a.Multiply(b);
+  Matrix expected{{19, 22}, {43, 50}};
+  EXPECT_TRUE(c.ApproxEquals(expected, 1e-12));
+}
+
+TEST(MatrixTest, MultiplyIdentity) {
+  Rng rng(1);
+  Matrix a(4, 6);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 6; ++j) a(i, j) = rng.Gaussian();
+  }
+  EXPECT_TRUE(Matrix::Identity(4).Multiply(a).ApproxEquals(a, 1e-12));
+  EXPECT_TRUE(a.Multiply(Matrix::Identity(6)).ApproxEquals(a, 1e-12));
+}
+
+TEST(MatrixTest, GramMatchesExplicitProduct) {
+  Rng rng(2);
+  Matrix a(7, 5);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 5; ++j) a(i, j) = rng.Gaussian();
+  }
+  Matrix gram = a.Gram();
+  Matrix expected = a.Transpose().Multiply(a);
+  EXPECT_TRUE(gram.ApproxEquals(expected, 1e-10));
+}
+
+TEST(MatrixTest, GramOuterMatchesExplicitProduct) {
+  Rng rng(3);
+  Matrix a(4, 9);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 9; ++j) a(i, j) = rng.Gaussian();
+  }
+  EXPECT_TRUE(a.GramOuter().ApproxEquals(a.Multiply(a.Transpose()), 1e-10));
+}
+
+TEST(MatrixTest, AddOuterProduct) {
+  Matrix m(3, 3);
+  std::vector<double> v{1, 2, 3};
+  m.AddOuterProduct(v, 2.0);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), 2.0 * v[i] * v[j]);
+    }
+  }
+  // Symmetry.
+  m.AddOuterProduct(v, -0.5);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < i; ++j) EXPECT_EQ(m(i, j), m(j, i));
+  }
+}
+
+TEST(MatrixTest, SubtractAndAddScaled) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{0.5, 0.5}, {1, 1}};
+  Matrix d = a.Subtract(b);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  a.AddScaled(b, 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(MatrixTest, FrobeniusNormSq) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNormSq(), 25.0);
+}
+
+TEST(MatrixTest, ApplyAndApplyTranspose) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  std::vector<double> x{1, 1, 1}, y(2);
+  a.Apply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  std::vector<double> u{1, 2}, z(3);
+  a.ApplyTranspose(u, z);
+  EXPECT_DOUBLE_EQ(z[0], 9.0);
+  EXPECT_DOUBLE_EQ(z[1], 12.0);
+  EXPECT_DOUBLE_EQ(z[2], 15.0);
+}
+
+TEST(MatrixTest, VStack) {
+  Matrix a{{1, 2}};
+  Matrix b{{3, 4}, {5, 6}};
+  Matrix c = a.VStack(b);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_DOUBLE_EQ(c(2, 1), 6.0);
+  // Empty acts as identity.
+  Matrix e;
+  EXPECT_TRUE(e.VStack(a).ApproxEquals(a, 0.0));
+  EXPECT_TRUE(a.VStack(e).ApproxEquals(a, 0.0));
+}
+
+TEST(MatrixTest, TruncateRows) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  m.TruncateRows(1);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST(MatrixTest, MaxAbsDiffShapeMismatchIsInfinite) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_TRUE(std::isinf(a.MaxAbsDiff(b)));
+}
+
+TEST(MatrixTest, SetZeroKeepsShape) {
+  Matrix m{{1, 2}, {3, 4}};
+  m.SetZero();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.FrobeniusNormSq(), 0.0);
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,146 @@
+// Tests for SparseVector and the sketches' sparse fast paths.
+#include "linalg/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dyadic_interval.h"
+#include "sketch/frequent_directions.h"
+#include "sketch/hash_sketch.h"
+#include "sketch/random_projection.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+SparseVector MakeSparse(size_t dim, std::vector<std::pair<uint32_t, double>>
+                                        entries) {
+  std::vector<uint32_t> idx;
+  std::vector<double> val;
+  for (auto& [i, v] : entries) {
+    idx.push_back(i);
+    val.push_back(v);
+  }
+  return SparseVector(dim, std::move(idx), std::move(val));
+}
+
+TEST(SparseVectorTest, BasicAccessors) {
+  SparseVector v = MakeSparse(10, {{1, 2.0}, {7, -3.0}});
+  EXPECT_EQ(v.dim(), 10u);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(v.NormSq(), 13.0);
+}
+
+TEST(SparseVectorTest, FromDenseRoundTrip) {
+  std::vector<double> dense{0.0, 1.5, 0.0, 0.0, -2.0, 0.0};
+  SparseVector v = SparseVector::FromDense(dense);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.ToDense(), dense);
+}
+
+TEST(SparseVectorTest, FromDenseWithTolerance) {
+  std::vector<double> dense{1e-12, 1.0, -1e-12};
+  SparseVector v = SparseVector::FromDense(dense, 1e-9);
+  EXPECT_EQ(v.nnz(), 1u);
+}
+
+TEST(SparseVectorTest, DotAgainstDense) {
+  SparseVector v = MakeSparse(4, {{0, 2.0}, {3, 3.0}});
+  std::vector<double> dense{1.0, 10.0, 10.0, -1.0};
+  EXPECT_DOUBLE_EQ(v.Dot(dense), 2.0 - 3.0);
+}
+
+TEST(SparseVectorTest, AxpyInto) {
+  SparseVector v = MakeSparse(3, {{1, 4.0}});
+  std::vector<double> dense{1.0, 1.0, 1.0};
+  v.AxpyInto(dense, 0.5);
+  EXPECT_DOUBLE_EQ(dense[1], 3.0);
+  EXPECT_DOUBLE_EQ(dense[0], 1.0);
+}
+
+TEST(SparseVectorTest, RejectsBadIndices) {
+  EXPECT_DEATH(SparseVector(4, {5}, {1.0}), "");         // Out of range.
+  EXPECT_DEATH(SparseVector(4, {2, 1}, {1.0, 1.0}), "");  // Not increasing.
+  EXPECT_DEATH(SparseVector(4, {1}, {1.0, 2.0}), "");     // Length mismatch.
+}
+
+// --- Sparse fast paths must match the dense paths ---
+
+std::vector<double> RandomSparseDense(Rng* rng, size_t d, size_t nnz) {
+  std::vector<double> dense(d, 0.0);
+  for (size_t idx : rng->SampleWithoutReplacement(d, nnz)) {
+    dense[idx] = rng->Gaussian();
+  }
+  return dense;
+}
+
+TEST(SparseFastPathTest, FrequentDirectionsMatchesDense) {
+  const size_t d = 40;
+  Rng rng(1);
+  FrequentDirections dense_fd(d, 12), sparse_fd(d, 12);
+  for (int i = 0; i < 200; ++i) {
+    auto dense = RandomSparseDense(&rng, d, 6);
+    dense_fd.Append(dense, i);
+    sparse_fd.AppendSparse(SparseVector::FromDense(dense), i);
+  }
+  EXPECT_TRUE(dense_fd.Approximation().ApproxEquals(
+      sparse_fd.Approximation(), 1e-9));
+  EXPECT_NEAR(dense_fd.input_mass(), sparse_fd.input_mass(), 1e-9);
+}
+
+TEST(SparseFastPathTest, HashMatchesDenseExactly) {
+  const size_t d = 30;
+  Rng rng(2);
+  HashSketch dense_h(d, 16, 5), sparse_h(d, 16, 5);
+  for (int i = 0; i < 100; ++i) {
+    auto dense = RandomSparseDense(&rng, d, 5);
+    dense_h.Append(dense, i);
+    sparse_h.AppendSparse(SparseVector::FromDense(dense), i);
+  }
+  EXPECT_TRUE(dense_h.Approximation().ApproxEquals(
+      sparse_h.Approximation(), 1e-12));
+}
+
+TEST(SparseFastPathTest, RandomProjectionMatchesDenseExactly) {
+  // Same seed => same sign stream => identical results.
+  const size_t d = 25;
+  Rng rng(3);
+  RandomProjection dense_rp(d, 32, 9), sparse_rp(d, 32, 9);
+  for (int i = 0; i < 100; ++i) {
+    auto dense = RandomSparseDense(&rng, d, 4);
+    dense_rp.Append(dense, i);
+    sparse_rp.AppendSparse(SparseVector::FromDense(dense), i);
+  }
+  EXPECT_TRUE(dense_rp.Approximation().ApproxEquals(
+      sparse_rp.Approximation(), 1e-12));
+}
+
+TEST(SparseFastPathTest, DyadicIntervalUpdateSparseMatchesDense) {
+  const size_t d = 20;
+  const uint64_t w = 128;
+  DiFd dense_di(d, DiFd::Options{.levels = 4, .window_size = w,
+                                 .max_norm_sq = 8.0, .ell_top = 16});
+  DiFd sparse_di(d, DiFd::Options{.levels = 4, .window_size = w,
+                                  .max_norm_sq = 8.0, .ell_top = 16});
+  Rng rng(4);
+  for (int i = 0; i < 600; ++i) {
+    auto dense = RandomSparseDense(&rng, d, 5);
+    dense_di.Update(dense, i);
+    sparse_di.UpdateSparse(SparseVector::FromDense(dense), i);
+  }
+  EXPECT_TRUE(dense_di.Query().ApproxEquals(sparse_di.Query(), 1e-9));
+  EXPECT_EQ(dense_di.RowsStored(), sparse_di.RowsStored());
+}
+
+TEST(SparseFastPathTest, DefaultUpdateSparseDensifies) {
+  // Samplers use the base-class fallback; behaviour must match dense
+  // updates given the same RNG stream is consumed identically.
+  const size_t d = 10;
+  DiFd sk(d, DiFd::Options{.levels = 3, .window_size = 64,
+                           .max_norm_sq = 4.0, .ell_top = 8});
+  SparseVector v = MakeSparse(d, {{2, 1.5}});
+  sk.UpdateSparse(v, 0.0);
+  EXPECT_GT(sk.RowsStored(), 0u);
+}
+
+}  // namespace
+}  // namespace swsketch

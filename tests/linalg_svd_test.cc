@@ -1,0 +1,133 @@
+// Tests for the thin SVD.
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+Matrix ReconstructFromSvd(const SvdResult& svd) {
+  // U * diag(sigma) * Vt.
+  Matrix us = svd.u;
+  for (size_t i = 0; i < us.rows(); ++i) {
+    for (size_t c = 0; c < us.cols(); ++c) {
+      us(i, c) *= svd.singular_values[c];
+    }
+  }
+  return us.Multiply(svd.vt);
+}
+
+TEST(SvdTest, ReconstructsWideMatrix) {
+  Matrix a = RandomMatrix(6, 20, 1);  // Wide: rows < cols (sketch shape).
+  SvdResult svd = ThinSvd(a);
+  EXPECT_TRUE(ReconstructFromSvd(svd).ApproxEquals(a, 1e-8));
+}
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  Matrix a = RandomMatrix(25, 7, 2);
+  SvdResult svd = ThinSvd(a);
+  EXPECT_TRUE(ReconstructFromSvd(svd).ApproxEquals(a, 1e-8));
+}
+
+TEST(SvdTest, SingularValuesDescendingPositive) {
+  SvdResult svd = ThinSvd(RandomMatrix(10, 15, 3));
+  EXPECT_TRUE(std::is_sorted(svd.singular_values.rbegin(),
+                             svd.singular_values.rend()));
+  for (double s : svd.singular_values) EXPECT_GT(s, 0.0);
+}
+
+TEST(SvdTest, VtRowsOrthonormal) {
+  SvdResult svd = ThinSvd(RandomMatrix(8, 12, 4));
+  for (size_t a = 0; a < svd.vt.rows(); ++a) {
+    for (size_t b = 0; b < svd.vt.rows(); ++b) {
+      double dot = 0.0;
+      for (size_t j = 0; j < svd.vt.cols(); ++j) {
+        dot += svd.vt(a, j) * svd.vt(b, j);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SvdTest, UColumnsOrthonormal) {
+  SvdResult svd = ThinSvd(RandomMatrix(9, 14, 5));
+  for (size_t a = 0; a < svd.u.cols(); ++a) {
+    for (size_t b = 0; b < svd.u.cols(); ++b) {
+      double dot = 0.0;
+      for (size_t i = 0; i < svd.u.rows(); ++i) {
+        dot += svd.u(i, a) * svd.u(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SvdTest, RankDeficientDetected) {
+  // Rank-2 matrix: third row = row0 + row1.
+  Matrix a(3, 10);
+  Rng rng(6);
+  for (size_t j = 0; j < 10; ++j) {
+    a(0, j) = rng.Gaussian();
+    a(1, j) = rng.Gaussian();
+    a(2, j) = a(0, j) + a(1, j);
+  }
+  SvdResult svd = ThinSvd(a);
+  EXPECT_EQ(svd.singular_values.size(), 2u);
+  EXPECT_TRUE(ReconstructFromSvd(svd).ApproxEquals(a, 1e-8));
+}
+
+TEST(SvdTest, KnownSingularValues) {
+  // diag(3, 2) embedded in 2x4.
+  Matrix a(2, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = 2.0;
+  SvdResult svd = ThinSvd(a);
+  ASSERT_EQ(svd.singular_values.size(), 2u);
+  EXPECT_NEAR(svd.singular_values[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd.singular_values[1], 2.0, 1e-12);
+}
+
+TEST(SvdTest, EmptyMatrix) {
+  SvdResult svd = ThinSvd(Matrix());
+  EXPECT_TRUE(svd.singular_values.empty());
+}
+
+TEST(SvdTest, ZeroMatrixHasNoSingularValues) {
+  SvdResult svd = ThinSvd(Matrix(4, 6));
+  EXPECT_TRUE(svd.singular_values.empty());
+}
+
+TEST(SvdTest, SingularValuesHelperPadsZeros) {
+  Matrix a(3, 8);
+  a(0, 0) = 5.0;  // Rank 1.
+  std::vector<double> sv = SingularValues(a);
+  ASSERT_EQ(sv.size(), 3u);
+  EXPECT_NEAR(sv[0], 5.0, 1e-10);
+  EXPECT_NEAR(sv[1], 0.0, 1e-8);
+}
+
+TEST(SvdTest, FrobeniusIdentity) {
+  // ||A||_F^2 = sum sigma_i^2.
+  Matrix a = RandomMatrix(12, 9, 7);
+  SvdResult svd = ThinSvd(a);
+  double sum = 0.0;
+  for (double s : svd.singular_values) sum += s * s;
+  EXPECT_NEAR(sum, a.FrobeniusNormSq(), 1e-8 * a.FrobeniusNormSq());
+}
+
+}  // namespace
+}  // namespace swsketch

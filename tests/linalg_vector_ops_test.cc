@@ -1,0 +1,58 @@
+// Tests for the vector kernels.
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace swsketch {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  std::vector<double> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(VectorOpsTest, NormAndNormSq) {
+  std::vector<double> v{3, 4};
+  EXPECT_DOUBLE_EQ(NormSq(v), 25.0);
+  EXPECT_DOUBLE_EQ(Norm(v), 5.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> x{1, 2}, y{10, 20};
+  Axpy(3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(VectorOpsTest, ScaleInPlace) {
+  std::vector<double> x{2, -4};
+  ScaleInPlace(x, 0.5);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(VectorOpsTest, NormalizeUnit) {
+  std::vector<double> v{3, 4};
+  const double n = Normalize(v);
+  EXPECT_DOUBLE_EQ(n, 5.0);
+  EXPECT_NEAR(Norm(v), 1.0, 1e-15);
+}
+
+TEST(VectorOpsTest, NormalizeTinyZeroes) {
+  std::vector<double> v{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Normalize(v), 0.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(VectorOpsTest, GaussianVectorDeterministic) {
+  auto a = GaussianVector(16, 99);
+  auto b = GaussianVector(16, 99);
+  EXPECT_EQ(a, b);
+  auto c = GaussianVector(16, 100);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,118 @@
+// Coverage for smaller surfaces: serialization reader utilities, the
+// B = 0 reference floor, the LM-RP variant, and empty-window query
+// semantics across frameworks.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/best_rank_k.h"
+#include "core/factory.h"
+#include "core/logarithmic_method.h"
+#include "eval/harness.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace swsketch {
+namespace {
+
+TEST(ByteReaderTest, PeekDoesNotConsume) {
+  ByteWriter w;
+  w.Put<uint32_t>(7);
+  w.Put<uint32_t>(9);
+  ByteReader r(w.bytes());
+  uint32_t v = 0;
+  EXPECT_TRUE(r.Peek(&v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_TRUE(r.Get(&v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_TRUE(r.Get(&v));
+  EXPECT_EQ(v, 9u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteReaderTest, StatusOrCorrupt) {
+  ByteReader ok_reader({});
+  EXPECT_TRUE(ok_reader.StatusOrCorrupt("x").ok());
+  uint64_t v = 0;
+  ByteReader bad_reader({});
+  EXPECT_FALSE(bad_reader.Get(&v));
+  EXPECT_FALSE(bad_reader.StatusOrCorrupt("x").ok());
+}
+
+TEST(ReferenceErrorsTest, ZeroErrIsLambdaOneOverFrob) {
+  // Gram = diag(9, 4, 1): frob^2 = 14, lambda_1 = 9.
+  Matrix gram{{9, 0, 0}, {0, 4, 0}, {0, 0, 1}};
+  ReferenceErrors refs = BestAndZeroError(gram, 1, 14.0);
+  EXPECT_NEAR(refs.zero_err, 9.0 / 14.0, 1e-9);
+  EXPECT_NEAR(refs.best_err, 4.0 / 14.0, 1e-9);
+  // k beyond rank: best err 0, zero err unchanged.
+  ReferenceErrors deep = BestAndZeroError(gram, 5, 14.0);
+  EXPECT_EQ(deep.best_err, 0.0);
+  EXPECT_NEAR(deep.zero_err, 9.0 / 14.0, 1e-9);
+}
+
+TEST(HarnessZeroFloorTest, RecordedWhenBestRequested) {
+  SyntheticStream stream(SyntheticStream::Options{
+      .rows = 900, .dim = 8, .signal_dim = 3, .window = 150});
+  SketchConfig config;
+  config.algorithm = "lm-fd";
+  config.ell = 8;
+  auto sketch = MakeSlidingWindowSketch(8, WindowSpec::Sequence(150), config);
+  ASSERT_TRUE(sketch.ok());
+  HarnessOptions options;
+  options.num_checkpoints = 3;
+  options.total_rows = 900;
+  options.best_k = 4;
+  HarnessResult r = RunSketch(&stream, sketch->get(), options);
+  ASSERT_GT(r.checkpoints.size(), 0u);
+  EXPECT_GT(r.avg_zero_err, 0.0);
+  for (const auto& c : r.checkpoints) {
+    EXPECT_GE(c.zero_err, c.best_err);  // B = 0 is never better than BEST.
+  }
+}
+
+TEST(LmRpTest, BasicOperation) {
+  const size_t d = 8;
+  LmRp sketch(d, WindowSpec::Sequence(200),
+              LmRp::Options{.ell = 32, .blocks_per_level = 4, .seed = 5});
+  Rng rng(1);
+  for (int i = 0; i < 800; ++i) {
+    std::vector<double> row(d);
+    for (auto& v : row) v = rng.Gaussian();
+    sketch.Update(row, i);
+  }
+  EXPECT_EQ(sketch.name(), "LM-RP");
+  Matrix b = sketch.Query();
+  EXPECT_EQ(b.cols(), d);
+  EXPECT_GT(b.rows(), 0u);
+  EXPECT_GT(b.FrobeniusNormSq(), 0.0);
+  sketch.CheckInvariants();
+}
+
+TEST(EmptyWindowQueries, AllFrameworksReturnEmptyMatrices) {
+  for (const char* algo :
+       {"swr", "swor", "swor-all", "lm-fd", "lm-hash", "lm-rp", "exact"}) {
+    SketchConfig config;
+    config.algorithm = algo;
+    config.ell = 8;
+    auto sketch = MakeSlidingWindowSketch(4, WindowSpec::Time(5.0), config);
+    ASSERT_TRUE(sketch.ok()) << algo;
+    // Never updated: empty.
+    EXPECT_EQ((*sketch)->Query().rows(), 0u) << algo;
+    // Updated then fully expired: empty again.
+    std::vector<double> row{1, 0, 0, 0};
+    (*sketch)->Update(row, 0.0);
+    (*sketch)->AdvanceTo(100.0);
+    EXPECT_EQ((*sketch)->Query().rows(), 0u) << algo;
+  }
+}
+
+TEST(FactoryTest, LmRpInKnownAlgorithms) {
+  auto algos = KnownAlgorithms();
+  EXPECT_NE(std::find(algos.begin(), algos.end(), "lm-rp"), algos.end());
+  EXPECT_EQ(algos.size(), 11u);
+}
+
+}  // namespace
+}  // namespace swsketch

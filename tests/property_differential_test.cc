@@ -1,0 +1,149 @@
+// Randomized differential testing: many seeds drive random operation
+// sequences (bursty updates, silent advances, interleaved queries,
+// mid-stream checkpoint/restore) against every algorithm, checking
+// invariants, error sanity against the exact window, and that a restored
+// sketch stays in lockstep with the original. This is the fuzz-style
+// harness that catches interaction bugs the per-feature tests miss.
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/dyadic_interval.h"
+#include "core/factory.h"
+#include "core/logarithmic_method.h"
+#include "eval/cov_err.h"
+#include "stream/window_buffer.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace swsketch {
+namespace {
+
+class DifferentialFuzz
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(DifferentialFuzz, RandomOpSequences) {
+  const auto [algo, seed] = GetParam();
+  Rng rng(seed);
+
+  const size_t d = 4 + rng.UniformInt(8);                  // 4..11.
+  const bool time_window = algo != "di-fd" && rng.Bernoulli(0.4);
+  const double extent =
+      time_window ? 20.0 + rng.Uniform01() * 80.0
+                  : static_cast<double>(32 + rng.UniformInt(200));
+  const WindowSpec window =
+      time_window ? WindowSpec::Time(extent)
+                  : WindowSpec::Sequence(static_cast<uint64_t>(extent));
+
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = 4 + rng.UniformInt(24);
+  config.levels = 3 + rng.UniformInt(3);
+  config.max_norm_sq = 16.0 * static_cast<double>(d);
+  config.seed = seed;
+  auto made = MakeSlidingWindowSketch(d, window, config);
+  ASSERT_TRUE(made.ok()) << algo << ": " << made.status().ToString();
+  auto& sketch = *made;
+
+  std::unique_ptr<SlidingWindowSketch> twin;  // Restored copy, if any.
+  WindowBuffer buffer(window);
+  double t = 0.0;
+  const size_t ops = 600;
+  for (size_t op = 0; op < ops; ++op) {
+    const double dice = rng.Uniform01();
+    if (dice < 0.75) {
+      // Update (occasionally a burst).
+      const size_t burst = rng.Bernoulli(0.1) ? 1 + rng.UniformInt(30) : 1;
+      for (size_t b = 0; b < burst; ++b) {
+        std::vector<double> row(d);
+        const double scale = rng.Bernoulli(0.05) ? 12.0 : 1.0;
+        for (auto& v : row) v = scale * rng.Gaussian();
+        t += time_window ? rng.Exponential(2.0) : 1.0;
+        sketch->Update(row, t);
+        if (twin) twin->Update(row, t);
+        buffer.Add(Row(row, t));
+      }
+    } else if (dice < 0.85 && time_window) {
+      // Silent advance (sometimes past the whole window).
+      t += rng.Bernoulli(0.2) ? extent * 1.5 : rng.Uniform01() * extent;
+      sketch->AdvanceTo(t);
+      if (twin) twin->AdvanceTo(t);
+      buffer.AdvanceTo(t);
+    } else if (dice < 0.95) {
+      // Query + sanity.
+      Matrix b = sketch->Query();
+      EXPECT_TRUE(b.rows() == 0 || b.cols() == d);
+      if (buffer.empty()) {
+        EXPECT_NEAR(b.FrobeniusNormSq(), 0.0, 1e-9) << algo;
+      } else {
+        const double err = CovarianceError(buffer.GramMatrix(d),
+                                           buffer.FrobeniusNormSq(), b);
+        EXPECT_LT(err, 1.5) << algo << " seed=" << seed << " op=" << op;
+      }
+      if (twin) {
+        EXPECT_TRUE(twin->Query().ApproxEquals(b, 1e-9))
+            << algo << " twin diverged at op " << op;
+      }
+    } else if (!twin) {
+      // Checkpoint: spawn the restored twin mid-stream.
+      ByteWriter w;
+      if (sketch->SerializeTo(&w).ok()) {
+        ByteReader r(w.bytes());
+        auto loaded = DeserializeSlidingWindowSketch(&r);
+        ASSERT_TRUE(loaded.ok()) << algo;
+        twin = std::move(*loaded);
+      }
+    }
+  }
+  EXPECT_GT(sketch->RowsStored() + 1, 0u);  // Alive at the end.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, DifferentialFuzz,
+    ::testing::Combine(::testing::Values("swr", "swor", "swor-all", "lm-fd",
+                                         "lm-hash", "di-fd"),
+                       ::testing::Values(11u, 22u, 33u, 44u)));
+
+TEST(DifferentialFuzzExtra, LmInvariantsUnderRandomOps) {
+  // White-box invariant checking through a random op mix.
+  Rng rng(99);
+  LmFd sketch(5, WindowSpec::Time(40.0),
+              LmFd::Options{.ell = 8, .blocks_per_level = 4});
+  double t = 0.0;
+  for (int op = 0; op < 3000; ++op) {
+    if (rng.Bernoulli(0.9)) {
+      std::vector<double> row(5);
+      for (auto& v : row) v = rng.Gaussian() * (rng.Bernoulli(0.02) ? 20 : 1);
+      t += rng.Exponential(1.0);
+      sketch.Update(row, t);
+    } else {
+      t += rng.Uniform01() * 60.0;
+      sketch.AdvanceTo(t);
+    }
+    if (op % 101 == 0) sketch.CheckInvariants();
+  }
+  sketch.CheckInvariants();
+}
+
+TEST(DifferentialFuzzExtra, DiInvariantsUnderRandomOps) {
+  Rng rng(101);
+  DiFd sketch(5, DiFd::Options{.levels = 4, .window_size = 100,
+                               .max_norm_sq = 80.0, .ell_top = 8});
+  double t = 0.0;
+  for (int op = 0; op < 3000; ++op) {
+    std::vector<double> row(5);
+    for (auto& v : row) v = rng.Gaussian() * (rng.Bernoulli(0.02) ? 4 : 1);
+    t += 1.0;
+    sketch.Update(row, t);
+    if (op % 97 == 0) {
+      sketch.CheckInvariants();
+      (void)sketch.Query();
+    }
+  }
+  sketch.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace swsketch

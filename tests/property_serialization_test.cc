@@ -1,0 +1,116 @@
+// Parameterized serialization property: for every serializable algorithm
+// and several (ell, window-type) combinations, the polymorphic
+// save-then-load round trip reproduces the approximation exactly and the
+// reloaded sketch continues identically.
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace swsketch {
+namespace {
+
+class SerializationRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t, bool>> {
+};
+
+TEST_P(SerializationRoundTrip, PolymorphicSaveLoadContinue) {
+  const auto [algo, ell, time_window] = GetParam();
+  const size_t d = 9;
+  const WindowSpec window =
+      time_window ? WindowSpec::Time(80.0) : WindowSpec::Sequence(150);
+
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = ell;
+  config.max_norm_sq = 40.0;
+  config.levels = 4;
+  config.seed = 11;
+  auto made = MakeSlidingWindowSketch(d, window, config);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto& sketch = *made;
+
+  Rng rng(5);
+  double t = 0.0;
+  auto next_row = [&] {
+    std::vector<double> row(d);
+    for (auto& v : row) v = rng.Gaussian();
+    t += time_window ? rng.Exponential(2.0) : 1.0;
+    return row;
+  };
+  for (int i = 0; i < 700; ++i) {
+    auto row = next_row();
+    sketch->Update(row, t);
+  }
+
+  ByteWriter writer;
+  const Status s = sketch->SerializeTo(&writer);
+  ASSERT_TRUE(s.ok()) << algo << ": " << s.ToString();
+
+  ByteReader reader(writer.bytes());
+  auto loaded = DeserializeSlidingWindowSketch(&reader);
+  ASSERT_TRUE(loaded.ok()) << algo << ": " << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), sketch->name());
+  EXPECT_EQ((*loaded)->dim(), d);
+  EXPECT_EQ((*loaded)->RowsStored(), sketch->RowsStored());
+  EXPECT_TRUE((*loaded)->Query().ApproxEquals(sketch->Query(), 0.0));
+
+  // Continue both over 300 more rows: identical evolution.
+  for (int i = 0; i < 300; ++i) {
+    auto row = next_row();
+    sketch->Update(row, t);
+    (*loaded)->Update(row, t);
+  }
+  EXPECT_TRUE((*loaded)->Query().ApproxEquals(sketch->Query(), 0.0));
+  EXPECT_EQ((*loaded)->RowsStored(), sketch->RowsStored());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SequenceWindows, SerializationRoundTrip,
+    ::testing::Combine(::testing::Values("swr", "swor", "swor-all", "lm-fd",
+                                         "lm-hash", "di-fd"),
+                       ::testing::Values(6, 16),
+                       ::testing::Values(false)));
+
+INSTANTIATE_TEST_SUITE_P(
+    TimeWindows, SerializationRoundTrip,
+    ::testing::Combine(::testing::Values("swr", "swor", "lm-fd", "lm-hash"),
+                       ::testing::Values(8),
+                       ::testing::Values(true)));
+
+TEST(SerializationDispatchTest, UnsupportedAlgorithmsReportUnimplemented) {
+  for (const char* algo : {"exact", "best", "di-rp", "di-hash", "lm-rp"}) {
+    SketchConfig config;
+    config.algorithm = algo;
+    config.ell = 4;
+    auto made =
+        MakeSlidingWindowSketch(4, WindowSpec::Sequence(10), config);
+    ASSERT_TRUE(made.ok()) << algo;
+    ByteWriter writer;
+    const Status s = (*made)->SerializeTo(&writer);
+    EXPECT_EQ(s.code(), StatusCode::kUnimplemented) << algo;
+  }
+}
+
+TEST(SerializationDispatchTest, GarbageTagRejected) {
+  ByteWriter writer;
+  writer.Put<uint32_t>(0x12345678);
+  writer.Put<uint32_t>(1);
+  ByteReader reader(writer.bytes());
+  auto loaded = DeserializeSlidingWindowSketch(&reader);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializationDispatchTest, EmptyPayloadRejected) {
+  ByteReader reader({});
+  auto loaded = DeserializeSlidingWindowSketch(&reader);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace swsketch

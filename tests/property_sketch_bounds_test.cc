@@ -1,0 +1,153 @@
+// Parameterized property sweeps: theoretical guarantees checked across a
+// grid of (algorithm, budget, window, data shape) combinations.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "eval/cov_err.h"
+#include "linalg/power_iteration.h"
+#include "sketch/frequent_directions.h"
+#include "stream/window_buffer.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: FD's covariance error never exceeds its shed-mass certificate,
+// for any ell and any data distribution.
+// ---------------------------------------------------------------------------
+
+class FdBoundProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, double, uint64_t>> {};
+
+TEST_P(FdBoundProperty, ErrorWithinCertificate) {
+  const auto [ell, scale_spread, seed] = GetParam();
+  const size_t d = 12, n = 250;
+  Rng rng(seed);
+  Matrix a(0, d);
+  FrequentDirections fd(d, ell);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(d);
+    // Rows with norm spread controlled by scale_spread.
+    const double s = std::exp(rng.Uniform(0.0, std::log(scale_spread)));
+    for (auto& v : row) v = s * rng.Gaussian();
+    a.AppendRow(row);
+    fd.Append(row, i);
+  }
+  Matrix diff = a.Gram();
+  const Matrix b = fd.Approximation();
+  for (size_t i = 0; i < b.rows(); ++i) diff.AddOuterProduct(b.Row(i), -1.0);
+  const double err = SpectralNormSymmetric(diff);
+  // Scale-aware slack: the Gram difference carries O(1e-12 * ||A||_F^2)
+  // floating-point noise, which dominates when few shrinks occurred.
+  EXPECT_LE(err, fd.shed_mass() * (1 + 1e-9) + 1e-9 * a.FrobeniusNormSq());
+  // And the a-priori budget: shed <= ||A||_F^2 / shrink_rank.
+  EXPECT_LE(fd.shed_mass(),
+            a.FrobeniusNormSq() / static_cast<double>(fd.shrink_rank()) *
+                (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FdBoundProperty,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32),
+                       ::testing::Values(1.0, 10.0, 1000.0),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ---------------------------------------------------------------------------
+// Property: sliding-window sketches only reflect the window — after the
+// stream switches distribution and a full window passes, the approximation
+// captures the new subspace, not the old one.
+// ---------------------------------------------------------------------------
+
+class WindowFidelityProperty
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WindowFidelityProperty, OldDataForgotten) {
+  const std::string algo = GetParam();
+  const size_t d = 8;
+  const uint64_t w = 128;
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = 16;
+  config.max_norm_sq = 4.0;  // Honest R for rows with norm^2 in [1, 4].
+  config.levels = 4;
+  auto sketch = MakeSlidingWindowSketch(d, WindowSpec::Sequence(w), config);
+  ASSERT_TRUE(sketch.ok());
+
+  Rng rng(9);
+  // Phase 1: energy only in coordinate 0.
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> row(d, 0.0);
+    row[0] = 1.0 + rng.Uniform01();
+    (*sketch)->Update(row, i);
+  }
+  // Phase 2: energy only in coordinate 1, for > one full window.
+  for (int i = 400; i < 700; ++i) {
+    std::vector<double> row(d, 0.0);
+    row[1] = 1.0 + rng.Uniform01();
+    (*sketch)->Update(row, i);
+  }
+  Matrix b = (*sketch)->Query();
+  double mass0 = 0.0, mass1 = 0.0;
+  for (size_t i = 0; i < b.rows(); ++i) {
+    mass0 += b(i, 0) * b(i, 0);
+    mass1 += b(i, 1) * b(i, 1);
+  }
+  EXPECT_GT(mass1, 0.0);
+  // Expired coordinate-0 energy must be (essentially) gone.
+  EXPECT_LT(mass0, 0.05 * mass1) << algo;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WindowFidelityProperty,
+                         ::testing::Values("swr", "swor", "swor-all", "lm-fd",
+                                           "lm-hash", "di-fd", "exact"));
+
+// ---------------------------------------------------------------------------
+// Property: across budgets, every sketch's covariance error on a stationary
+// Gaussian window stays below a loose cap, and space stays sublinear.
+// ---------------------------------------------------------------------------
+
+class BudgetSweepProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {};
+
+TEST_P(BudgetSweepProperty, ErrorCappedSpaceSublinear) {
+  const auto [algo, ell] = GetParam();
+  const size_t d = 10;
+  const uint64_t w = 800;
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = ell;
+  config.levels = 5;
+  config.max_norm_sq = 60.0;
+  auto sketch = MakeSlidingWindowSketch(d, WindowSpec::Sequence(w), config);
+  ASSERT_TRUE(sketch.ok());
+
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(3);
+  size_t max_rows = 0;
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<double> row(d);
+    for (auto& v : row) v = rng.Gaussian();
+    (*sketch)->Update(row, i);
+    buffer.Add(Row(row, i));
+    max_rows = std::max(max_rows, (*sketch)->RowsStored());
+  }
+  const double err = CovarianceError(buffer.GramMatrix(d),
+                                     buffer.FrobeniusNormSq(),
+                                     (*sketch)->Query());
+  EXPECT_LT(err, 0.75) << algo << " ell=" << ell;
+  EXPECT_LT(max_rows, w) << algo << " ell=" << ell;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BudgetSweepProperty,
+    ::testing::Combine(::testing::Values("swr", "swor", "lm-fd", "di-fd"),
+                       ::testing::Values(8, 16, 32)));
+
+}  // namespace
+}  // namespace swsketch

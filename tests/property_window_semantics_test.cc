@@ -1,0 +1,158 @@
+// Window-semantics properties: what a query reflects is exactly the
+// window, across window types and algorithms; plus error-budget checks
+// tying the frameworks' observed error to their structural parameters.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/dyadic_interval.h"
+#include "core/factory.h"
+#include "core/logarithmic_method.h"
+#include "eval/cov_err.h"
+#include "linalg/power_iteration.h"
+#include "stream/window_buffer.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: time-window queries reflect only the live time span, for every
+// time-capable algorithm, under bursty arrivals with silent gaps.
+// ---------------------------------------------------------------------------
+
+class TimeWindowFidelity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TimeWindowFidelity, BurstsAndGaps) {
+  const std::string algo = GetParam();
+  const size_t d = 6;
+  const double delta = 10.0;
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = 16;
+  auto sketch = MakeSlidingWindowSketch(d, WindowSpec::Time(delta), config);
+  ASSERT_TRUE(sketch.ok());
+
+  Rng rng(1);
+  // Burst 1 on coordinate 0 at t in [0, 5].
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(d, 0.0);
+    row[0] = 1.0 + rng.Uniform01();
+    (*sketch)->Update(row, 5.0 * i / 200.0);
+  }
+  // Silence, then burst 2 on coordinate 1 at t in [50, 55].
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(d, 0.0);
+    row[1] = 1.0 + rng.Uniform01();
+    (*sketch)->Update(row, 50.0 + 5.0 * i / 200.0);
+  }
+  Matrix b = (*sketch)->Query();
+  double mass0 = 0.0, mass1 = 0.0;
+  for (size_t i = 0; i < b.rows(); ++i) {
+    mass0 += b(i, 0) * b(i, 0);
+    mass1 += b(i, 1) * b(i, 1);
+  }
+  EXPECT_GT(mass1, 0.0) << algo;
+  EXPECT_LT(mass0, 0.05 * mass1) << algo << " kept expired burst energy";
+
+  // After a long silent advance, the window is empty.
+  (*sketch)->AdvanceTo(1000.0);
+  EXPECT_EQ((*sketch)->Query().rows(), 0u) << algo;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimeWindowFidelity,
+                         ::testing::Values("swr", "swor", "swor-all", "lm-fd",
+                                           "lm-hash", "exact"));
+
+// ---------------------------------------------------------------------------
+// Property: LM-FD's observed covariance error respects the structural
+// budget ~ (FD error) + (expiry error) = 2/ell + 1/b, with slack, across
+// parameter combinations.
+// ---------------------------------------------------------------------------
+
+class LmBudgetProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(LmBudgetProperty, ErrorWithinStructuralBudget) {
+  const auto [ell, b] = GetParam();
+  const size_t d = 12;
+  const uint64_t w = 600;
+  LmFd sketch(d, WindowSpec::Sequence(w),
+              LmFd::Options{.ell = ell, .blocks_per_level = b});
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(2);
+  double worst = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<double> row(d);
+    for (auto& v : row) v = rng.Gaussian();
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+    if (i > 700 && i % 350 == 0) {
+      worst = std::max(worst,
+                       CovarianceError(buffer.GramMatrix(d),
+                                       buffer.FrobeniusNormSq(),
+                                       sketch.Query()));
+    }
+  }
+  // Structural budget: FD merging error (~2/ell per the certificate,
+  // compounded across merges) plus the excluded straddling block
+  // (~1/b of the window mass). Allow 3x slack for the compounding.
+  const double budget = 3.0 * (2.0 / static_cast<double>(ell) +
+                               1.0 / static_cast<double>(b));
+  EXPECT_LT(worst, budget) << "ell=" << ell << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LmBudgetProperty,
+                         ::testing::Combine(::testing::Values(8, 16, 32),
+                                            ::testing::Values(4, 8, 16)));
+
+// ---------------------------------------------------------------------------
+// Property: with a lossless per-block sketch (FD of ample size), DI's only
+// error source is the skipped straddling level-1 block, so the absolute
+// covariance error is bounded by the level-1 block capacity (in mass).
+// ---------------------------------------------------------------------------
+
+class DiCoverProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DiCoverProperty, ErrorBoundedByStraddlingBlockMass) {
+  const size_t levels = GetParam();
+  const size_t d = 8;
+  const uint64_t w = 256;
+  const double r_bound = 4.0;
+  // ell_top huge => every block sketch is exact (rank <= d << ell).
+  DiFd sketch(d, DiFd::Options{.levels = levels, .window_size = w,
+                               .max_norm_sq = r_bound,
+                               .ell_top = 512, .ell_min = 64});
+  WindowBuffer buffer(WindowSpec::Sequence(w));
+  Rng rng(3);
+  const double capacity =
+      static_cast<double>(w) * r_bound / std::pow(2.0, double(levels));
+  for (int i = 0; i < 1500; ++i) {
+    std::vector<double> row(d);
+    for (auto& v : row) v = rng.Gaussian();
+    Normalize(row);
+    for (auto& v : row) v *= 1.0 + rng.Uniform01();  // Norm^2 in [1, 4].
+    sketch.Update(row, i);
+    buffer.Add(Row(row, i));
+    if (i > 400 && i % 177 == 0) {
+      const Matrix gram = buffer.GramMatrix(d);
+      Matrix diff = gram;
+      const Matrix b = sketch.Query();
+      for (size_t r = 0; r < b.rows(); ++r) {
+        diff.AddOuterProduct(b.Row(r), -1.0);
+      }
+      const double abs_err = SpectralNormSymmetric(diff);
+      // Straddling block mass <= capacity + one row overshoot (<= R).
+      EXPECT_LE(abs_err, capacity + r_bound + 1e-6)
+          << "levels=" << levels << " at i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DiCoverProperty, ::testing::Values(3, 4, 5));
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,292 @@
+// Round-trip tests for checkpoint/resume serialization across the stack:
+// after save + load, sketches must produce identical approximations and
+// continue identically on further updates.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dyadic_interval.h"
+#include "core/logarithmic_method.h"
+#include "core/swor.h"
+#include "core/swr.h"
+#include "linalg/matrix.h"
+#include "sketch/frequent_directions.h"
+#include "sketch/hash_sketch.h"
+#include "sketch/random_projection.h"
+#include "util/exponential_histogram.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace swsketch {
+namespace {
+
+std::vector<double> RandomRow(Rng* rng, size_t d) {
+  std::vector<double> r(d);
+  for (auto& v : r) v = rng->Gaussian();
+  return r;
+}
+
+TEST(SerializeTest, ByteRoundTripPrimitives) {
+  ByteWriter w;
+  w.Put<uint32_t>(42);
+  w.Put(3.5);
+  w.PutString("hello");
+  w.PutVector(std::vector<double>{1.0, 2.0});
+  ByteReader r(w.bytes());
+  uint32_t i = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<double> v;
+  EXPECT_TRUE(r.Get(&i));
+  EXPECT_TRUE(r.Get(&d));
+  EXPECT_TRUE(r.GetString(&s));
+  EXPECT_TRUE(r.GetVector(&v));
+  EXPECT_EQ(i, 42u);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v, (std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncatedPayloadFailsCleanly) {
+  ByteWriter w;
+  w.Put<uint64_t>(1000);  // Claims a long vector that is not there.
+  ByteReader r(w.bytes());
+  std::vector<double> v;
+  // Interpret the 8 bytes as a vector length: read must fail, not crash.
+  ByteReader r2(w.bytes());
+  EXPECT_FALSE(r2.GetVector(&v));
+  EXPECT_FALSE(r2.ok());
+  (void)r;
+}
+
+TEST(SerializeTest, MatrixRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  ByteWriter w;
+  m.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = Matrix::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->ApproxEquals(m, 0.0));
+}
+
+TEST(SerializeTest, RngRoundTripContinuesIdentically) {
+  Rng a(7);
+  for (int i = 0; i < 13; ++i) a.Next();
+  a.Gaussian();  // Leaves a cached value.
+  ByteWriter w;
+  a.Serialize(&w);
+  ByteReader r(w.bytes());
+  Rng b(99);
+  ASSERT_TRUE(b.Deserialize(&r));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Gaussian(), b.Gaussian());
+}
+
+TEST(SerializeTest, ExponentialHistogramRoundTrip) {
+  ExponentialHistogram eh(0.1);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) eh.Add(1.0 + rng.Uniform01(), i);
+  ByteWriter w;
+  eh.Serialize(&w);
+  ByteReader r(w.bytes());
+  ExponentialHistogram loaded(0.5);
+  ASSERT_TRUE(loaded.Deserialize(&r));
+  for (double start : {0.0, 100.0, 499.0}) {
+    EXPECT_EQ(loaded.Estimate(start), eh.Estimate(start));
+  }
+  EXPECT_EQ(loaded.NumBuckets(), eh.NumBuckets());
+}
+
+TEST(SerializeTest, FrequentDirectionsRoundTrip) {
+  Rng rng(2);
+  FrequentDirections fd(12, 8);
+  for (int i = 0; i < 100; ++i) fd.Append(RandomRow(&rng, 12), i);
+  ByteWriter w;
+  fd.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = FrequentDirections::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->Approximation().ApproxEquals(fd.Approximation(), 0.0));
+  EXPECT_EQ(loaded->shed_mass(), fd.shed_mass());
+  // Continue identically.
+  for (int i = 0; i < 50; ++i) {
+    auto row = RandomRow(&rng, 12);
+    fd.Append(row, i);
+    loaded->Append(row, i);
+  }
+  EXPECT_TRUE(loaded->Approximation().ApproxEquals(fd.Approximation(), 0.0));
+}
+
+TEST(SerializeTest, HashSketchRoundTrip) {
+  Rng rng(3);
+  HashSketch hs(10, 16, 5);
+  for (int i = 0; i < 60; ++i) hs.Append(RandomRow(&rng, 10), i);
+  ByteWriter w;
+  hs.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = HashSketch::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->Approximation().ApproxEquals(hs.Approximation(), 0.0));
+  // Same hash functions afterwards.
+  auto row = RandomRow(&rng, 10);
+  hs.Append(row, 1000);
+  loaded->Append(row, 1000);
+  EXPECT_TRUE(loaded->Approximation().ApproxEquals(hs.Approximation(), 0.0));
+}
+
+TEST(SerializeTest, RandomProjectionRoundTripContinuesIdentically) {
+  Rng rng(4);
+  RandomProjection rp(9, 24, 6);
+  for (int i = 0; i < 40; ++i) rp.Append(RandomRow(&rng, 9), i);
+  ByteWriter w;
+  rp.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = RandomProjection::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  // The sign generator state is restored: future appends match exactly.
+  for (int i = 0; i < 20; ++i) {
+    auto row = RandomRow(&rng, 9);
+    rp.Append(row, i);
+    loaded->Append(row, i);
+  }
+  EXPECT_TRUE(loaded->Approximation().ApproxEquals(rp.Approximation(), 0.0));
+}
+
+TEST(SerializeTest, SwrSketchRoundTrip) {
+  Rng rng(5);
+  SwrSketch sketch(6, WindowSpec::Sequence(100),
+                   SwrSketch::Options{.ell = 8, .seed = 11});
+  for (int i = 0; i < 300; ++i) sketch.Update(RandomRow(&rng, 6), i);
+  ByteWriter w;
+  sketch.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = SwrSketch::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->RowsStored(), sketch.RowsStored());
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+  // Continue identically (same RNG state).
+  for (int i = 300; i < 400; ++i) {
+    auto row = RandomRow(&rng, 6);
+    sketch.Update(row, i);
+    loaded->Update(row, i);
+  }
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+}
+
+TEST(SerializeTest, SworSketchRoundTrip) {
+  Rng rng(6);
+  SworSketch sketch(5, WindowSpec::Time(50.0),
+                    SworSketch::Options{.ell = 6, .seed = 13});
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.Exponential(1.0);
+    sketch.Update(RandomRow(&rng, 5), t);
+  }
+  ByteWriter w;
+  sketch.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = SworSketch::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name(), "SWOR");
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+  for (int i = 0; i < 100; ++i) {
+    t += rng.Exponential(1.0);
+    auto row = RandomRow(&rng, 5);
+    sketch.Update(row, t);
+    loaded->Update(row, t);
+  }
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+}
+
+TEST(SerializeTest, LmFdRoundTrip) {
+  Rng rng(7);
+  LmFd sketch(8, WindowSpec::Sequence(200),
+              LmFd::Options{.ell = 12, .blocks_per_level = 4});
+  for (int i = 0; i < 900; ++i) sketch.Update(RandomRow(&rng, 8), i);
+  ByteWriter w;
+  sketch.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = LmFd::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->RowsStored(), sketch.RowsStored());
+  EXPECT_EQ(loaded->NumLevels(), sketch.NumLevels());
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+  for (int i = 900; i < 1200; ++i) {
+    auto row = RandomRow(&rng, 8);
+    sketch.Update(row, i);
+    loaded->Update(row, i);
+  }
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+  loaded->CheckInvariants();
+}
+
+TEST(SerializeTest, LmHashRoundTrip) {
+  Rng rng(8);
+  LmHash sketch(6, WindowSpec::Sequence(150),
+                LmHash::Options{.ell = 32, .blocks_per_level = 4, .seed = 3});
+  for (int i = 0; i < 700; ++i) sketch.Update(RandomRow(&rng, 6), i);
+  ByteWriter w;
+  sketch.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = LmHash::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+}
+
+TEST(SerializeTest, DiFdRoundTrip) {
+  Rng rng(9);
+  DiFd sketch(7, DiFd::Options{.levels = 4, .window_size = 128,
+                               .max_norm_sq = 20.0, .ell_top = 12});
+  for (int i = 0; i < 600; ++i) sketch.Update(RandomRow(&rng, 7), i);
+  ByteWriter w;
+  sketch.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = DiFd::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->RowsStored(), sketch.RowsStored());
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+  for (int i = 600; i < 900; ++i) {
+    auto row = RandomRow(&rng, 7);
+    sketch.Update(row, i);
+    loaded->Update(row, i);
+  }
+  EXPECT_TRUE(loaded->Query().ApproxEquals(sketch.Query(), 1e-12));
+  loaded->CheckInvariants();
+}
+
+TEST(SerializeTest, CorruptHeadersRejected) {
+  ByteWriter w;
+  WriteHeader(&w, 0xDEADBEEF, 1);
+  {
+    ByteReader r(w.bytes());
+    EXPECT_FALSE(FrequentDirections::Deserialize(&r).ok());
+  }
+  {
+    ByteReader r(w.bytes());
+    EXPECT_FALSE(LmFd::Deserialize(&r).ok());
+  }
+  {
+    ByteReader r(w.bytes());
+    EXPECT_FALSE(SwrSketch::Deserialize(&r).ok());
+  }
+  {
+    ByteReader r(w.bytes());
+    EXPECT_FALSE(DiFd::Deserialize(&r).ok());
+  }
+}
+
+TEST(SerializeTest, TruncatedSketchPayloadRejected) {
+  Rng rng(10);
+  FrequentDirections fd(5, 4);
+  for (int i = 0; i < 20; ++i) fd.Append(RandomRow(&rng, 5), i);
+  ByteWriter w;
+  fd.Serialize(&w);
+  auto bytes = w.TakeBytes();
+  bytes.resize(bytes.size() / 2);
+  ByteReader r(bytes);
+  EXPECT_FALSE(FrequentDirections::Deserialize(&r).ok());
+}
+
+}  // namespace
+}  // namespace swsketch

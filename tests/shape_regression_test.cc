@@ -1,0 +1,116 @@
+// Miniature shape-regression tests: the paper's qualitative experimental
+// findings, asserted at test scale so CI catches regressions that would
+// silently change the reproduced figures.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "data/pamap.h"
+#include "eval/cov_err.h"
+#include "sketch/priority_sampler.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+// Figure 6's phenomenon, as a regression test: on a window with few huge
+// rows and many tiny rows, SWOR's error increases as the sample size
+// passes the heavy-row count; SWR's decreases.
+TEST(ShapeRegression, Fig6SworSkewPathology) {
+  PamapStream stream(PamapStream::Options{.rows = 30000, .window = 3000,
+                                          .seed = 11});
+  const size_t begin = stream.skewed_window_begin();
+  Matrix window(0, stream.dim());
+  size_t idx = 0;
+  while (auto row = stream.Next()) {
+    if (idx >= begin && idx < begin + 3000) window.AppendRow(row->view());
+    ++idx;
+  }
+  const Matrix gram = window.Gram();
+  const double frob_sq = window.FrobeniusNormSq();
+
+  Rng rng(5);
+  auto mean_err = [&](size_t ell, bool with_replacement) {
+    double sum = 0.0;
+    for (int rep = 0; rep < 8; ++rep) {
+      sum += CovarianceError(
+          gram, frob_sq,
+          SampleRowsOffline(window, ell, with_replacement, &rng));
+    }
+    return sum / 8.0;
+  };
+  // SWR: monotone-ish improvement.
+  EXPECT_LT(mean_err(80, true), mean_err(10, true));
+  // SWOR: worse at 80 than at its small-sample sweet spot.
+  EXPECT_GT(mean_err(80, false), 1.5 * mean_err(15, false));
+  // And SWR beats SWOR at large sample sizes on this window.
+  EXPECT_LT(mean_err(80, true), mean_err(80, false));
+}
+
+// Figures 3/7: LM-FD achieves lower error than the samplers at the same
+// ell on generic data (already covered for sequence windows in
+// integration tests; this pins the time-window variant).
+TEST(ShapeRegression, LmFdBeatsSamplersOnTimeWindows) {
+  const size_t d = 16;
+  const double delta = 200.0;
+  std::vector<std::unique_ptr<SlidingWindowSketch>> sketches;
+  for (const char* algo : {"lm-fd", "swr", "swor"}) {
+    SketchConfig config;
+    config.algorithm = algo;
+    config.ell = 16;
+    auto r = MakeSlidingWindowSketch(d, WindowSpec::Time(delta), config);
+    ASSERT_TRUE(r.ok());
+    sketches.push_back(r.take());
+  }
+  Rng rng(7);
+  double t = 0.0;
+  Matrix recent(0, d);
+  std::vector<Row> all;
+  for (int i = 0; i < 3000; ++i) {
+    t += rng.Exponential(2.0);
+    std::vector<double> row(d);
+    for (auto& v : row) v = rng.Gaussian();
+    for (auto& s : sketches) s->Update(row, t);
+    all.emplace_back(row, t);
+  }
+  Matrix window(0, d);
+  for (const Row& r : all) {
+    if (r.ts >= t - delta) window.AppendRow(r.view());
+  }
+  const Matrix gram = window.Gram();
+  const double frob_sq = window.FrobeniusNormSq();
+  const double lm = CovarianceError(gram, frob_sq, sketches[0]->Query());
+  const double swr = CovarianceError(gram, frob_sq, sketches[1]->Query());
+  const double swor = CovarianceError(gram, frob_sq, sketches[2]->Query());
+  EXPECT_LT(lm, swr);
+  EXPECT_LT(lm, swor);
+}
+
+// Theorem 4.1's operational shape: exact is linear in N, sketches flat.
+TEST(ShapeRegression, ExactLinearSketchFlat) {
+  Rng rng(9);
+  size_t exact_small = 0, exact_big = 0, lm_small = 0, lm_big = 0;
+  for (uint64_t n : {200u, 1600u}) {
+    SketchConfig exact_cfg, lm_cfg;
+    exact_cfg.algorithm = "exact";
+    lm_cfg.algorithm = "lm-fd";
+    lm_cfg.ell = 8;
+    auto exact = MakeSlidingWindowSketch(4, WindowSpec::Sequence(n), exact_cfg);
+    auto lm = MakeSlidingWindowSketch(4, WindowSpec::Sequence(n), lm_cfg);
+    for (uint64_t i = 0; i < 2 * n; ++i) {
+      std::vector<double> row(4);
+      for (auto& v : row) v = rng.Gaussian();
+      (*exact)->Update(row, static_cast<double>(i));
+      (*lm)->Update(row, static_cast<double>(i));
+    }
+    (n == 200 ? exact_small : exact_big) = (*exact)->RowsStored();
+    (n == 200 ? lm_small : lm_big) = (*lm)->RowsStored();
+  }
+  EXPECT_EQ(exact_small, 200u);
+  EXPECT_EQ(exact_big, 1600u);  // Linear: 8x the window, 8x the rows.
+  EXPECT_LT(lm_big, 3 * lm_small + 64);  // Near-flat.
+}
+
+}  // namespace
+}  // namespace swsketch

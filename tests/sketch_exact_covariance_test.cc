@@ -1,0 +1,44 @@
+// Tests for the exact covariance streaming baseline.
+#include "sketch/exact_covariance.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/cov_err.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(ExactCovarianceTest, CovarianceIsExact) {
+  Matrix a = RandomMatrix(40, 7, 1);
+  ExactCovariance ec(7);
+  for (size_t i = 0; i < a.rows(); ++i) ec.Append(a.Row(i), i);
+  EXPECT_TRUE(ec.Covariance().ApproxEquals(a.Gram(), 1e-10));
+  EXPECT_NEAR(ec.frobenius_norm_sq(), a.FrobeniusNormSq(), 1e-9);
+}
+
+TEST(ExactCovarianceTest, ApproximationHasZeroCovErr) {
+  Matrix a = RandomMatrix(60, 5, 2);
+  ExactCovariance ec(5);
+  for (size_t i = 0; i < a.rows(); ++i) ec.Append(a.Row(i), i);
+  EXPECT_NEAR(CovarianceErrorDense(a, ec.Approximation()), 0.0, 1e-8);
+}
+
+TEST(ExactCovarianceTest, SpaceIsDSquaredIndependentOfN) {
+  ExactCovariance ec(9);
+  Matrix a = RandomMatrix(500, 9, 3);
+  for (size_t i = 0; i < a.rows(); ++i) ec.Append(a.Row(i), i);
+  EXPECT_EQ(ec.RowsStored(), 9u);  // d rows of d entries.
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,167 @@
+// Tests for the Frequent Directions streaming sketch, including the
+// theoretical error bound and mergeability (Section 6.1).
+#include "sketch/frequent_directions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/cov_err.h"
+#include "linalg/power_iteration.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+// Absolute covariance error ||A^T A - B^T B||_2.
+double AbsCovErr(const Matrix& a, const Matrix& b) {
+  Matrix diff = a.Gram();
+  for (size_t i = 0; i < b.rows(); ++i) diff.AddOuterProduct(b.Row(i), -1.0);
+  return SpectralNormSymmetric(diff);
+}
+
+TEST(FrequentDirectionsTest, FewRowsExact) {
+  // With fewer rows than ell, no shrink happens: B^T B = A^T A exactly.
+  FrequentDirections fd(6, 10);
+  Matrix a = RandomMatrix(8, 6, 1);
+  fd.AppendMatrix(a);
+  EXPECT_EQ(fd.RowsStored(), 8u);
+  EXPECT_NEAR(AbsCovErr(a, fd.Approximation()), 0.0, 1e-9);
+  EXPECT_EQ(fd.shed_mass(), 0.0);
+}
+
+TEST(FrequentDirectionsTest, BoundedRows) {
+  FrequentDirections fd(10, 8);
+  Matrix a = RandomMatrix(200, 10, 2);
+  fd.AppendMatrix(a);
+  EXPECT_LE(fd.RowsStored(), 8u);
+}
+
+TEST(FrequentDirectionsTest, ErrorWithinShedMass) {
+  // Invariant of the FD analysis: ||A^T A - B^T B|| <= shed_mass.
+  FrequentDirections fd(12, 10);
+  Matrix a = RandomMatrix(300, 12, 3);
+  fd.AppendMatrix(a);
+  const double err = AbsCovErr(a, fd.Approximation());
+  EXPECT_LE(err, fd.shed_mass() * (1.0 + 1e-9) + 1e-9);
+}
+
+TEST(FrequentDirectionsTest, ShedMassBound) {
+  // shed_mass <= ||A||_F^2 / shrink_rank (each shrink subtracting lambda
+  // removes at least shrink_rank * lambda of Frobenius mass).
+  const size_t ell = 10;
+  FrequentDirections fd(12, ell);
+  Matrix a = RandomMatrix(400, 12, 4);
+  fd.AppendMatrix(a);
+  const double budget =
+      a.FrobeniusNormSq() / static_cast<double>(fd.shrink_rank());
+  EXPECT_LE(fd.shed_mass(), budget * (1.0 + 1e-9));
+}
+
+TEST(FrequentDirectionsTest, CovaErrBoundTwoOverEll) {
+  // Paper form: cova-err <= 2 / ell (shrink at ell/2).
+  const size_t ell = 16;
+  FrequentDirections fd(20, ell);
+  Matrix a = RandomMatrix(500, 20, 5);
+  fd.AppendMatrix(a);
+  const double err = CovarianceErrorDense(a, fd.Approximation());
+  EXPECT_LE(err, 2.0 / (ell / 2.0) + 1e-9);
+}
+
+TEST(FrequentDirectionsTest, InputMassTracked) {
+  FrequentDirections fd(5, 4);
+  Matrix a = RandomMatrix(50, 5, 6);
+  fd.AppendMatrix(a);
+  EXPECT_NEAR(fd.input_mass(), a.FrobeniusNormSq(), 1e-9);
+}
+
+TEST(FrequentDirectionsTest, LowRankInputIsExact) {
+  // A rank-2 stream sketched with ell >= 5 loses nothing: the shrink
+  // subtracts sigma_{ell/2} = 0.
+  Rng rng(7);
+  Matrix basis = RandomMatrix(2, 15, 8);
+  FrequentDirections fd(15, 10);
+  Matrix a(0, 15);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> row(15, 0.0);
+    const double c0 = rng.Gaussian(), c1 = rng.Gaussian();
+    for (size_t j = 0; j < 15; ++j) {
+      row[j] = c0 * basis(0, j) + c1 * basis(1, j);
+    }
+    a.AppendRow(row);
+    fd.Append(row, 0);
+  }
+  EXPECT_NEAR(AbsCovErr(a, fd.Approximation()), 0.0,
+              1e-7 * a.FrobeniusNormSq());
+  EXPECT_EQ(fd.shed_mass(), 0.0);
+}
+
+TEST(FrequentDirectionsTest, MergePreservesSizeBound) {
+  FrequentDirections fd1(10, 8), fd2(10, 8);
+  fd1.AppendMatrix(RandomMatrix(100, 10, 9));
+  fd2.AppendMatrix(RandomMatrix(120, 10, 10));
+  fd1.MergeWith(fd2);
+  EXPECT_LE(fd1.RowsStored(), 8u);
+}
+
+TEST(FrequentDirectionsTest, MergeErrorWithinCombinedBudget) {
+  // Mergeability (Section 6.1): the merged sketch approximates [A1; A2]
+  // within the summed shed budgets.
+  const size_t ell = 12;
+  Matrix a1 = RandomMatrix(150, 14, 11);
+  Matrix a2 = RandomMatrix(170, 14, 12);
+  FrequentDirections fd1(14, ell), fd2(14, ell);
+  fd1.AppendMatrix(a1);
+  fd2.AppendMatrix(a2);
+  fd1.MergeWith(fd2);
+
+  const Matrix stacked = a1.VStack(a2);
+  const double err = AbsCovErr(stacked, fd1.Approximation());
+  EXPECT_LE(err, fd1.shed_mass() * (1.0 + 1e-9));
+  // And the paper-level bound relative to total mass.
+  const double rel = err / stacked.FrobeniusNormSq();
+  EXPECT_LE(rel, 2.0 / (ell / 2.0));
+}
+
+TEST(FrequentDirectionsTest, MergeWithEmpty) {
+  FrequentDirections fd1(6, 4), fd2(6, 4);
+  Matrix a = RandomMatrix(30, 6, 13);
+  fd1.AppendMatrix(a);
+  fd1.MergeWith(fd2);  // No-op merge.
+  EXPECT_LE(AbsCovErr(a, fd1.Approximation()),
+            fd1.shed_mass() + 1e-9);
+}
+
+TEST(FrequentDirectionsTest, CustomShrinkRank) {
+  FrequentDirections fd(8, FrequentDirections::Options{.ell = 8,
+                                                       .shrink_rank = 8});
+  EXPECT_EQ(fd.shrink_rank(), 8u);
+  Matrix a = RandomMatrix(100, 8, 14);
+  fd.AppendMatrix(a);
+  EXPECT_LE(fd.RowsStored(), 8u);
+}
+
+TEST(FrequentDirectionsTest, RejectsBadConfig) {
+  EXPECT_DEATH(FrequentDirections(4, 1), "");
+  EXPECT_DEATH(FrequentDirections(
+                   4, FrequentDirections::Options{.ell = 4, .shrink_rank = 5}),
+               "");
+}
+
+TEST(FrequentDirectionsTest, RejectsWrongDim) {
+  FrequentDirections fd(4, 4);
+  std::vector<double> bad{1.0, 2.0};
+  EXPECT_DEATH(fd.Append(bad, 0), "");
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,188 @@
+// Tests for the streaming/offline norm-proportional samplers (Section 3).
+#include "sketch/priority_sampler.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "eval/cov_err.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(LogPriorityTest, HigherWeightWinsMoreOften) {
+  // Priority u^{1/w}: a weight-9 element should beat a weight-1 element
+  // with probability 9/10.
+  Rng rng(1);
+  int wins = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const double heavy = LogPriority(&rng, 9.0);
+    const double light = LogPriority(&rng, 1.0);
+    wins += heavy > light;
+  }
+  EXPECT_NEAR(wins / static_cast<double>(trials), 0.9, 0.01);
+}
+
+TEST(LogPriorityTest, NumericallyStableForHugeWeights) {
+  // With w ~ 1e5 the direct form u^{1/w} collapses to ~1.0; log-domain
+  // priorities must still distinguish values.
+  Rng rng(2);
+  std::map<double, int> seen;
+  for (int t = 0; t < 100; ++t) seen[LogPriority(&rng, 1e5)]++;
+  EXPECT_EQ(seen.size(), 100u);  // All distinct.
+  for (const auto& [lp, n] : seen) EXPECT_LT(lp, 0.0);
+}
+
+TEST(StreamingSwrSamplerTest, SamplesProportionalToSquaredNorm) {
+  // Two distinct rows with squared norms 1 and 4: the heavy row must be
+  // sampled ~4/5 of the time.
+  const int trials = 3000;
+  int heavy = 0;
+  for (int t = 0; t < trials; ++t) {
+    StreamingSwrSampler s(2, 1, 1000 + t);
+    std::vector<double> light_row{1.0, 0.0}, heavy_row{0.0, 2.0};
+    s.Append(light_row, 0);
+    s.Append(heavy_row, 1);
+    auto samples = s.Samples();
+    ASSERT_EQ(samples.size(), 1u);
+    heavy += samples[0][1] != 0.0;
+  }
+  EXPECT_NEAR(heavy / static_cast<double>(trials), 0.8, 0.03);
+}
+
+TEST(StreamingSwrSamplerTest, ApproximationPreservesFrobenius) {
+  // The SWR rescaling makes ||B||_F^2 = ||A||_F^2 exactly.
+  Matrix a = RandomMatrix(100, 5, 3);
+  StreamingSwrSampler s(5, 20, 4);
+  for (size_t i = 0; i < a.rows(); ++i) s.Append(a.Row(i), i);
+  EXPECT_NEAR(s.Approximation().FrobeniusNormSq(), a.FrobeniusNormSq(),
+              1e-9 * a.FrobeniusNormSq());
+}
+
+TEST(StreamingSwrSamplerTest, ErrorDecreasesWithEll) {
+  Matrix a = RandomMatrix(400, 8, 5);
+  double err_small = 0.0, err_large = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    StreamingSwrSampler small(8, 4, 10 + seed), large(8, 256, 20 + seed);
+    for (size_t i = 0; i < a.rows(); ++i) {
+      small.Append(a.Row(i), i);
+      large.Append(a.Row(i), i);
+    }
+    err_small += CovarianceErrorDense(a, small.Approximation());
+    err_large += CovarianceErrorDense(a, large.Approximation());
+  }
+  EXPECT_LT(err_large, err_small);
+  EXPECT_LT(err_large / 5.0, 0.3);
+}
+
+TEST(StreamingSworSamplerTest, NoDuplicates) {
+  StreamingSworSampler s(3, 10, 6);
+  Matrix a = RandomMatrix(50, 3, 7);
+  for (size_t i = 0; i < a.rows(); ++i) s.Append(a.Row(i), i);
+  auto samples = s.Samples();
+  EXPECT_EQ(samples.size(), 10u);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    for (size_t j = i + 1; j < samples.size(); ++j) {
+      EXPECT_NE(samples[i], samples[j]);
+    }
+  }
+}
+
+TEST(StreamingSworSamplerTest, ReservoirBounded) {
+  StreamingSworSampler s(4, 7, 8);
+  Matrix a = RandomMatrix(200, 4, 9);
+  for (size_t i = 0; i < a.rows(); ++i) s.Append(a.Row(i), i);
+  EXPECT_EQ(s.RowsStored(), 7u);
+}
+
+TEST(StreamingSworSamplerTest, FrobeniusPreservedByRescaling) {
+  Matrix a = RandomMatrix(120, 6, 10);
+  StreamingSworSampler s(6, 15, 11);
+  for (size_t i = 0; i < a.rows(); ++i) s.Append(a.Row(i), i);
+  EXPECT_NEAR(s.Approximation().FrobeniusNormSq(), a.FrobeniusNormSq(),
+              1e-9 * a.FrobeniusNormSq());
+}
+
+TEST(SamplersIgnoreZeroRows, BothSchemes) {
+  StreamingSwrSampler swr(3, 4, 12);
+  StreamingSworSampler swor(3, 4, 13);
+  std::vector<double> zero{0.0, 0.0, 0.0}, one{1.0, 0.0, 0.0};
+  swr.Append(zero, 0);
+  swor.Append(zero, 0);
+  EXPECT_EQ(swr.RowsStored(), 0u);
+  EXPECT_EQ(swor.RowsStored(), 0u);
+  swr.Append(one, 1);
+  swor.Append(one, 1);
+  EXPECT_GT(swr.RowsStored(), 0u);
+  EXPECT_EQ(swor.RowsStored(), 1u);
+}
+
+TEST(SampleRowsOfflineTest, WithReplacementRowCount) {
+  Matrix a = RandomMatrix(60, 4, 14);
+  Rng rng(15);
+  Matrix b = SampleRowsOffline(a, 25, /*with_replacement=*/true, &rng);
+  EXPECT_EQ(b.rows(), 25u);
+  EXPECT_EQ(b.cols(), 4u);
+}
+
+TEST(SampleRowsOfflineTest, WithoutReplacementCappedAtN) {
+  Matrix a = RandomMatrix(10, 4, 16);
+  Rng rng(17);
+  Matrix b = SampleRowsOffline(a, 25, /*with_replacement=*/false, &rng);
+  EXPECT_EQ(b.rows(), 10u);
+}
+
+TEST(SampleRowsOfflineTest, ErrorReasonableOnGaussian) {
+  Matrix a = RandomMatrix(500, 6, 18);
+  Rng rng(19);
+  double err = 0.0;
+  for (int t = 0; t < 5; ++t) {
+    err += CovarianceErrorDense(
+        a, SampleRowsOffline(a, 128, /*with_replacement=*/true, &rng));
+  }
+  EXPECT_LT(err / 5.0, 0.35);
+}
+
+TEST(SampleRowsOfflineTest, SworDegradesOnSkewedNorms) {
+  // The Figure 6 phenomenon: a window with a few huge rows and many tiny
+  // rows makes SWOR's common rescaling over-emphasize tiny sampled rows,
+  // so sampling MORE rows makes it worse, while SWR stays controlled.
+  const size_t d = 6;
+  Rng gen(20);
+  Matrix a(0, d);
+  for (int i = 0; i < 20; ++i) {  // 20 huge rows.
+    std::vector<double> r(d);
+    for (auto& v : r) v = 100.0 * gen.Gaussian();
+    a.AppendRow(r);
+  }
+  for (int i = 0; i < 2000; ++i) {  // Many tiny rows.
+    std::vector<double> r(d);
+    for (auto& v : r) v = 0.05 * gen.Gaussian();
+    a.AppendRow(r);
+  }
+  Rng rng(21);
+  double swor_few = 0.0, swor_many = 0.0;
+  for (int t = 0; t < 5; ++t) {
+    swor_few += CovarianceErrorDense(
+        a, SampleRowsOffline(a, 20, /*with_replacement=*/false, &rng));
+    swor_many += CovarianceErrorDense(
+        a, SampleRowsOffline(a, 60, /*with_replacement=*/false, &rng));
+  }
+  // With ell > #huge rows, SWOR must include tiny rows and rescale them
+  // up: error grows with the sample size.
+  EXPECT_GT(swor_many, swor_few);
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,161 @@
+// Tests for the random projection and feature hashing sketches
+// (Appendix A).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/cov_err.h"
+#include "sketch/hash_sketch.h"
+#include "sketch/random_projection.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+void AppendAll(MatrixSketch* sketch, const Matrix& a, uint64_t id0 = 0) {
+  for (size_t i = 0; i < a.rows(); ++i) sketch->Append(a.Row(i), id0 + i);
+}
+
+TEST(RandomProjectionTest, ShapeAndRows) {
+  RandomProjection rp(10, 16, 1);
+  EXPECT_EQ(rp.RowsStored(), 16u);
+  EXPECT_EQ(rp.dim(), 10u);
+  Matrix b = rp.Approximation();
+  EXPECT_EQ(b.rows(), 16u);
+  EXPECT_EQ(b.cols(), 10u);
+}
+
+TEST(RandomProjectionTest, PreservesFrobeniusInExpectation) {
+  // E[||RA||_F^2] = ||A||_F^2; check it is within a small factor.
+  Matrix a = RandomMatrix(200, 8, 2);
+  RandomProjection rp(8, 64, 3);
+  AppendAll(&rp, a);
+  const double ratio = rp.Approximation().FrobeniusNormSq() /
+                       a.FrobeniusNormSq();
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(RandomProjectionTest, CovarianceErrorShrinksWithEll) {
+  Matrix a = RandomMatrix(300, 10, 4);
+  double prev = 1e9;
+  for (size_t ell : {8, 64, 512}) {
+    double err_sum = 0.0;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      RandomProjection rp(10, ell, 100 + seed);
+      AppendAll(&rp, a);
+      err_sum += CovarianceErrorDense(a, rp.Approximation());
+    }
+    const double err = err_sum / 3.0;
+    EXPECT_LT(err, prev * 1.05) << "ell=" << ell;
+    prev = err;
+  }
+  // With ell = 512 >> d the error must be small.
+  EXPECT_LT(prev, 0.25);
+}
+
+TEST(RandomProjectionTest, MergeEquivalentToConcatenatedStream) {
+  // Merging B1 = R1 A1, B2 = R2 A2 equals sketching [A1; A2] with the
+  // block projection [R1, R2]: check the covariance error stays in the
+  // same regime as a single-projection run.
+  Matrix a1 = RandomMatrix(100, 6, 5);
+  Matrix a2 = RandomMatrix(120, 6, 6);
+  RandomProjection rp1(6, 128, 7), rp2(6, 128, 8);
+  AppendAll(&rp1, a1);
+  AppendAll(&rp2, a2);
+  rp1.MergeWith(rp2);
+  const Matrix stacked = a1.VStack(a2);
+  EXPECT_LT(CovarianceErrorDense(stacked, rp1.Approximation()), 0.5);
+}
+
+TEST(HashFamilyTest, DeterministicAndSeedDependent) {
+  HashFamily h1(1), h2(1), h3(2);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(h1.Bucket(k, 64), h2.Bucket(k, 64));
+    EXPECT_EQ(h1.Sign(k), h2.Sign(k));
+  }
+  int diff = 0;
+  for (uint64_t k = 0; k < 100; ++k) diff += h1.Bucket(k, 64) != h3.Bucket(k, 64);
+  EXPECT_GT(diff, 50);
+}
+
+TEST(HashFamilyTest, BucketsRoughlyUniform) {
+  HashFamily h(3);
+  const size_t buckets = 16;
+  std::vector<int> counts(buckets, 0);
+  const int n = 64000;
+  for (int k = 0; k < n; ++k) ++counts[h.Bucket(k, buckets)];
+  for (int c : counts) EXPECT_NEAR(c, n / 16.0, n / 16.0 * 0.2);
+}
+
+TEST(HashFamilyTest, SignsBalanced) {
+  HashFamily h(4);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < 100000; ++k) sum += h.Sign(k);
+  EXPECT_LT(std::fabs(sum) / 100000.0, 0.02);
+}
+
+TEST(HashSketchTest, SingleRowRecoverable) {
+  // One row hashes into one bucket with sign +-1: B^T B = a^T a exactly.
+  HashSketch hs(5, 8, 1);
+  std::vector<double> row{1, 2, 3, 4, 5};
+  hs.Append(row, 7);
+  Matrix a(0, 5);
+  a.AppendRow(row);
+  EXPECT_NEAR(CovarianceErrorDense(a, hs.Approximation()), 0.0, 1e-12);
+}
+
+TEST(HashSketchTest, CovarianceErrorShrinksWithEll) {
+  Matrix a = RandomMatrix(300, 6, 9);
+  double prev = 1e9;
+  for (size_t ell : {16, 128, 1024}) {
+    double err_sum = 0.0;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      HashSketch hs(6, ell, 50 + seed);
+      AppendAll(&hs, a);
+      err_sum += CovarianceErrorDense(a, hs.Approximation());
+    }
+    const double err = err_sum / 3.0;
+    EXPECT_LT(err, prev * 1.05) << "ell=" << ell;
+    prev = err;
+  }
+  EXPECT_LT(prev, 0.2);
+}
+
+TEST(HashSketchTest, MergeWithSharedSeedMatchesSingleSketch) {
+  // Mergeability (Appendix A): same (h, g) and globally distinct ids =>
+  // merge by addition is EXACTLY the sketch of the concatenated stream.
+  Matrix a1 = RandomMatrix(50, 7, 10);
+  Matrix a2 = RandomMatrix(60, 7, 11);
+  HashSketch h1(7, 32, 5), h2(7, 32, 5), whole(7, 32, 5);
+  AppendAll(&h1, a1, 0);
+  AppendAll(&h2, a2, a1.rows());
+  AppendAll(&whole, a1, 0);
+  AppendAll(&whole, a2, a1.rows());
+  h1.MergeWith(h2);
+  EXPECT_TRUE(
+      h1.Approximation().ApproxEquals(whole.Approximation(), 1e-12));
+}
+
+TEST(HashSketchTest, MergeRequiresSameSeed) {
+  HashSketch h1(4, 8, 1), h2(4, 8, 2);
+  EXPECT_DEATH(h1.MergeWith(h2), "");
+}
+
+TEST(HashSketchTest, RejectsWrongDim) {
+  HashSketch hs(4, 8, 1);
+  std::vector<double> bad{1.0};
+  EXPECT_DEATH(hs.Append(bad, 0), "");
+}
+
+}  // namespace
+}  // namespace swsketch

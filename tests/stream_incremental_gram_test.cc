@@ -1,0 +1,85 @@
+// Tests for the incrementally-maintained exact window covariance.
+#include "stream/incremental_gram.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/window_buffer.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+std::vector<double> RandomRow(Rng* rng, size_t d) {
+  std::vector<double> r(d);
+  for (auto& v : r) v = rng->Gaussian();
+  return r;
+}
+
+TEST(IncrementalWindowGramTest, MatchesRecomputedGramOnSequenceWindow) {
+  const size_t d = 6;
+  IncrementalWindowGram inc(d, WindowSpec::Sequence(40));
+  WindowBuffer ref(WindowSpec::Sequence(40));
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    auto row = RandomRow(&rng, d);
+    inc.Add(row, i);
+    ref.Add(Row(row, i));
+    if (i % 37 == 0) {
+      EXPECT_TRUE(inc.Covariance().ApproxEquals(ref.GramMatrix(d), 1e-9));
+      EXPECT_NEAR(inc.FrobeniusNormSq(), ref.FrobeniusNormSq(), 1e-9);
+      EXPECT_EQ(inc.WindowRows(), ref.size());
+    }
+  }
+}
+
+TEST(IncrementalWindowGramTest, TimeWindowWithGaps) {
+  const size_t d = 4;
+  IncrementalWindowGram inc(d, WindowSpec::Time(10.0));
+  WindowBuffer ref(WindowSpec::Time(10.0));
+  Rng rng(2);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.Exponential(1.0);
+    auto row = RandomRow(&rng, d);
+    inc.Add(row, t);
+    ref.Add(Row(row, t));
+  }
+  EXPECT_TRUE(inc.Covariance().ApproxEquals(ref.GramMatrix(d), 1e-8));
+  // Everything expires.
+  inc.AdvanceTo(t + 100.0);
+  EXPECT_EQ(inc.WindowRows(), 0u);
+  EXPECT_EQ(inc.Covariance().FrobeniusNormSq(), 0.0);
+  EXPECT_EQ(inc.FrobeniusNormSq(), 0.0);
+}
+
+TEST(IncrementalWindowGramTest, RefreshCancelsDrift) {
+  const size_t d = 5;
+  IncrementalWindowGram inc(d, WindowSpec::Sequence(20));
+  inc.set_refresh_interval(64);  // Force frequent refreshes.
+  WindowBuffer ref(WindowSpec::Sequence(20));
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    // Mix of very large and very small magnitudes to provoke cancellation.
+    const double scale = rng.Bernoulli(0.1) ? 1e6 : 1e-3;
+    auto row = RandomRow(&rng, d);
+    for (auto& v : row) v *= scale;
+    inc.Add(row, i);
+    ref.Add(Row(row, i));
+  }
+  const Matrix expected = ref.GramMatrix(d);
+  const double scale = expected.FrobeniusNormSq();
+  EXPECT_TRUE(inc.Covariance().ApproxEquals(expected, 1e-9 * (1.0 + scale)));
+}
+
+TEST(IncrementalWindowGramTest, Preconditions) {
+  IncrementalWindowGram inc(3, WindowSpec::Sequence(5));
+  std::vector<double> bad(2, 1.0);
+  EXPECT_DEATH(inc.Add(bad, 0.0), "");
+  std::vector<double> good(3, 1.0);
+  inc.Add(good, 5.0);
+  EXPECT_DEATH(inc.Add(good, 4.0), "");
+  EXPECT_DEATH(IncrementalWindowGram(0, WindowSpec::Sequence(5)), "");
+}
+
+}  // namespace
+}  // namespace swsketch

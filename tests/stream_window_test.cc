@@ -1,0 +1,88 @@
+// Tests for window specs and the evaluation window buffer.
+#include <gtest/gtest.h>
+
+#include "stream/window.h"
+#include "stream/window_buffer.h"
+
+namespace swsketch {
+namespace {
+
+TEST(WindowSpecTest, SequenceContainsLastN) {
+  WindowSpec w = WindowSpec::Sequence(3);
+  // At index 10 the live indices are 8, 9, 10.
+  EXPECT_TRUE(w.Contains(8, 10));
+  EXPECT_TRUE(w.Contains(10, 10));
+  EXPECT_FALSE(w.Contains(7, 10));
+}
+
+TEST(WindowSpecTest, TimeWindowBoundary) {
+  WindowSpec w = WindowSpec::Time(5.0);
+  EXPECT_TRUE(w.Contains(5.0, 10.0));
+  EXPECT_TRUE(w.Contains(7.5, 10.0));
+  EXPECT_FALSE(w.Contains(4.999, 10.0));
+}
+
+TEST(WindowSpecTest, ToStringDescribes) {
+  EXPECT_EQ(WindowSpec::Sequence(100).ToString(), "sequence(N=100)");
+  EXPECT_NE(WindowSpec::Time(2.5).ToString().find("time"), std::string::npos);
+}
+
+TEST(WindowSpecTest, RejectsZeroExtent) {
+  EXPECT_DEATH(WindowSpec::Sequence(0), "");
+  EXPECT_DEATH(WindowSpec::Time(0.0), "");
+}
+
+TEST(WindowBufferTest, SequenceKeepsExactlyN) {
+  WindowBuffer buf(WindowSpec::Sequence(3));
+  for (int i = 0; i < 10; ++i) {
+    buf.Add(Row({static_cast<double>(i)}, static_cast<double>(i)));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_DOUBLE_EQ(buf.rows().front().values[0], 7.0);
+  EXPECT_DOUBLE_EQ(buf.rows().back().values[0], 9.0);
+}
+
+TEST(WindowBufferTest, TimeExpiresByTimestamp) {
+  WindowBuffer buf(WindowSpec::Time(1.0));
+  buf.Add(Row({1.0}, 0.0));
+  buf.Add(Row({2.0}, 0.5));
+  buf.Add(Row({3.0}, 1.2));  // Expires ts=0.0 (< 0.2).
+  EXPECT_EQ(buf.size(), 2u);
+  buf.AdvanceTo(2.0);  // Window [1.0, 2.0]: expires ts=0.5.
+  EXPECT_EQ(buf.size(), 1u);
+  buf.AdvanceTo(3.0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(WindowBufferTest, FrobeniusTracksWindow) {
+  WindowBuffer buf(WindowSpec::Sequence(2));
+  buf.Add(Row({3.0, 4.0}, 0));   // Norm^2 = 25.
+  buf.Add(Row({1.0, 0.0}, 1));   // Norm^2 = 1.
+  EXPECT_DOUBLE_EQ(buf.FrobeniusNormSq(), 26.0);
+  buf.Add(Row({0.0, 2.0}, 2));   // Evicts the 25.
+  EXPECT_DOUBLE_EQ(buf.FrobeniusNormSq(), 5.0);
+}
+
+TEST(WindowBufferTest, GramMatchesToMatrix) {
+  WindowBuffer buf(WindowSpec::Sequence(4));
+  buf.Add(Row({1.0, 2.0}, 0));
+  buf.Add(Row({3.0, -1.0}, 1));
+  Matrix a = buf.ToMatrix();
+  EXPECT_TRUE(buf.GramMatrix(2).ApproxEquals(a.Gram(), 1e-12));
+}
+
+TEST(WindowBufferTest, EmptyBufferProducesEmptyMatrix) {
+  WindowBuffer buf(WindowSpec::Sequence(4));
+  EXPECT_TRUE(buf.ToMatrix().empty());
+  EXPECT_DOUBLE_EQ(buf.FrobeniusNormSq(), 0.0);
+}
+
+TEST(RowTest, NormSq) {
+  Row r({3.0, 4.0}, 1.5);
+  EXPECT_DOUBLE_EQ(r.NormSq(), 25.0);
+  EXPECT_EQ(r.dim(), 2u);
+  EXPECT_DOUBLE_EQ(r.ts, 1.5);
+}
+
+}  // namespace
+}  // namespace swsketch

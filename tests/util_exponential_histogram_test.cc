@@ -1,0 +1,154 @@
+// Tests for the sliding-window sum sketch (exponential/smooth histogram).
+#include "util/exponential_histogram.h"
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+TEST(ExponentialHistogramTest, EmptyEstimateIsZero) {
+  ExponentialHistogram eh(0.1);
+  EXPECT_EQ(eh.Estimate(0.0), 0.0);
+  EXPECT_EQ(eh.NumBuckets(), 0u);
+}
+
+TEST(ExponentialHistogramTest, SingleElementExact) {
+  ExponentialHistogram eh(0.1);
+  eh.Add(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(eh.Estimate(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(eh.Estimate(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(eh.Estimate(1.5), 0.0);
+}
+
+TEST(ExponentialHistogramTest, FullSuffixSumAlwaysExact) {
+  // The newest boundary is each arrival: asking for a window that covers
+  // everything returns the total exactly.
+  ExponentialHistogram eh(0.2);
+  double total = 0.0;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 1.0 + rng.Uniform01() * 9.0;
+    eh.Add(v, static_cast<double>(i));
+    total += v;
+  }
+  EXPECT_NEAR(eh.Estimate(0.0), total, total * 1e-12);
+}
+
+TEST(ExponentialHistogramTest, UnderestimatesAndWithinEps) {
+  const double eps = 0.1;
+  ExponentialHistogram eh(eps);
+  std::deque<std::pair<double, double>> all;  // (ts, value)
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 1.0 + rng.Uniform01() * 99.0;  // values in [1, 100]
+    eh.Add(v, static_cast<double>(i));
+    all.emplace_back(static_cast<double>(i), v);
+  }
+  // Query many window starts and compare against the exact sum.
+  for (int start = 0; start < 5000; start += 137) {
+    double exact = 0.0;
+    for (const auto& [ts, v] : all) {
+      if (ts >= start) exact += v;
+    }
+    const double est = eh.Estimate(start);
+    EXPECT_LE(est, exact * (1.0 + 1e-9)) << "start=" << start;
+    EXPECT_GE(est, exact * (1.0 - eps) - 1e-9) << "start=" << start;
+  }
+}
+
+TEST(ExponentialHistogramTest, SpaceIsLogarithmic) {
+  const double eps = 0.1;
+  ExponentialHistogram eh(eps);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    eh.Add(1.0 + rng.Uniform01() * 9.0, static_cast<double>(i));
+  }
+  // Expected O((1/eps) * log(sum)) boundaries; sum ~ 5.5e5 => log2 ~ 19.
+  // 1/eps * log(NR) with slack.
+  EXPECT_LT(eh.NumBuckets(), 400u);
+}
+
+TEST(ExponentialHistogramTest, EvictionKeepsAnswersForNewerWindows) {
+  const double eps = 0.1;
+  ExponentialHistogram eh(eps);
+  for (int i = 0; i < 1000; ++i) eh.Add(2.0, static_cast<double>(i));
+  const size_t before = eh.NumBuckets();
+  eh.EvictBefore(900.0);
+  EXPECT_LE(eh.NumBuckets(), before);
+  const double exact = 2.0 * (1000 - 950);
+  const double est = eh.Estimate(950.0);
+  EXPECT_LE(est, exact + 1e-9);
+  EXPECT_GE(est, exact * (1.0 - eps) - 1e-9);
+}
+
+TEST(ExponentialHistogramTest, HeavyTailValues) {
+  // Values spanning [1, 1e5] (PAMAP-like R): the multiplicative guarantee
+  // must hold regardless of skew.
+  const double eps = 0.15;
+  ExponentialHistogram eh(eps);
+  Rng rng(5);
+  std::vector<std::pair<double, double>> all;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = std::exp(rng.Uniform(0.0, std::log(1e5)));
+    eh.Add(v, static_cast<double>(i));
+    all.emplace_back(static_cast<double>(i), v);
+  }
+  for (int start = 0; start < 3000; start += 101) {
+    double exact = 0.0;
+    for (const auto& [ts, v] : all) {
+      if (ts >= start) exact += v;
+    }
+    const double est = eh.Estimate(start);
+    EXPECT_LE(est, exact * (1.0 + 1e-9));
+    EXPECT_GE(est, exact * (1.0 - eps) - 1e-9);
+  }
+}
+
+TEST(ExponentialHistogramTest, RealTimestampsWithGaps) {
+  const double eps = 0.1;
+  ExponentialHistogram eh(eps);
+  Rng rng(7);
+  double t = 0.0;
+  std::vector<std::pair<double, double>> all;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.Exponential(0.5);  // Poisson arrivals.
+    const double v = 1.0 + rng.Uniform01() * 10.0;
+    eh.Add(v, t);
+    all.emplace_back(t, v);
+  }
+  for (double start = 0.0; start < t; start += t / 23.0) {
+    double exact = 0.0;
+    for (const auto& [ts, v] : all) {
+      if (ts >= start) exact += v;
+    }
+    const double est = eh.Estimate(start);
+    EXPECT_LE(est, exact * (1.0 + 1e-9) + 1e-9);
+    EXPECT_GE(est, exact * (1.0 - eps) - 1e-9);
+  }
+}
+
+TEST(ExponentialHistogramTest, RejectsInvalidEps) {
+  EXPECT_DEATH(ExponentialHistogram(0.0), "");
+  EXPECT_DEATH(ExponentialHistogram(1.0), "");
+}
+
+TEST(ExponentialHistogramTest, RejectsNonPositiveValues) {
+  ExponentialHistogram eh(0.1);
+  EXPECT_DEATH(eh.Add(0.0, 1.0), "");
+  EXPECT_DEATH(eh.Add(-1.0, 1.0), "");
+}
+
+TEST(ExponentialHistogramTest, RejectsDecreasingTimestamps) {
+  ExponentialHistogram eh(0.1);
+  eh.Add(1.0, 10.0);
+  EXPECT_DEATH(eh.Add(1.0, 9.0), "");
+}
+
+}  // namespace
+}  // namespace swsketch

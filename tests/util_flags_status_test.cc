@@ -1,0 +1,112 @@
+// Tests for Status/Result and the mini flag parser.
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace swsketch {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad ell");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad ell");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad ell");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = r.take();
+  EXPECT_EQ(v, "hello");
+}
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  Flags Parse(std::vector<std::string> args) {
+    argv_storage_ = std::move(args);
+    argv_storage_.insert(argv_storage_.begin(), "prog");
+    argv_ptrs_.clear();
+    for (auto& a : argv_storage_) {
+      argv_ptrs_.push_back(const_cast<char*>(a.c_str()));
+    }
+    return Flags(static_cast<int>(argv_ptrs_.size()), argv_ptrs_.data());
+  }
+
+  std::vector<std::string> argv_storage_;
+  std::vector<char*> argv_ptrs_;
+};
+
+TEST_F(FlagsTest, EqualsForm) {
+  Flags f = Parse({"--ell=32", "--eps=0.5", "--name=lm-fd"});
+  EXPECT_EQ(f.GetInt("ell", 0), 32);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.0), 0.5);
+  EXPECT_EQ(f.GetString("name", ""), "lm-fd");
+}
+
+TEST_F(FlagsTest, SpaceForm) {
+  Flags f = Parse({"--ell", "64", "--name", "swr"});
+  EXPECT_EQ(f.GetInt("ell", 0), 64);
+  EXPECT_EQ(f.GetString("name", ""), "swr");
+}
+
+TEST_F(FlagsTest, BooleanSwitch) {
+  Flags f = Parse({"--verbose", "--quiet=false", "--fast=true"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("quiet", true));
+  EXPECT_TRUE(f.GetBool("fast", false));
+  EXPECT_TRUE(f.GetBool("absent", true));
+  EXPECT_FALSE(f.GetBool("absent", false));
+}
+
+TEST_F(FlagsTest, Defaults) {
+  Flags f = Parse({});
+  EXPECT_EQ(f.GetInt("ell", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("name", "x"), "x");
+  EXPECT_FALSE(f.Has("ell"));
+}
+
+TEST_F(FlagsTest, Positional) {
+  Flags f = Parse({"input.csv", "--ell=2", "out.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "out.csv");
+}
+
+TEST_F(FlagsTest, LastValueWinsOnRepeat) {
+  Flags f = Parse({"--ell=1", "--ell=9"});
+  EXPECT_EQ(f.GetInt("ell", 0), 9);
+}
+
+}  // namespace
+}  // namespace swsketch

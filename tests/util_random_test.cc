@@ -1,0 +1,155 @@
+// Tests for the xoshiro256** RNG and its distributions.
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace swsketch {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng a(99);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 8; ++i) first.push_back(a.Next());
+  a.Seed(99);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.Next(), first[i]);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformOpen01NeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.UniformOpen01(), 0.0);
+}
+
+TEST(RngTest, Uniform01MeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.Uniform01();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, UniformIntUnbiasedSmallRange) {
+  Rng rng(5);
+  const uint64_t k = 7;
+  std::vector<int> counts(k, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(k)];
+  for (uint64_t v = 0; v < k; ++v) {
+    EXPECT_NEAR(counts[v], n / static_cast<double>(k), 500)
+        << "bucket " << v;
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(37);
+  auto s = rng.SampleWithoutReplacement(100, 10);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(41);
+  auto s = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(s.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformCoverage) {
+  Rng rng(43);
+  std::vector<int> counts(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t v : rng.SampleWithoutReplacement(20, 5)) ++counts[v];
+  }
+  // Each element appears with probability 5/20 = 0.25.
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials * 0.25, trials * 0.25 * 0.15);
+  }
+}
+
+}  // namespace
+}  // namespace swsketch
