@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_eh_epsilon.dir/ablate_eh_epsilon.cc.o"
+  "CMakeFiles/ablate_eh_epsilon.dir/ablate_eh_epsilon.cc.o.d"
+  "ablate_eh_epsilon"
+  "ablate_eh_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_eh_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

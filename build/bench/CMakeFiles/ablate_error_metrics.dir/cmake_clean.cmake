@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_error_metrics.dir/ablate_error_metrics.cc.o"
+  "CMakeFiles/ablate_error_metrics.dir/ablate_error_metrics.cc.o.d"
+  "ablate_error_metrics"
+  "ablate_error_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_error_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_fd_shrink.cc" "bench/CMakeFiles/ablate_fd_shrink.dir/ablate_fd_shrink.cc.o" "gcc" "bench/CMakeFiles/ablate_fd_shrink.dir/ablate_fd_shrink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/swsketch_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

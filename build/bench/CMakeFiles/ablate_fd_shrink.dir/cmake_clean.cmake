@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fd_shrink.dir/ablate_fd_shrink.cc.o"
+  "CMakeFiles/ablate_fd_shrink.dir/ablate_fd_shrink.cc.o.d"
+  "ablate_fd_shrink"
+  "ablate_fd_shrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fd_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

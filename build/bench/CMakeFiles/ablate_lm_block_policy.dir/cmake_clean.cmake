@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_lm_block_policy.dir/ablate_lm_block_policy.cc.o"
+  "CMakeFiles/ablate_lm_block_policy.dir/ablate_lm_block_policy.cc.o.d"
+  "ablate_lm_block_policy"
+  "ablate_lm_block_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_lm_block_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

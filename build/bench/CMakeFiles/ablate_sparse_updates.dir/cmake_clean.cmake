@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sparse_updates.dir/ablate_sparse_updates.cc.o"
+  "CMakeFiles/ablate_sparse_updates.dir/ablate_sparse_updates.cc.o.d"
+  "ablate_sparse_updates"
+  "ablate_sparse_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sparse_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_swr_shared_rows.dir/ablate_swr_shared_rows.cc.o"
+  "CMakeFiles/ablate_swr_shared_rows.dir/ablate_swr_shared_rows.cc.o.d"
+  "ablate_swr_shared_rows"
+  "ablate_swr_shared_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_swr_shared_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

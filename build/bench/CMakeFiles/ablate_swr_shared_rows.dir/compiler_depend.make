@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablate_swr_shared_rows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_variants.dir/appendix_variants.cc.o"
+  "CMakeFiles/appendix_variants.dir/appendix_variants.cc.o.d"
+  "appendix_variants"
+  "appendix_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

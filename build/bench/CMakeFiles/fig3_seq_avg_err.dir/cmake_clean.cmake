@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_seq_avg_err.dir/fig3_seq_avg_err.cc.o"
+  "CMakeFiles/fig3_seq_avg_err.dir/fig3_seq_avg_err.cc.o.d"
+  "fig3_seq_avg_err"
+  "fig3_seq_avg_err.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_seq_avg_err.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_seq_avg_err.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_seq_max_err.dir/fig4_seq_max_err.cc.o"
+  "CMakeFiles/fig4_seq_max_err.dir/fig4_seq_max_err.cc.o.d"
+  "fig4_seq_max_err"
+  "fig4_seq_max_err.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_seq_max_err.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_offline_sampling.dir/fig6_offline_sampling.cc.o"
+  "CMakeFiles/fig6_offline_sampling.dir/fig6_offline_sampling.cc.o.d"
+  "fig6_offline_sampling"
+  "fig6_offline_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_offline_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_time_avg_err.dir/fig7_time_avg_err.cc.o"
+  "CMakeFiles/fig7_time_avg_err.dir/fig7_time_avg_err.cc.o.d"
+  "fig7_time_avg_err"
+  "fig7_time_avg_err.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_time_avg_err.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_time_avg_err.
+# This may be replaced when dependencies are built.

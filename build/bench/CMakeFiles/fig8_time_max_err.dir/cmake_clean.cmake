@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_time_max_err.dir/fig8_time_max_err.cc.o"
+  "CMakeFiles/fig8_time_max_err.dir/fig8_time_max_err.cc.o.d"
+  "fig8_time_max_err"
+  "fig8_time_max_err.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_time_max_err.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_time_update_cost.dir/fig9_time_update_cost.cc.o"
+  "CMakeFiles/fig9_time_update_cost.dir/fig9_time_update_cost.cc.o.d"
+  "fig9_time_update_cost"
+  "fig9_time_update_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_time_update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sketch.dir/micro_sketch.cc.o"
+  "CMakeFiles/micro_sketch.dir/micro_sketch.cc.o.d"
+  "micro_sketch"
+  "micro_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_window.dir/micro_window.cc.o"
+  "CMakeFiles/micro_window.dir/micro_window.cc.o.d"
+  "micro_window"
+  "micro_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

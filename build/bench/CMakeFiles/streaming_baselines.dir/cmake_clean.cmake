@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_baselines.dir/streaming_baselines.cc.o"
+  "CMakeFiles/streaming_baselines.dir/streaming_baselines.cc.o.d"
+  "streaming_baselines"
+  "streaming_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

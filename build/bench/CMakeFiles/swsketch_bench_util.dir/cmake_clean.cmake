@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/swsketch_bench_util.dir/bench_util.cc.o.d"
+  "libswsketch_bench_util.a"
+  "libswsketch_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

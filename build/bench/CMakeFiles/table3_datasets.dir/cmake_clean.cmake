@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_datasets.dir/table3_datasets.cc.o"
+  "CMakeFiles/table3_datasets.dir/table3_datasets.cc.o.d"
+  "table3_datasets"
+  "table3_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_sampling.dir/activity_sampling.cpp.o"
+  "CMakeFiles/activity_sampling.dir/activity_sampling.cpp.o.d"
+  "activity_sampling"
+  "activity_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

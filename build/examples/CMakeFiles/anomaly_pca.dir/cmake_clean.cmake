@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_pca.dir/anomaly_pca.cpp.o"
+  "CMakeFiles/anomaly_pca.dir/anomaly_pca.cpp.o.d"
+  "anomaly_pca"
+  "anomaly_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

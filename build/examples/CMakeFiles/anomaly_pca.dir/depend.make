@@ -1,0 +1,2 @@
+# Empty dependencies file for anomaly_pca.
+# This may be replaced when dependencies are built.

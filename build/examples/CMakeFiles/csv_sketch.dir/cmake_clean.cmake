@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_sketch.dir/csv_sketch.cpp.o"
+  "CMakeFiles/csv_sketch.dir/csv_sketch.cpp.o.d"
+  "csv_sketch"
+  "csv_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

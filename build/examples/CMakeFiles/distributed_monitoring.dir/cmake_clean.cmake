@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_monitoring.dir/distributed_monitoring.cpp.o"
+  "CMakeFiles/distributed_monitoring.dir/distributed_monitoring.cpp.o.d"
+  "distributed_monitoring"
+  "distributed_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_trends.dir/text_trends.cpp.o"
+  "CMakeFiles/text_trends.dir/text_trends.cpp.o.d"
+  "text_trends"
+  "text_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/best_rank_k.cc" "src/CMakeFiles/swsketch_core.dir/core/best_rank_k.cc.o" "gcc" "src/CMakeFiles/swsketch_core.dir/core/best_rank_k.cc.o.d"
+  "/root/repo/src/core/dyadic_interval.cc" "src/CMakeFiles/swsketch_core.dir/core/dyadic_interval.cc.o" "gcc" "src/CMakeFiles/swsketch_core.dir/core/dyadic_interval.cc.o.d"
+  "/root/repo/src/core/exact_window.cc" "src/CMakeFiles/swsketch_core.dir/core/exact_window.cc.o" "gcc" "src/CMakeFiles/swsketch_core.dir/core/exact_window.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/CMakeFiles/swsketch_core.dir/core/factory.cc.o" "gcc" "src/CMakeFiles/swsketch_core.dir/core/factory.cc.o.d"
+  "/root/repo/src/core/logarithmic_method.cc" "src/CMakeFiles/swsketch_core.dir/core/logarithmic_method.cc.o" "gcc" "src/CMakeFiles/swsketch_core.dir/core/logarithmic_method.cc.o.d"
+  "/root/repo/src/core/swor.cc" "src/CMakeFiles/swsketch_core.dir/core/swor.cc.o" "gcc" "src/CMakeFiles/swsketch_core.dir/core/swor.cc.o.d"
+  "/root/repo/src/core/swr.cc" "src/CMakeFiles/swsketch_core.dir/core/swr.cc.o" "gcc" "src/CMakeFiles/swsketch_core.dir/core/swr.cc.o.d"
+  "/root/repo/src/core/window_pca.cc" "src/CMakeFiles/swsketch_core.dir/core/window_pca.cc.o" "gcc" "src/CMakeFiles/swsketch_core.dir/core/window_pca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swsketch_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_core.dir/core/best_rank_k.cc.o"
+  "CMakeFiles/swsketch_core.dir/core/best_rank_k.cc.o.d"
+  "CMakeFiles/swsketch_core.dir/core/dyadic_interval.cc.o"
+  "CMakeFiles/swsketch_core.dir/core/dyadic_interval.cc.o.d"
+  "CMakeFiles/swsketch_core.dir/core/exact_window.cc.o"
+  "CMakeFiles/swsketch_core.dir/core/exact_window.cc.o.d"
+  "CMakeFiles/swsketch_core.dir/core/factory.cc.o"
+  "CMakeFiles/swsketch_core.dir/core/factory.cc.o.d"
+  "CMakeFiles/swsketch_core.dir/core/logarithmic_method.cc.o"
+  "CMakeFiles/swsketch_core.dir/core/logarithmic_method.cc.o.d"
+  "CMakeFiles/swsketch_core.dir/core/swor.cc.o"
+  "CMakeFiles/swsketch_core.dir/core/swor.cc.o.d"
+  "CMakeFiles/swsketch_core.dir/core/swr.cc.o"
+  "CMakeFiles/swsketch_core.dir/core/swr.cc.o.d"
+  "CMakeFiles/swsketch_core.dir/core/window_pca.cc.o"
+  "CMakeFiles/swsketch_core.dir/core/window_pca.cc.o.d"
+  "libswsketch_core.a"
+  "libswsketch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/bibd.cc" "src/CMakeFiles/swsketch_data.dir/data/bibd.cc.o" "gcc" "src/CMakeFiles/swsketch_data.dir/data/bibd.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/swsketch_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/swsketch_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/pamap.cc" "src/CMakeFiles/swsketch_data.dir/data/pamap.cc.o" "gcc" "src/CMakeFiles/swsketch_data.dir/data/pamap.cc.o.d"
+  "/root/repo/src/data/rail.cc" "src/CMakeFiles/swsketch_data.dir/data/rail.cc.o" "gcc" "src/CMakeFiles/swsketch_data.dir/data/rail.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/swsketch_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/swsketch_data.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/wiki.cc" "src/CMakeFiles/swsketch_data.dir/data/wiki.cc.o" "gcc" "src/CMakeFiles/swsketch_data.dir/data/wiki.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swsketch_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_data.dir/data/bibd.cc.o"
+  "CMakeFiles/swsketch_data.dir/data/bibd.cc.o.d"
+  "CMakeFiles/swsketch_data.dir/data/csv.cc.o"
+  "CMakeFiles/swsketch_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/swsketch_data.dir/data/pamap.cc.o"
+  "CMakeFiles/swsketch_data.dir/data/pamap.cc.o.d"
+  "CMakeFiles/swsketch_data.dir/data/rail.cc.o"
+  "CMakeFiles/swsketch_data.dir/data/rail.cc.o.d"
+  "CMakeFiles/swsketch_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/swsketch_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/swsketch_data.dir/data/wiki.cc.o"
+  "CMakeFiles/swsketch_data.dir/data/wiki.cc.o.d"
+  "libswsketch_data.a"
+  "libswsketch_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

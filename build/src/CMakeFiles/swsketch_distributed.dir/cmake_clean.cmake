@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_distributed.dir/distributed/distributed.cc.o"
+  "CMakeFiles/swsketch_distributed.dir/distributed/distributed.cc.o.d"
+  "libswsketch_distributed.a"
+  "libswsketch_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

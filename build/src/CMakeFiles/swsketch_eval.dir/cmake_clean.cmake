@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_eval.dir/eval/cov_err.cc.o"
+  "CMakeFiles/swsketch_eval.dir/eval/cov_err.cc.o.d"
+  "CMakeFiles/swsketch_eval.dir/eval/harness.cc.o"
+  "CMakeFiles/swsketch_eval.dir/eval/harness.cc.o.d"
+  "CMakeFiles/swsketch_eval.dir/eval/report.cc.o"
+  "CMakeFiles/swsketch_eval.dir/eval/report.cc.o.d"
+  "libswsketch_eval.a"
+  "libswsketch_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

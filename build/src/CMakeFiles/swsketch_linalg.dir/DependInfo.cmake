@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/jacobi_eigen.cc" "src/CMakeFiles/swsketch_linalg.dir/linalg/jacobi_eigen.cc.o" "gcc" "src/CMakeFiles/swsketch_linalg.dir/linalg/jacobi_eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/swsketch_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/swsketch_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/power_iteration.cc" "src/CMakeFiles/swsketch_linalg.dir/linalg/power_iteration.cc.o" "gcc" "src/CMakeFiles/swsketch_linalg.dir/linalg/power_iteration.cc.o.d"
+  "/root/repo/src/linalg/sparse_vector.cc" "src/CMakeFiles/swsketch_linalg.dir/linalg/sparse_vector.cc.o" "gcc" "src/CMakeFiles/swsketch_linalg.dir/linalg/sparse_vector.cc.o.d"
+  "/root/repo/src/linalg/subspace_iteration.cc" "src/CMakeFiles/swsketch_linalg.dir/linalg/subspace_iteration.cc.o" "gcc" "src/CMakeFiles/swsketch_linalg.dir/linalg/subspace_iteration.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/CMakeFiles/swsketch_linalg.dir/linalg/svd.cc.o" "gcc" "src/CMakeFiles/swsketch_linalg.dir/linalg/svd.cc.o.d"
+  "/root/repo/src/linalg/tridiag_eigen.cc" "src/CMakeFiles/swsketch_linalg.dir/linalg/tridiag_eigen.cc.o" "gcc" "src/CMakeFiles/swsketch_linalg.dir/linalg/tridiag_eigen.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/swsketch_linalg.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/swsketch_linalg.dir/linalg/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swsketch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_linalg.dir/linalg/jacobi_eigen.cc.o"
+  "CMakeFiles/swsketch_linalg.dir/linalg/jacobi_eigen.cc.o.d"
+  "CMakeFiles/swsketch_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/swsketch_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/swsketch_linalg.dir/linalg/power_iteration.cc.o"
+  "CMakeFiles/swsketch_linalg.dir/linalg/power_iteration.cc.o.d"
+  "CMakeFiles/swsketch_linalg.dir/linalg/sparse_vector.cc.o"
+  "CMakeFiles/swsketch_linalg.dir/linalg/sparse_vector.cc.o.d"
+  "CMakeFiles/swsketch_linalg.dir/linalg/subspace_iteration.cc.o"
+  "CMakeFiles/swsketch_linalg.dir/linalg/subspace_iteration.cc.o.d"
+  "CMakeFiles/swsketch_linalg.dir/linalg/svd.cc.o"
+  "CMakeFiles/swsketch_linalg.dir/linalg/svd.cc.o.d"
+  "CMakeFiles/swsketch_linalg.dir/linalg/tridiag_eigen.cc.o"
+  "CMakeFiles/swsketch_linalg.dir/linalg/tridiag_eigen.cc.o.d"
+  "CMakeFiles/swsketch_linalg.dir/linalg/vector_ops.cc.o"
+  "CMakeFiles/swsketch_linalg.dir/linalg/vector_ops.cc.o.d"
+  "libswsketch_linalg.a"
+  "libswsketch_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

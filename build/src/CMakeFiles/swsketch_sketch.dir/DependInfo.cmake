@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/exact_covariance.cc" "src/CMakeFiles/swsketch_sketch.dir/sketch/exact_covariance.cc.o" "gcc" "src/CMakeFiles/swsketch_sketch.dir/sketch/exact_covariance.cc.o.d"
+  "/root/repo/src/sketch/frequent_directions.cc" "src/CMakeFiles/swsketch_sketch.dir/sketch/frequent_directions.cc.o" "gcc" "src/CMakeFiles/swsketch_sketch.dir/sketch/frequent_directions.cc.o.d"
+  "/root/repo/src/sketch/hash_sketch.cc" "src/CMakeFiles/swsketch_sketch.dir/sketch/hash_sketch.cc.o" "gcc" "src/CMakeFiles/swsketch_sketch.dir/sketch/hash_sketch.cc.o.d"
+  "/root/repo/src/sketch/incremental_svd.cc" "src/CMakeFiles/swsketch_sketch.dir/sketch/incremental_svd.cc.o" "gcc" "src/CMakeFiles/swsketch_sketch.dir/sketch/incremental_svd.cc.o.d"
+  "/root/repo/src/sketch/priority_sampler.cc" "src/CMakeFiles/swsketch_sketch.dir/sketch/priority_sampler.cc.o" "gcc" "src/CMakeFiles/swsketch_sketch.dir/sketch/priority_sampler.cc.o.d"
+  "/root/repo/src/sketch/random_projection.cc" "src/CMakeFiles/swsketch_sketch.dir/sketch/random_projection.cc.o" "gcc" "src/CMakeFiles/swsketch_sketch.dir/sketch/random_projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swsketch_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

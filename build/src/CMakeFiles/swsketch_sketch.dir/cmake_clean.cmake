@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_sketch.dir/sketch/exact_covariance.cc.o"
+  "CMakeFiles/swsketch_sketch.dir/sketch/exact_covariance.cc.o.d"
+  "CMakeFiles/swsketch_sketch.dir/sketch/frequent_directions.cc.o"
+  "CMakeFiles/swsketch_sketch.dir/sketch/frequent_directions.cc.o.d"
+  "CMakeFiles/swsketch_sketch.dir/sketch/hash_sketch.cc.o"
+  "CMakeFiles/swsketch_sketch.dir/sketch/hash_sketch.cc.o.d"
+  "CMakeFiles/swsketch_sketch.dir/sketch/incremental_svd.cc.o"
+  "CMakeFiles/swsketch_sketch.dir/sketch/incremental_svd.cc.o.d"
+  "CMakeFiles/swsketch_sketch.dir/sketch/priority_sampler.cc.o"
+  "CMakeFiles/swsketch_sketch.dir/sketch/priority_sampler.cc.o.d"
+  "CMakeFiles/swsketch_sketch.dir/sketch/random_projection.cc.o"
+  "CMakeFiles/swsketch_sketch.dir/sketch/random_projection.cc.o.d"
+  "libswsketch_sketch.a"
+  "libswsketch_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

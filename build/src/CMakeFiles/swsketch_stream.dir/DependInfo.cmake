@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/incremental_gram.cc" "src/CMakeFiles/swsketch_stream.dir/stream/incremental_gram.cc.o" "gcc" "src/CMakeFiles/swsketch_stream.dir/stream/incremental_gram.cc.o.d"
+  "/root/repo/src/stream/window.cc" "src/CMakeFiles/swsketch_stream.dir/stream/window.cc.o" "gcc" "src/CMakeFiles/swsketch_stream.dir/stream/window.cc.o.d"
+  "/root/repo/src/stream/window_buffer.cc" "src/CMakeFiles/swsketch_stream.dir/stream/window_buffer.cc.o" "gcc" "src/CMakeFiles/swsketch_stream.dir/stream/window_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swsketch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

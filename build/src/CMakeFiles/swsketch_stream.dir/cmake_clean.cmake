@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_stream.dir/stream/incremental_gram.cc.o"
+  "CMakeFiles/swsketch_stream.dir/stream/incremental_gram.cc.o.d"
+  "CMakeFiles/swsketch_stream.dir/stream/window.cc.o"
+  "CMakeFiles/swsketch_stream.dir/stream/window.cc.o.d"
+  "CMakeFiles/swsketch_stream.dir/stream/window_buffer.cc.o"
+  "CMakeFiles/swsketch_stream.dir/stream/window_buffer.cc.o.d"
+  "libswsketch_stream.a"
+  "libswsketch_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/exponential_histogram.cc" "src/CMakeFiles/swsketch_util.dir/util/exponential_histogram.cc.o" "gcc" "src/CMakeFiles/swsketch_util.dir/util/exponential_histogram.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/swsketch_util.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/swsketch_util.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/swsketch_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/swsketch_util.dir/util/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

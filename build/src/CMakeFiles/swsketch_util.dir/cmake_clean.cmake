@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsketch_util.dir/util/exponential_histogram.cc.o"
+  "CMakeFiles/swsketch_util.dir/util/exponential_histogram.cc.o.d"
+  "CMakeFiles/swsketch_util.dir/util/flags.cc.o"
+  "CMakeFiles/swsketch_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/swsketch_util.dir/util/random.cc.o"
+  "CMakeFiles/swsketch_util.dir/util/random.cc.o.d"
+  "libswsketch_util.a"
+  "libswsketch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsketch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_concurrent_sketch_test.dir/core_concurrent_sketch_test.cc.o"
+  "CMakeFiles/core_concurrent_sketch_test.dir/core_concurrent_sketch_test.cc.o.d"
+  "core_concurrent_sketch_test"
+  "core_concurrent_sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_concurrent_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dyadic_interval_test.dir/core_dyadic_interval_test.cc.o"
+  "CMakeFiles/core_dyadic_interval_test.dir/core_dyadic_interval_test.cc.o.d"
+  "core_dyadic_interval_test"
+  "core_dyadic_interval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dyadic_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_exact_best_test.dir/core_exact_best_test.cc.o"
+  "CMakeFiles/core_exact_best_test.dir/core_exact_best_test.cc.o.d"
+  "core_exact_best_test"
+  "core_exact_best_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_exact_best_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_frobenius_tracker_test.dir/core_frobenius_tracker_test.cc.o"
+  "CMakeFiles/core_frobenius_tracker_test.dir/core_frobenius_tracker_test.cc.o.d"
+  "core_frobenius_tracker_test"
+  "core_frobenius_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_frobenius_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_logarithmic_method_test.dir/core_logarithmic_method_test.cc.o"
+  "CMakeFiles/core_logarithmic_method_test.dir/core_logarithmic_method_test.cc.o.d"
+  "core_logarithmic_method_test"
+  "core_logarithmic_method_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_logarithmic_method_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

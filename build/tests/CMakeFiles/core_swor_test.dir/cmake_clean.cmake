@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_swor_test.dir/core_swor_test.cc.o"
+  "CMakeFiles/core_swor_test.dir/core_swor_test.cc.o.d"
+  "core_swor_test"
+  "core_swor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_swor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

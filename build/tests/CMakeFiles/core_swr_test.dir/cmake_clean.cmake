@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_swr_test.dir/core_swr_test.cc.o"
+  "CMakeFiles/core_swr_test.dir/core_swr_test.cc.o.d"
+  "core_swr_test"
+  "core_swr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_swr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

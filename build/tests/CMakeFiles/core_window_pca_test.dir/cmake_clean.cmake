@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_window_pca_test.dir/core_window_pca_test.cc.o"
+  "CMakeFiles/core_window_pca_test.dir/core_window_pca_test.cc.o.d"
+  "core_window_pca_test"
+  "core_window_pca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_window_pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_csv_test.dir/data_csv_test.cc.o"
+  "CMakeFiles/data_csv_test.dir/data_csv_test.cc.o.d"
+  "data_csv_test"
+  "data_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_generators_test.dir/data_generators_test.cc.o"
+  "CMakeFiles/data_generators_test.dir/data_generators_test.cc.o.d"
+  "data_generators_test"
+  "data_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_sparse_stream_test.dir/data_sparse_stream_test.cc.o"
+  "CMakeFiles/data_sparse_stream_test.dir/data_sparse_stream_test.cc.o.d"
+  "data_sparse_stream_test"
+  "data_sparse_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_sparse_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

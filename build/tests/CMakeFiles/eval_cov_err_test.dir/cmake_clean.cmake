@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_cov_err_test.dir/eval_cov_err_test.cc.o"
+  "CMakeFiles/eval_cov_err_test.dir/eval_cov_err_test.cc.o.d"
+  "eval_cov_err_test"
+  "eval_cov_err_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_cov_err_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eval_cov_err_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_harness_test.dir/eval_harness_test.cc.o"
+  "CMakeFiles/eval_harness_test.dir/eval_harness_test.cc.o.d"
+  "eval_harness_test"
+  "eval_harness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_projection_error_test.dir/eval_projection_error_test.cc.o"
+  "CMakeFiles/eval_projection_error_test.dir/eval_projection_error_test.cc.o.d"
+  "eval_projection_error_test"
+  "eval_projection_error_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_projection_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_sequence_test.dir/integration_sequence_test.cc.o"
+  "CMakeFiles/integration_sequence_test.dir/integration_sequence_test.cc.o.d"
+  "integration_sequence_test"
+  "integration_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

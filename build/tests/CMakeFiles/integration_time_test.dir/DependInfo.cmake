@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_time_test.cc" "tests/CMakeFiles/integration_time_test.dir/integration_time_test.cc.o" "gcc" "tests/CMakeFiles/integration_time_test.dir/integration_time_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swsketch_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swsketch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_time_test.dir/integration_time_test.cc.o"
+  "CMakeFiles/integration_time_test.dir/integration_time_test.cc.o.d"
+  "integration_time_test"
+  "integration_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

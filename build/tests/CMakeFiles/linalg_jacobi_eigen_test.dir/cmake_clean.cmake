@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_jacobi_eigen_test.dir/linalg_jacobi_eigen_test.cc.o"
+  "CMakeFiles/linalg_jacobi_eigen_test.dir/linalg_jacobi_eigen_test.cc.o.d"
+  "linalg_jacobi_eigen_test"
+  "linalg_jacobi_eigen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_jacobi_eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for linalg_jacobi_eigen_test.
+# This may be replaced when dependencies are built.

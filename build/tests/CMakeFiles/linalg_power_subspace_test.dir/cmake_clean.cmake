@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_power_subspace_test.dir/linalg_power_subspace_test.cc.o"
+  "CMakeFiles/linalg_power_subspace_test.dir/linalg_power_subspace_test.cc.o.d"
+  "linalg_power_subspace_test"
+  "linalg_power_subspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_power_subspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

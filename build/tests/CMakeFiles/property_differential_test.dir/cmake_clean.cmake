@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_differential_test.dir/property_differential_test.cc.o"
+  "CMakeFiles/property_differential_test.dir/property_differential_test.cc.o.d"
+  "property_differential_test"
+  "property_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

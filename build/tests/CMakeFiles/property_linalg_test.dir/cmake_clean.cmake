@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_linalg_test.dir/property_linalg_test.cc.o"
+  "CMakeFiles/property_linalg_test.dir/property_linalg_test.cc.o.d"
+  "property_linalg_test"
+  "property_linalg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

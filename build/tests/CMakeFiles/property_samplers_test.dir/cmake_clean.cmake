@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_samplers_test.dir/property_samplers_test.cc.o"
+  "CMakeFiles/property_samplers_test.dir/property_samplers_test.cc.o.d"
+  "property_samplers_test"
+  "property_samplers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_samplers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

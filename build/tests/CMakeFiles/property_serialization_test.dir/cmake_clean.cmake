@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_serialization_test.dir/property_serialization_test.cc.o"
+  "CMakeFiles/property_serialization_test.dir/property_serialization_test.cc.o.d"
+  "property_serialization_test"
+  "property_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_sketch_bounds_test.dir/property_sketch_bounds_test.cc.o"
+  "CMakeFiles/property_sketch_bounds_test.dir/property_sketch_bounds_test.cc.o.d"
+  "property_sketch_bounds_test"
+  "property_sketch_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_sketch_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_window_semantics_test.dir/property_window_semantics_test.cc.o"
+  "CMakeFiles/property_window_semantics_test.dir/property_window_semantics_test.cc.o.d"
+  "property_window_semantics_test"
+  "property_window_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_window_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_regression_test.dir/shape_regression_test.cc.o"
+  "CMakeFiles/shape_regression_test.dir/shape_regression_test.cc.o.d"
+  "shape_regression_test"
+  "shape_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

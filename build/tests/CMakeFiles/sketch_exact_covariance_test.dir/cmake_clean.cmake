@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_exact_covariance_test.dir/sketch_exact_covariance_test.cc.o"
+  "CMakeFiles/sketch_exact_covariance_test.dir/sketch_exact_covariance_test.cc.o.d"
+  "sketch_exact_covariance_test"
+  "sketch_exact_covariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_exact_covariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_frequent_directions_test.dir/sketch_frequent_directions_test.cc.o"
+  "CMakeFiles/sketch_frequent_directions_test.dir/sketch_frequent_directions_test.cc.o.d"
+  "sketch_frequent_directions_test"
+  "sketch_frequent_directions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_frequent_directions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

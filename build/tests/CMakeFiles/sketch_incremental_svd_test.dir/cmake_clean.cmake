@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_incremental_svd_test.dir/sketch_incremental_svd_test.cc.o"
+  "CMakeFiles/sketch_incremental_svd_test.dir/sketch_incremental_svd_test.cc.o.d"
+  "sketch_incremental_svd_test"
+  "sketch_incremental_svd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_incremental_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_priority_sampler_test.dir/sketch_priority_sampler_test.cc.o"
+  "CMakeFiles/sketch_priority_sampler_test.dir/sketch_priority_sampler_test.cc.o.d"
+  "sketch_priority_sampler_test"
+  "sketch_priority_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_priority_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

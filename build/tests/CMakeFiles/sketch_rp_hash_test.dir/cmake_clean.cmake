@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_rp_hash_test.dir/sketch_rp_hash_test.cc.o"
+  "CMakeFiles/sketch_rp_hash_test.dir/sketch_rp_hash_test.cc.o.d"
+  "sketch_rp_hash_test"
+  "sketch_rp_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_rp_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

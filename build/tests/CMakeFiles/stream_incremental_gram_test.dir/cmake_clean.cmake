@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_incremental_gram_test.dir/stream_incremental_gram_test.cc.o"
+  "CMakeFiles/stream_incremental_gram_test.dir/stream_incremental_gram_test.cc.o.d"
+  "stream_incremental_gram_test"
+  "stream_incremental_gram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_incremental_gram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_window_test.dir/stream_window_test.cc.o"
+  "CMakeFiles/stream_window_test.dir/stream_window_test.cc.o.d"
+  "stream_window_test"
+  "stream_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_exponential_histogram_test.dir/util_exponential_histogram_test.cc.o"
+  "CMakeFiles/util_exponential_histogram_test.dir/util_exponential_histogram_test.cc.o.d"
+  "util_exponential_histogram_test"
+  "util_exponential_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_exponential_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_random_test.dir/util_random_test.cc.o"
+  "CMakeFiles/util_random_test.dir/util_random_test.cc.o.d"
+  "util_random_test"
+  "util_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
