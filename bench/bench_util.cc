@@ -1,8 +1,10 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <set>
@@ -161,8 +163,15 @@ size_t DiLevels(double norm_ratio, size_t ell) {
 
 std::vector<SweepPoint> RunSweep(const Workload& workload,
                                  const SweepOptions& options) {
-  std::vector<SweepPoint> points;
-  for (size_t ell : options.ells) {
+  // One cell per ell: all algorithms of that ell share a single stream
+  // pass and one exact-window evaluation. Cells are independent (each
+  // builds its own sketches and stream from the deterministic per-config
+  // seed), so they fan out to the pool; cell results land in per-ell slots
+  // and are concatenated in ell order, making the output independent of
+  // scheduling.
+  std::vector<std::vector<SweepPoint>> cells(options.ells.size());
+  const auto run_cell = [&](size_t cell) {
+    const size_t ell = options.ells[cell];
     std::vector<std::unique_ptr<SlidingWindowSketch>> sketches;
     std::vector<std::string> algos;
     for (const std::string& algo : options.algorithms) {
@@ -174,13 +183,14 @@ std::vector<SweepPoint> RunSweep(const Workload& workload,
       // LM block capacity: about ell rows' worth of mass (see factory.h).
       config.lm_block_capacity =
           static_cast<double>(ell) * workload.avg_norm_sq;
+      config.fd_buffer_factor = options.fd_buffer_factor;
       config.seed = options.seed;
       auto r = MakeSlidingWindowSketch(workload.dim, workload.window, config);
       if (!r.ok()) continue;  // e.g. DI on a time window.
       sketches.push_back(r.take());
       algos.push_back(algo);
     }
-    if (sketches.empty()) continue;
+    if (sketches.empty()) return;
 
     std::vector<SlidingWindowSketch*> ptrs;
     for (auto& s : sketches) ptrs.push_back(s.get());
@@ -199,17 +209,97 @@ std::vector<SweepPoint> RunSweep(const Workload& workload,
       p.result = results[i];
       p.best_err_avg = results[i].avg_best_err;
       p.best_err_max = results[i].max_best_err;
-      points.push_back(std::move(p));
+      cells[cell].push_back(std::move(p));
     }
+  };
+  if (options.parallel_cells) {
+    ParallelFor(options.ells.size(), run_cell, {.grain = 1});
+  } else {
+    for (size_t cell = 0; cell < options.ells.size(); ++cell) run_cell(cell);
+  }
+
+  std::vector<SweepPoint> points;
+  for (auto& cell : cells) {
+    for (auto& p : cell) points.push_back(std::move(p));
   }
   return points;
 }
 
 namespace {
+
 bool g_csv_output = false;
+bool g_json_output = true;
+
+// "Figure 3(a): SYNTHETIC" -> "figure_3_a_synthetic".
+std::string Slugify(const std::string& title) {
+  std::string slug;
+  bool pending_sep = false;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !slug.empty()) slug.push_back('_');
+      pending_sep = false;
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return slug.empty() ? "figure" : slug;
+}
+
+void JsonEscape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+// One JSON file per figure: workload metadata plus one record per sweep
+// cell, so successive revisions can diff perf/accuracy mechanically.
+void WriteBenchJson(const std::string& title, const Workload& workload,
+                    const std::vector<SweepPoint>& points, Metric metric) {
+  const std::string path = "BENCH_" + Slugify(title) + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  const char* metric_name = metric == Metric::kAvgErr   ? "avg_err"
+                            : metric == Metric::kMaxErr ? "max_err"
+                                                        : "update_ns";
+  out << "{\n  \"figure\": ";
+  JsonEscape(out, title);
+  out << ",\n  \"metric\": \"" << metric_name << "\",\n  \"dataset\": ";
+  JsonEscape(out, workload.name);
+  out << ",\n  \"n\": " << workload.rows << ",\n  \"d\": " << workload.dim
+      << ",\n  \"window\": ";
+  JsonEscape(out, workload.window.ToString());
+  out << ",\n  \"cells\": [";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    out << (i ? "," : "") << "\n    {\"algorithm\": ";
+    JsonEscape(out, p.algorithm);
+    out << ", \"ell\": " << p.ell
+        << ", \"avg_err\": " << p.result.avg_err
+        << ", \"max_err\": " << p.result.max_err
+        << ", \"update_ns\": " << p.result.avg_update_ns
+        << ", \"max_rows_stored\": " << p.result.max_rows_stored
+        << ", \"best_err_avg\": " << p.best_err_avg
+        << ", \"best_err_max\": " << p.best_err_max
+        << ", \"zero_err_avg\": " << p.result.avg_zero_err
+        << ", \"rows_processed\": " << p.result.rows_processed << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "(wrote " << path << ")\n";
+}
+
 }  // namespace
 
 void SetCsvOutput(bool enabled) { g_csv_output = enabled; }
+
+void SetJsonOutput(bool enabled) { g_json_output = enabled; }
 
 void PrintFigure(const std::string& title, const Workload& workload,
                  const std::vector<SweepPoint>& points, Metric metric) {
@@ -257,6 +347,7 @@ void PrintFigure(const std::string& title, const Workload& workload,
     std::cout << "-- csv --\n";
     table.PrintCsv(std::cout);
   }
+  if (g_json_output) WriteBenchJson(title, workload, points, metric);
 }
 
 std::vector<size_t> SweepSizes(const Flags& flags) {
@@ -281,6 +372,7 @@ std::vector<size_t> SweepSizes(const Flags& flags) {
 void RunSequenceFigure(Metric metric, const Flags& flags,
                        const std::string& figure_name) {
   SetCsvOutput(flags.GetBool("csv", false));
+  SetJsonOutput(flags.GetBool("json", true));
   const Scale scale = ScaleFromFlags(flags);
   SweepOptions options;
   options.algorithms = {"swr", "swor", "swor-all", "lm-fd", "di-fd"};
@@ -290,6 +382,9 @@ void RunSequenceFigure(Metric metric, const Flags& flags,
       flags.GetInt("checkpoints", metric == Metric::kUpdateNs ? 2 : 6));
   options.with_best = metric != Metric::kUpdateNs;
   options.measure_time = true;
+  // Concurrent cells would contend for cores and skew per-row timings.
+  options.parallel_cells = metric != Metric::kUpdateNs;
+  options.fd_buffer_factor = flags.GetDouble("fd_buffer", 1.0);
 
   const std::string only = flags.GetString("dataset", "all");
   std::vector<Workload> workloads;
@@ -309,6 +404,7 @@ void RunSequenceFigure(Metric metric, const Flags& flags,
 void RunTimeFigure(Metric metric, const Flags& flags,
                    const std::string& figure_name) {
   SetCsvOutput(flags.GetBool("csv", false));
+  SetJsonOutput(flags.GetBool("json", true));
   const Scale scale = ScaleFromFlags(flags);
   SweepOptions options;
   options.algorithms = {"swr", "swor", "lm-fd"};
@@ -316,6 +412,8 @@ void RunTimeFigure(Metric metric, const Flags& flags,
   options.num_checkpoints = static_cast<size_t>(
       flags.GetInt("checkpoints", metric == Metric::kUpdateNs ? 2 : 6));
   options.with_best = metric != Metric::kUpdateNs;
+  options.parallel_cells = metric != Metric::kUpdateNs;
+  options.fd_buffer_factor = flags.GetDouble("fd_buffer", 1.0);
 
   const std::string only = flags.GetString("dataset", "all");
   std::vector<Workload> workloads;

@@ -70,11 +70,19 @@ struct SweepOptions {
   bool with_best = false;     // Also compute BEST(offline) at k = ell.
   bool measure_time = true;
   uint64_t seed = 1;
+  /// Run sweep cells (one stream pass per ell) concurrently on the thread
+  /// pool. Results are assembled in deterministic (ell, algorithm) order
+  /// regardless of completion order. Leave false for update-cost figures:
+  /// concurrent cells contend for cores and would inflate per-row timings.
+  bool parallel_cells = true;
+  /// FD amortized-shrink buffer factor forwarded to lm-fd / di-fd cells.
+  double fd_buffer_factor = 1.0;
 };
 
 /// Runs every algorithm at every ell over the workload. One stream pass
 /// per ell (all algorithms of that ell run simultaneously and share the
-/// exact-window evaluation).
+/// exact-window evaluation); passes run concurrently when
+/// options.parallel_cells is set.
 std::vector<SweepPoint> RunSweep(const Workload& workload,
                                  const SweepOptions& options);
 
@@ -85,6 +93,12 @@ enum class Metric { kAvgErr, kMaxErr, kUpdateNs };
 /// When true (bench flag --csv), PrintFigure also emits machine-readable
 /// CSV after each table.
 void SetCsvOutput(bool enabled);
+
+/// When true (default; bench flag --json=0 disables), PrintFigure also
+/// writes BENCH_<slug>.json next to the working directory with one record
+/// per sweep cell (update ns, errors, rows stored), so successive PRs can
+/// track the perf/accuracy trajectory mechanically.
+void SetJsonOutput(bool enabled);
 
 void PrintFigure(const std::string& title, const Workload& workload,
                  const std::vector<SweepPoint>& points, Metric metric);

@@ -25,38 +25,44 @@ DiFd::DiFd(size_t dim, Options options)
                                 .max_norm_sq = options.max_norm_sq},
           [dim, options](size_t level) {
             return FrequentDirections(
-                dim, LevelEll(level, options.levels, options.ell_top,
-                              options.ell_min));
+                dim, FrequentDirections::Options{
+                         .ell = LevelEll(level, options.levels,
+                                         options.ell_top, options.ell_min),
+                         .buffer_factor = options.fd_buffer_factor});
           },
           "DI-FD"),
       di_options_(options) {}
 
 void DiFd::Serialize(ByteWriter* writer) const {
-  WriteHeader(writer, DiFd::kSerialTag, 1);
+  WriteHeader(writer, DiFd::kSerialTag, 2);
   writer->Put<uint64_t>(dim());
   writer->Put<uint64_t>(di_options_.levels);
   writer->Put<uint64_t>(di_options_.window_size);
   writer->Put(di_options_.max_norm_sq);
   writer->Put<uint64_t>(di_options_.ell_top);
   writer->Put<uint64_t>(di_options_.ell_min);
+  writer->Put(di_options_.fd_buffer_factor);
   SerializeCore(writer);
 }
 
 Result<DiFd> DiFd::Deserialize(ByteReader* reader) {
-  if (!CheckHeader(reader, DiFd::kSerialTag, 1)) {
+  // Version 2: per-block FD buffer factor added (version-1 payloads
+  // predate amortized buffering and are not readable).
+  if (!CheckHeader(reader, DiFd::kSerialTag, 2)) {
     return Status::InvalidArgument("bad DiFd header");
   }
   uint64_t dim = 0, levels = 0, window = 0, ell_top = 0, ell_min = 0;
-  double max_norm_sq = 0.0;
+  double max_norm_sq = 0.0, fd_factor = 1.0;
   if (!reader->Get(&dim) || !reader->Get(&levels) || !reader->Get(&window) ||
       !reader->Get(&max_norm_sq) || !reader->Get(&ell_top) ||
-      !reader->Get(&ell_min) || levels == 0 || window == 0 ||
-      max_norm_sq <= 0.0) {
+      !reader->Get(&ell_min) || !reader->Get(&fd_factor) || levels == 0 ||
+      window == 0 || max_norm_sq <= 0.0 || fd_factor < 1.0) {
     return Status::InvalidArgument("corrupt DiFd payload");
   }
   DiFd sketch(dim, Options{.levels = levels, .window_size = window,
                            .max_norm_sq = max_norm_sq, .ell_top = ell_top,
-                           .ell_min = ell_min});
+                           .ell_min = ell_min,
+                           .fd_buffer_factor = fd_factor});
   if (Status s = sketch.DeserializeCore(reader); !s.ok()) return s;
   return sketch;
 }

@@ -365,6 +365,9 @@ class DiFd : public DyadicInterval<FrequentDirections> {
     /// (L - i)). Query output has roughly 2 * ell_top rows.
     size_t ell_top = 32;
     size_t ell_min = 2;
+    /// Amortized-shrink buffer factor of every per-block FD sketch
+    /// (FrequentDirections::Options::buffer_factor). Must be >= 1.
+    double fd_buffer_factor = 1.0;
   };
 
   DiFd(size_t dim, Options options);

@@ -51,7 +51,8 @@ Result<std::unique_ptr<SlidingWindowSketch>> MakeSlidingWindowSketch(
         dim, window,
         LmFd::Options{.ell = config.ell,
                       .blocks_per_level = config.blocks_per_level,
-                      .block_capacity = config.lm_block_capacity}));
+                      .block_capacity = config.lm_block_capacity,
+                      .fd_buffer_factor = config.fd_buffer_factor}));
   }
   if (a == "lm-rp") {
     return std::unique_ptr<SlidingWindowSketch>(new LmRp(
@@ -76,7 +77,8 @@ Result<std::unique_ptr<SlidingWindowSketch>> MakeSlidingWindowSketch(
                  .levels = config.levels,
                  .window_size = static_cast<uint64_t>(window.extent()),
                  .max_norm_sq = config.max_norm_sq,
-                 .ell_top = config.ell}));
+                 .ell_top = config.ell,
+                 .fd_buffer_factor = config.fd_buffer_factor}));
   }
   if (a == "di-rp") {
     if (Status s = RequireSequence(window, a); !s.ok()) return s;

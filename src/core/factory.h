@@ -40,6 +40,12 @@ struct SketchConfig {
   /// DI: a-priori bound R on squared row norms.
   double max_norm_sq = 1.0;
 
+  /// FD-based algorithms (lm-fd, di-fd): amortized-shrink buffer factor.
+  /// Each FD instance may hold up to fd_buffer_factor * (its ell) rows
+  /// before shrinking (Desai et al.), halving SVD frequency at 2.0. Must
+  /// be >= 1; 1 disables buffering.
+  double fd_buffer_factor = 1.0;
+
   /// Samplers: exponential-histogram error for the ||A||_F^2 tracker, or
   /// exact tracking when exact_frobenius is set.
   double frobenius_eps = 0.05;

@@ -17,38 +17,44 @@ LmFd::LmFd(size_t dim, WindowSpec window, Options options)
               .block_capacity =
                   ResolveCapacity(options.block_capacity, options.ell),
               .blocks_per_level = options.blocks_per_level},
-          [dim, ell = options.ell] {
-            return FrequentDirections(dim, ell);
+          [dim, ell = options.ell, factor = options.fd_buffer_factor] {
+            return FrequentDirections(
+                dim, FrequentDirections::Options{.ell = ell,
+                                                 .buffer_factor = factor});
           },
           "LM-FD"),
       lm_options_(options) {}
 
 void LmFd::Serialize(ByteWriter* writer) const {
-  WriteHeader(writer, LmFd::kSerialTag, 1);
+  WriteHeader(writer, LmFd::kSerialTag, 2);
   writer->Put<uint64_t>(dim());
   window().Serialize(writer);
   writer->Put<uint64_t>(lm_options_.ell);
   writer->Put<uint64_t>(lm_options_.blocks_per_level);
   writer->Put(lm_options_.block_capacity);
+  writer->Put(lm_options_.fd_buffer_factor);
   SerializeCore(writer);
 }
 
 Result<LmFd> LmFd::Deserialize(ByteReader* reader) {
-  if (!CheckHeader(reader, LmFd::kSerialTag, 1)) {
+  // Version 2: per-block FD buffer factor added (version-1 payloads
+  // predate amortized buffering and are not readable).
+  if (!CheckHeader(reader, LmFd::kSerialTag, 2)) {
     return Status::InvalidArgument("bad LmFd header");
   }
   uint64_t dim = 0, ell = 0, b = 0;
-  double capacity = 0.0;
+  double capacity = 0.0, fd_factor = 1.0;
   if (!reader->Get(&dim)) return Status::InvalidArgument("corrupt LmFd");
   auto window = WindowSpec::Deserialize(reader);
   if (!window.ok()) return window.status();
   if (!reader->Get(&ell) || !reader->Get(&b) || !reader->Get(&capacity) ||
-      ell < 2 || b < 2) {
+      !reader->Get(&fd_factor) || ell < 2 || b < 2 || fd_factor < 1.0) {
     return Status::InvalidArgument("corrupt LmFd payload");
   }
   LmFd sketch(dim, *window,
               Options{.ell = ell, .blocks_per_level = b,
-                      .block_capacity = capacity});
+                      .block_capacity = capacity,
+                      .fd_buffer_factor = fd_factor});
   if (Status s = sketch.DeserializeCore(reader); !s.ok()) return s;
   return sketch;
 }

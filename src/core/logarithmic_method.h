@@ -352,6 +352,9 @@ class LmFd : public LogarithmicMethod<FrequentDirections> {
     /// Block capacity in squared-norm mass; 0 means the paper's default
     /// C = ell (so a level-1 block holds about ell unit-norm rows).
     double block_capacity = 0.0;
+    /// Amortized-shrink buffer factor of every per-block FD sketch
+    /// (FrequentDirections::Options::buffer_factor). Must be >= 1.
+    double fd_buffer_factor = 1.0;
   };
 
   LmFd(size_t dim, WindowSpec window, Options options);

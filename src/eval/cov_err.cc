@@ -18,9 +18,12 @@ double CovarianceError(const Matrix& window_gram, double window_frob_sq,
   Matrix diff = window_gram;
   if (!b.empty()) {
     SWSKETCH_CHECK_EQ(b.cols(), window_gram.cols());
+    // Subtract B^T B on the upper triangle only and mirror once: the
+    // per-update mirror would double the cost of this evaluation hot path.
     for (size_t i = 0; i < b.rows(); ++i) {
-      diff.AddOuterProduct(b.Row(i), -1.0);
+      diff.AddOuterProductUpper(b.Row(i), -1.0);
     }
+    diff.MirrorUpperToLower();
   }
   return SpectralNormSymmetric(diff) / window_frob_sq;
 }

@@ -79,7 +79,12 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
           best_err = refs.best_err;
           zero_err = refs.zero_err;
         }
-        for (size_t s = 0; s < sketches.size(); ++s) {
+        // One task per sketch: Query + spectral-norm evaluation dominate
+        // checkpoint cost and are independent across sketches. Each task
+        // reads only its own sketch and writes its own slot, so parallel
+        // and serial execution produce bit-identical checkpoints.
+        std::vector<Checkpoint> ckpts(sketches.size());
+        const auto eval_one = [&](size_t s) {
           Checkpoint c;
           c.row_index = row_index;
           c.ts = row->ts;
@@ -89,7 +94,16 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
           c.zero_err = zero_err;
           const Matrix b = sketches[s]->Query();
           c.cova_err = CovarianceError(gram, frob_sq, b);
-          results[s].checkpoints.push_back(c);
+          ckpts[s] = c;
+        };
+        if (options.parallel_checkpoints) {
+          ParallelFor(sketches.size(), eval_one,
+                      {.grain = 1, .pool = options.pool});
+        } else {
+          for (size_t s = 0; s < sketches.size(); ++s) eval_one(s);
+        }
+        for (size_t s = 0; s < sketches.size(); ++s) {
+          results[s].checkpoints.push_back(ckpts[s]);
         }
       }
     }

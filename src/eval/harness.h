@@ -13,6 +13,7 @@
 #include "core/sliding_window_sketch.h"
 #include "stream/row_stream.h"
 #include "stream/window.h"
+#include "util/parallel.h"
 
 namespace swsketch {
 
@@ -27,6 +28,14 @@ struct HarnessOptions {
   /// Also evaluate the optimal best-rank-k error at each checkpoint using
   /// k = best_k (0 disables; used for the BEST reference series).
   size_t best_k = 0;
+  /// Evaluate checkpoints (Query + covariance error per sketch) on the
+  /// thread pool, one task per sketch. Updates always stay serial (the
+  /// stream is consumed in order), and every task is self-contained, so
+  /// the results are bit-identical to a serial run for deterministic
+  /// sketches.
+  bool parallel_checkpoints = true;
+  /// Pool for checkpoint evaluation; nullptr = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-checkpoint measurement.

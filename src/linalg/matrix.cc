@@ -6,8 +6,68 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace swsketch {
+
+namespace {
+
+// Blocking parameters for the dense kernels (see DESIGN.md "Performance").
+// Tiles are sized so an output tile plus the active input panel stay in
+// L1/L2: a kGramTileI x kGramTileJ accumulator tile is 36 KB.
+constexpr size_t kGramTileI = 48;
+constexpr size_t kGramTileJ = 96;
+constexpr size_t kGramRowPanel = 64;
+constexpr size_t kMultiplyKPanel = 128;
+
+// Minimum multiply-add count before a kernel fans out to the thread pool;
+// below this the submit/wake latency dominates.
+constexpr size_t kParallelFlopThreshold = size_t{1} << 22;  // ~4M madds.
+
+// Accumulates the upper triangle of A^T A into g for the column band
+// [i_begin, i_end): g(i, j) += sum_r a(r, i) * a(r, j) for j >= i. Rows
+// are consumed in panels of four with a fused inner loop, so each store
+// to g amortizes four multiply-adds. The accumulation order for a given
+// (i, j) is independent of the banding, which keeps parallel and serial
+// results bit-identical.
+void AccumulateGramUpperBand(const Matrix& a, Matrix* g, size_t i_begin,
+                             size_t i_end) {
+  const size_t rows = a.rows();
+  const size_t d = a.cols();
+  for (size_t r0 = 0; r0 < rows; r0 += kGramRowPanel) {
+    const size_t r1 = std::min(r0 + kGramRowPanel, rows);
+    for (size_t i0 = i_begin; i0 < i_end; i0 += kGramTileI) {
+      const size_t i1 = std::min(i0 + kGramTileI, i_end);
+      for (size_t j0 = i0; j0 < d; j0 += kGramTileJ) {
+        const size_t j1 = std::min(j0 + kGramTileJ, d);
+        for (size_t i = i0; i < i1; ++i) {
+          double* grow = g->RowPtr(i);
+          const size_t js = std::max(j0, i);
+          size_t r = r0;
+          for (; r + 3 < r1; r += 4) {
+            const double* a0 = a.RowPtr(r);
+            const double* a1 = a.RowPtr(r + 1);
+            const double* a2 = a.RowPtr(r + 2);
+            const double* a3 = a.RowPtr(r + 3);
+            const double v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+            if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+            for (size_t j = js; j < j1; ++j) {
+              grow[j] += v0 * a0[j] + v1 * a1[j] + v2 * a2[j] + v3 * a3[j];
+            }
+          }
+          for (; r < r1; ++r) {
+            const double* ar = a.RowPtr(r);
+            const double vi = ar[i];
+            if (vi == 0.0) continue;
+            for (size_t j = js; j < j1; ++j) grow[j] += vi * ar[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     : rows_(rows.size()), cols_(0) {
@@ -59,22 +119,79 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::Multiply(const Matrix& other) const {
   SWSKETCH_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = RowPtr(i);
-    double* dst = out.RowPtr(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      const double aik = a[k];
-      if (aik == 0.0) continue;
-      const double* b = other.RowPtr(k);
-      for (size_t j = 0; j < other.cols_; ++j) dst[j] += aik * b[j];
+  const size_t n = other.cols_;
+  const auto multiply_rows = [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const double* a = RowPtr(i);
+      double* dst = out.RowPtr(i);
+      for (size_t k0 = 0; k0 < cols_; k0 += kMultiplyKPanel) {
+        const size_t k1 = std::min(k0 + kMultiplyKPanel, cols_);
+        size_t k = k0;
+        for (; k + 3 < k1; k += 4) {
+          const double a0 = a[k], a1 = a[k + 1], a2 = a[k + 2], a3 = a[k + 3];
+          if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
+          const double* b0 = other.RowPtr(k);
+          const double* b1 = other.RowPtr(k + 1);
+          const double* b2 = other.RowPtr(k + 2);
+          const double* b3 = other.RowPtr(k + 3);
+          for (size_t j = 0; j < n; ++j) {
+            dst[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+          }
+        }
+        for (; k < k1; ++k) {
+          const double aik = a[k];
+          if (aik == 0.0) continue;
+          const double* b = other.RowPtr(k);
+          for (size_t j = 0; j < n; ++j) dst[j] += aik * b[j];
+        }
+      }
     }
+  };
+  if (rows_ * cols_ * n >= kParallelFlopThreshold && rows_ > 1) {
+    ParallelForChunks(rows_, multiply_rows);
+  } else {
+    multiply_rows(0, rows_);
   }
   return out;
 }
 
 Matrix Matrix::Gram() const {
   Matrix g(cols_, cols_);
-  for (size_t i = 0; i < rows_; ++i) g.AddOuterProduct(Row(i));
+  if (rows_ == 0 || cols_ == 0) return g;
+  // Cost of the upper triangle is rows * d * (d + 1) / 2 madds; fan column
+  // bands out to the pool when it dwarfs the task overhead. Leading bands
+  // cover longer upper-triangle rows, so bands shrink towards the top to
+  // even the load: band k covers rows of the triangle starting where
+  // roughly k/bands of the total area is below.
+  const size_t triangle = rows_ * cols_ * (cols_ + 1) / 2;
+  if (triangle >= kParallelFlopThreshold && cols_ >= 2 * kGramTileI) {
+    const size_t bands =
+        std::max<size_t>(1, std::min(ThreadPool::Shared().num_threads() * 2,
+                                     cols_ / kGramTileI));
+    std::vector<size_t> edges;
+    edges.reserve(bands + 1);
+    edges.push_back(0);
+    const double total_area = static_cast<double>(cols_) * cols_;
+    for (size_t b = 1; b < bands; ++b) {
+      // Solve for x: area of triangle columns [0, x) == b/bands of total;
+      // triangle area left of column x is x * (2d - x) / 2.
+      const double frac = static_cast<double>(b) / static_cast<double>(bands);
+      const double d = static_cast<double>(cols_);
+      const double x = d - std::sqrt(std::max(0.0, d * d - frac * total_area));
+      size_t edge = std::min<size_t>(cols_, static_cast<size_t>(x));
+      edge = std::max(edge, edges.back());
+      edges.push_back(edge);
+    }
+    edges.push_back(cols_);
+    ParallelFor(edges.size() - 1, [&](size_t b) {
+      if (edges[b] < edges[b + 1]) {
+        AccumulateGramUpperBand(*this, &g, edges[b], edges[b + 1]);
+      }
+    });
+  } else {
+    AccumulateGramUpperBand(*this, &g, 0, cols_);
+  }
+  g.MirrorUpperToLower();
   return g;
 }
 
@@ -82,30 +199,58 @@ Matrix Matrix::GramOuter() const {
   Matrix g(rows_, rows_);
   for (size_t i = 0; i < rows_; ++i) {
     const double* a = RowPtr(i);
-    for (size_t j = i; j < rows_; ++j) {
+    // Four simultaneous dot products share each a[k] load.
+    size_t j = i;
+    for (; j + 3 < rows_; j += 4) {
+      const double* b0 = RowPtr(j);
+      const double* b1 = RowPtr(j + 1);
+      const double* b2 = RowPtr(j + 2);
+      const double* b3 = RowPtr(j + 3);
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (size_t k = 0; k < cols_; ++k) {
+        const double ak = a[k];
+        s0 += ak * b0[k];
+        s1 += ak * b1[k];
+        s2 += ak * b2[k];
+        s3 += ak * b3[k];
+      }
+      g(i, j) = s0;
+      g(i, j + 1) = s1;
+      g(i, j + 2) = s2;
+      g(i, j + 3) = s3;
+    }
+    for (; j < rows_; ++j) {
       const double* b = RowPtr(j);
       double s = 0.0;
       for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
       g(i, j) = s;
-      g(j, i) = s;
     }
   }
+  g.MirrorUpperToLower();
   return g;
 }
 
 void Matrix::AddOuterProduct(std::span<const double> v, double scale) {
+  AddOuterProductUpper(v, scale);
+  MirrorUpperToLower();
+}
+
+void Matrix::AddOuterProductUpper(std::span<const double> v, double scale) {
   SWSKETCH_CHECK_EQ(rows_, cols_);
   SWSKETCH_CHECK_EQ(v.size(), cols_);
-  // Upper triangle only, then mirror: halves the flops for the hot path of
-  // exact-Gram evaluation.
   for (size_t i = 0; i < cols_; ++i) {
     const double vi = v[i] * scale;
     if (vi == 0.0) continue;
     double* row = RowPtr(i);
     for (size_t j = i; j < cols_; ++j) row[j] += vi * v[j];
   }
+}
+
+void Matrix::MirrorUpperToLower() {
+  SWSKETCH_CHECK_EQ(rows_, cols_);
   for (size_t i = 1; i < cols_; ++i) {
-    for (size_t j = 0; j < i; ++j) (*this)(i, j) = (*this)(j, i);
+    double* row = RowPtr(i);
+    for (size_t j = 0; j < i; ++j) row[j] = (*this)(j, i);
   }
 }
 
@@ -138,7 +283,27 @@ double Matrix::FrobeniusNormSq() const {
 void Matrix::Apply(std::span<const double> x, std::span<double> y) const {
   SWSKETCH_CHECK_EQ(x.size(), cols_);
   SWSKETCH_CHECK_EQ(y.size(), rows_);
-  for (size_t i = 0; i < rows_; ++i) {
+  // Four fused dot products per pass share each x[j] load.
+  size_t i = 0;
+  for (; i + 3 < rows_; i += 4) {
+    const double* a0 = RowPtr(i);
+    const double* a1 = RowPtr(i + 1);
+    const double* a2 = RowPtr(i + 2);
+    const double* a3 = RowPtr(i + 3);
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (size_t j = 0; j < cols_; ++j) {
+      const double xj = x[j];
+      s0 += a0[j] * xj;
+      s1 += a1[j] * xj;
+      s2 += a2[j] * xj;
+      s3 += a3[j] * xj;
+    }
+    y[i] = s0;
+    y[i + 1] = s1;
+    y[i + 2] = s2;
+    y[i + 3] = s3;
+  }
+  for (; i < rows_; ++i) {
     const double* a = RowPtr(i);
     double s = 0.0;
     for (size_t j = 0; j < cols_; ++j) s += a[j] * x[j];
@@ -151,7 +316,20 @@ void Matrix::ApplyTranspose(std::span<const double> x,
   SWSKETCH_CHECK_EQ(x.size(), rows_);
   SWSKETCH_CHECK_EQ(y.size(), cols_);
   std::fill(y.begin(), y.end(), 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
+  // Fused accumulation over four rows halves the traffic on y.
+  size_t i = 0;
+  for (; i + 3 < rows_; i += 4) {
+    const double x0 = x[i], x1 = x[i + 1], x2 = x[i + 2], x3 = x[i + 3];
+    if (x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) continue;
+    const double* a0 = RowPtr(i);
+    const double* a1 = RowPtr(i + 1);
+    const double* a2 = RowPtr(i + 2);
+    const double* a3 = RowPtr(i + 3);
+    for (size_t j = 0; j < cols_; ++j) {
+      y[j] += x0 * a0[j] + x1 * a1[j] + x2 * a2[j] + x3 * a3[j];
+    }
+  }
+  for (; i < rows_; ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
     const double* a = RowPtr(i);

@@ -69,19 +69,35 @@ class Matrix {
   /// Returns the transposed matrix.
   Matrix Transpose() const;
 
-  /// this * other (naive ikj loop order; fine for the small/rectangular
-  /// shapes the library produces).
+  /// this * other. Register-tiled ikj loop (4-way k unroll); rows are
+  /// partitioned over the shared thread pool when the product is large
+  /// enough to amortize the fan-out (identical results either way).
   Matrix Multiply(const Matrix& other) const;
 
-  /// A^T * A, a cols x cols symmetric PSD matrix. Uses symmetric rank-1
-  /// accumulation (only the upper triangle is computed, then mirrored).
+  /// A^T * A, a cols x cols symmetric PSD matrix. Cache-blocked over the
+  /// upper triangle with 4-row accumulation, mirrored once at the end;
+  /// column bands go to the shared thread pool above a flop threshold.
+  /// The result is bit-identical for any worker count: every output entry
+  /// is produced by exactly one task with a fixed accumulation order.
   Matrix Gram() const;
 
-  /// A * A^T, a rows x rows symmetric PSD matrix.
+  /// A * A^T, a rows x rows symmetric PSD matrix (4-way column-unrolled
+  /// dot products).
   Matrix GramOuter() const;
 
   /// M += scale * v v^T for a square matrix with cols() == v.size().
   void AddOuterProduct(std::span<const double> v, double scale = 1.0);
+
+  /// Upper-triangle-only rank-1 update: entries (i, j) with j >= i get
+  /// += scale * v_i v_j; the strict lower triangle is left untouched.
+  /// Callers accumulating many rank-1 terms should use this and call
+  /// MirrorUpperToLower() once at the end instead of paying the mirror
+  /// per update (AddOuterProduct = AddOuterProductUpper + mirror).
+  void AddOuterProductUpper(std::span<const double> v, double scale = 1.0);
+
+  /// Copies the upper triangle over the strict lower triangle, restoring
+  /// symmetry after a run of AddOuterProductUpper calls.
+  void MirrorUpperToLower();
 
   /// this += scale * other (shapes must match).
   void AddScaled(const Matrix& other, double scale);

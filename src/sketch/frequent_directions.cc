@@ -12,28 +12,32 @@ namespace swsketch {
 FrequentDirections::FrequentDirections(size_t dim, Options options)
     : dim_(dim), options_(options) {
   SWSKETCH_CHECK_GE(options_.ell, 2u);
+  SWSKETCH_CHECK_GE(options_.buffer_factor, 1.0);
   shrink_rank_ = options_.shrink_rank == 0 ? (options_.ell + 1) / 2
                                            : options_.shrink_rank;
   SWSKETCH_CHECK_GE(shrink_rank_, 1u);
   SWSKETCH_CHECK_LE(shrink_rank_, options_.ell);
-  b_ = Matrix(options_.ell, dim_);
+  capacity_ = std::max(
+      options_.ell,
+      static_cast<size_t>(options_.buffer_factor *
+                          static_cast<double>(options_.ell)));
+  b_ = Matrix(0, dim_);
+  b_.ReserveRows(capacity_);
 }
 
 void FrequentDirections::Append(std::span<const double> row, uint64_t) {
   SWSKETCH_CHECK_EQ(row.size(), dim_);
-  if (used_ == options_.ell) ShrinkWithRank(shrink_rank_);
-  std::copy(row.begin(), row.end(), b_.RowPtr(used_));
-  ++used_;
+  if (b_.rows() == capacity_) ShrinkWithRank(shrink_rank_);
+  b_.AppendRow(row);
   input_mass_ += NormSq(row);
 }
 
 void FrequentDirections::AppendSparse(const SparseVector& row, uint64_t) {
   SWSKETCH_CHECK_EQ(row.dim(), dim_);
-  if (used_ == options_.ell) ShrinkWithRank(shrink_rank_);
-  double* dst = b_.RowPtr(used_);
-  std::fill(dst, dst + dim_, 0.0);
-  row.AxpyInto({dst, dim_});
-  ++used_;
+  if (b_.rows() == capacity_) ShrinkWithRank(shrink_rank_);
+  sparse_scratch_.assign(dim_, 0.0);
+  row.AxpyInto(sparse_scratch_);
+  b_.AppendRow(sparse_scratch_);
   input_mass_ += row.NormSq();
 }
 
@@ -41,39 +45,29 @@ void FrequentDirections::AppendMatrix(const Matrix& m) {
   for (size_t i = 0; i < m.rows(); ++i) Append(m.Row(i), 0);
 }
 
-Matrix FrequentDirections::Approximation() const {
-  Matrix out(0, dim_);
-  out.ReserveRows(used_);
-  for (size_t i = 0; i < used_; ++i) out.AppendRow(b_.Row(i));
-  return out;
-}
-
 void FrequentDirections::ShrinkNow() { ShrinkWithRank(shrink_rank_); }
 
 void FrequentDirections::ShrinkWithRank(size_t rank) {
-  if (used_ == 0) return;
-  Matrix occupied(0, dim_);
-  occupied.ReserveRows(used_);
-  for (size_t i = 0; i < used_; ++i) occupied.AppendRow(b_.Row(i));
+  if (b_.rows() == 0) return;
+  RebuildFromSvd(rank, capacity_);
+}
 
-  const SvdResult svd = ThinSvd(occupied);
+void FrequentDirections::RebuildFromSvd(size_t rank, size_t max_rows) {
+  // b_ holds exactly the occupied rows, so the SVD runs on it directly —
+  // no staging copy, and the survivors are written back in place.
+  const SvdResult svd = ThinSvd(b_);
+  ++shrink_count_;
   const size_t r = svd.singular_values.size();
   const double lambda =
       rank <= r ? svd.singular_values[rank - 1] * svd.singular_values[rank - 1]
                 : 0.0;
 
-  b_.SetZero();
-  size_t out = 0;
-  for (size_t i = 0; i < r; ++i) {
+  b_.TruncateRows(0);
+  for (size_t i = 0; i < r && b_.rows() < max_rows; ++i) {
     const double s2 = svd.singular_values[i] * svd.singular_values[i] - lambda;
     if (s2 <= 0.0) break;  // Singular values are descending.
-    const double s = std::sqrt(s2);
-    double* dst = b_.RowPtr(out);
-    const double* v = svd.vt.RowPtr(i);
-    for (size_t j = 0; j < dim_; ++j) dst[j] = s * v[j];
-    ++out;
+    b_.AppendRowScaled(svd.vt.Row(i), std::sqrt(s2));
   }
-  used_ = out;
   if (lambda > 0.0) {
     // Every retained direction lost lambda, plus the zeroed tail; the FD
     // error analysis charges lambda once per shrink against the covariance
@@ -86,89 +80,65 @@ void FrequentDirections::MergeWith(const FrequentDirections& other) {
   SWSKETCH_CHECK_EQ(dim_, other.dim_);
   SWSKETCH_CHECK_EQ(options_.ell, other.options_.ell);
 
-  // Stack occupied rows of both sketches into this buffer (temporarily
-  // growing to 2*ell rows), then shrink back with sigma_{ell+1}^2 so that
-  // at most ell rows survive.
-  Matrix stacked(0, dim_);
-  stacked.ReserveRows(used_ + other.used_);
-  for (size_t i = 0; i < used_; ++i) stacked.AppendRow(b_.Row(i));
-  for (size_t i = 0; i < other.used_; ++i) stacked.AppendRow(other.b_.Row(i));
+  // Stack the other sketch's rows onto this buffer in place (the reserve
+  // keeps row spans valid even when other == this), then shrink back with
+  // sigma_{ell+1}^2 so that at most ell rows survive.
+  const size_t other_rows = other.b_.rows();
+  b_.ReserveRows(b_.rows() + other_rows);
+  for (size_t i = 0; i < other_rows; ++i) b_.AppendRow(other.b_.Row(i));
 
   input_mass_ += other.input_mass_;
   shed_mass_ += other.shed_mass_;
 
-  if (stacked.rows() <= options_.ell) {
-    b_.SetZero();
-    for (size_t i = 0; i < stacked.rows(); ++i) {
-      std::copy(stacked.Row(i).begin(), stacked.Row(i).end(), b_.RowPtr(i));
-    }
-    used_ = stacked.rows();
-    return;
-  }
-
-  const SvdResult svd = ThinSvd(stacked);
-  const size_t r = svd.singular_values.size();
-  const size_t ell = options_.ell;
-  const double lambda =
-      ell + 1 <= r
-          ? svd.singular_values[ell] * svd.singular_values[ell]
-          : 0.0;
-
-  b_.SetZero();
-  size_t out = 0;
-  for (size_t i = 0; i < r && out < ell; ++i) {
-    const double s2 = svd.singular_values[i] * svd.singular_values[i] - lambda;
-    if (s2 <= 0.0) break;
-    const double s = std::sqrt(s2);
-    double* dst = b_.RowPtr(out);
-    const double* v = svd.vt.RowPtr(i);
-    for (size_t j = 0; j < dim_; ++j) dst[j] = s * v[j];
-    ++out;
-  }
-  used_ = out;
-  if (lambda > 0.0) shed_mass_ += lambda;
+  if (b_.rows() > options_.ell) RebuildFromSvd(options_.ell + 1, options_.ell);
 }
 
 namespace {
-constexpr uint32_t kFdTag = 0x46440001;  // "FD" v1 marker space.
+constexpr uint32_t kFdTag = 0x46440001;  // "FD" marker space.
 }  // namespace
 
 void FrequentDirections::Serialize(ByteWriter* writer) const {
-  WriteHeader(writer, kFdTag, 1);
+  WriteHeader(writer, kFdTag, 2);
   writer->Put<uint64_t>(dim_);
   writer->Put<uint64_t>(options_.ell);
   writer->Put<uint64_t>(options_.shrink_rank);
+  writer->Put(options_.buffer_factor);
   writer->Put<uint64_t>(shrink_rank_);
+  writer->Put<uint64_t>(shrink_count_);
   b_.Serialize(writer);
-  writer->Put<uint64_t>(used_);
   writer->Put(shed_mass_);
   writer->Put(input_mass_);
 }
 
 Result<FrequentDirections> FrequentDirections::Deserialize(
     ByteReader* reader) {
-  if (!CheckHeader(reader, kFdTag, 1)) {
+  uint32_t tag = 0, version = 0;
+  if (!reader->Get(&tag) || !reader->Get(&version) || tag != kFdTag ||
+      version != 2) {
     return Status::InvalidArgument("bad FrequentDirections header");
   }
-  uint64_t dim = 0, ell = 0, shrink_opt = 0, shrink_resolved = 0, used = 0;
+  uint64_t dim = 0, ell = 0, shrink_opt = 0, shrink_resolved = 0, shrinks = 0;
+  double buffer_factor = 1.0;
   if (!reader->Get(&dim) || !reader->Get(&ell) || !reader->Get(&shrink_opt) ||
-      !reader->Get(&shrink_resolved)) {
+      !reader->Get(&buffer_factor) || !reader->Get(&shrink_resolved) ||
+      !reader->Get(&shrinks)) {
     return Status::InvalidArgument("corrupt FrequentDirections payload");
   }
-  if (ell < 2 || shrink_resolved < 1 || shrink_resolved > ell) {
+  if (ell < 2 || shrink_resolved < 1 || shrink_resolved > ell ||
+      buffer_factor < 1.0) {
     return Status::InvalidArgument("invalid FrequentDirections config");
   }
   auto b = Matrix::Deserialize(reader);
   if (!b.ok()) return b.status();
-  FrequentDirections fd(dim, Options{.ell = ell, .shrink_rank = shrink_opt});
-  if (!reader->Get(&used) || !reader->Get(&fd.shed_mass_) ||
-      !reader->Get(&fd.input_mass_) || used > ell ||
-      b->rows() != ell || b->cols() != dim) {
+  FrequentDirections fd(dim, Options{.ell = ell, .shrink_rank = shrink_opt,
+                                     .buffer_factor = buffer_factor});
+  if (!reader->Get(&fd.shed_mass_) || !reader->Get(&fd.input_mass_) ||
+      b->rows() > fd.capacity_ || b->cols() != dim) {
     return Status::InvalidArgument("corrupt FrequentDirections payload");
   }
   fd.b_ = b.take();
-  fd.used_ = used;
   fd.shrink_rank_ = shrink_resolved;
+  fd.shrink_count_ = shrinks;
   return fd;
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/logging.h"
+
 namespace swsketch {
 
 void WindowBuffer::Add(Row row) {
@@ -25,9 +27,14 @@ Matrix WindowBuffer::ToMatrix() const {
 }
 
 Matrix WindowBuffer::GramMatrix(size_t dim) const {
-  Matrix g(dim, dim);
-  for (const auto& r : rows_) g.AddOuterProduct(r.view());
-  return g;
+  if (rows_.empty()) return Matrix(dim, dim);
+  // Materialize the window contiguously and use the blocked (and, for
+  // large windows, parallel) Gram kernel: the copy is O(n d) against the
+  // O(n d^2) product, and the blocked kernel is several times faster than
+  // a rank-1 update per row.
+  const Matrix a = ToMatrix();
+  SWSKETCH_CHECK_EQ(a.cols(), dim);
+  return a.Gram();
 }
 
 double WindowBuffer::FrobeniusNormSq() const {

@@ -1,0 +1,163 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+namespace {
+
+size_t g_default_threads = 0;  // 0 = not overridden.
+
+// Set while a pool worker executes a task: nested ParallelFor calls run
+// inline instead of re-entering the pool (re-entering could block every
+// worker in a wait and deadlock the queue).
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (g_default_threads > 0) return g_default_threads;
+  if (const char* env = std::getenv("SWSKETCH_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ThreadPool::SetDefaultThreadCount(size_t threads) {
+  g_default_threads = threads;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();  // Leaked: lives for the
+                                               // process, avoids shutdown
+                                               // ordering issues.
+  return *pool;
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t n = threads > 0 ? threads : DefaultThreadCount();
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    SWSKETCH_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+// Per-invocation completion tracking, so concurrent / nested ParallelFor
+// calls sharing one pool wait only on their own chunks.
+struct ForState {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = 0;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
+
+void ParallelForChunks(size_t n,
+                       const std::function<void(size_t, size_t)>& body,
+                       const ParallelForOptions& options) {
+  if (n == 0) return;
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::Shared();
+  size_t grain = options.grain;
+  if (grain == 0) {
+    grain = std::max<size_t>(1,
+                             (n + pool.num_threads() - 1) / pool.num_threads());
+  }
+  if (grain >= n || pool.num_threads() <= 1 || t_inside_pool_worker) {
+    body(0, n);  // Inline: nothing to parallelize (or nested call).
+    return;
+  }
+
+  ForState state;
+  state.remaining = (n + grain - 1) / grain;
+  for (size_t begin = 0; begin < n; begin += grain) {
+    const size_t end = std::min(begin + grain, n);
+    pool.Submit([&state, &body, begin, end] {
+      std::exception_ptr err;
+      try {
+        body(begin, end);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lock(state.mu);
+      if (err && !state.first_error) state.first_error = err;
+      if (--state.remaining == 0) state.done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                 const ParallelForOptions& options) {
+  ParallelForChunks(
+      n,
+      [&body](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) body(i);
+      },
+      options);
+}
+
+}  // namespace swsketch

@@ -1,0 +1,100 @@
+// Fixed-size thread pool and deterministic parallel-for, the concurrency
+// substrate for checkpoint evaluation, sweep fan-out and the partitioned
+// linalg kernels.
+//
+// Determinism contract: ParallelFor splits [0, n) into the same chunks for
+// a given (n, grain) regardless of how many workers execute them, each
+// index is processed by exactly one task, and tasks never share mutable
+// state unless the caller introduces it. A caller that writes result[i]
+// from iteration i (and seeds any RNG from i, not from the thread id)
+// therefore produces bit-identical output whether the pool has 1 or 64
+// workers.
+#ifndef SWSKETCH_UTIL_PARALLEL_H_
+#define SWSKETCH_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swsketch {
+
+/// Fixed worker pool over a FIFO task queue. Threads are started in the
+/// constructor and joined (after draining) in the destructor; Submit after
+/// shutdown is a CHECK failure.
+class ThreadPool {
+ public:
+  /// `threads` = 0 means DefaultThreadCount().
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first exception (by submission-completion order) on the
+  /// calling thread; the pool stays usable afterwards.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide shared pool, sized by DefaultThreadCount() at first use.
+  static ThreadPool& Shared();
+
+  /// Worker count for new default-sized pools: the SWSKETCH_THREADS
+  /// environment variable when set (clamped to >= 1), otherwise
+  /// std::thread::hardware_concurrency(). Overridable for tests/flags via
+  /// SetDefaultThreadCount *before* Shared() is first used.
+  static size_t DefaultThreadCount();
+  static void SetDefaultThreadCount(size_t threads);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: task or shutdown.
+  std::condition_variable idle_cv_;   // Signals Wait(): everything done.
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Queued + currently executing tasks.
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+struct ParallelForOptions {
+  /// Minimum iterations per task; [0, n) is split into ceil(n / grain)
+  /// contiguous chunks. 0 means "one chunk per worker" (still
+  /// deterministic: the chunking depends on the pool *size*, which is
+  /// fixed per pool, not on scheduling).
+  size_t grain = 0;
+  /// Pool to run on; nullptr means ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs body(i) for every i in [0, n). Chunks run concurrently on the
+/// pool; iterations inside a chunk run in increasing order. Runs inline
+/// (no pool touched) when n fits a single chunk or the pool has one
+/// worker — so single-threaded configurations pay zero overhead and
+/// produce identical results by construction. Exceptions from any chunk
+/// are rethrown on the caller.
+void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                 const ParallelForOptions& options = {});
+
+/// Chunked variant: body(begin, end) per contiguous chunk. This is the
+/// primitive the blocked kernels use (a chunk maps to a tile row band).
+void ParallelForChunks(size_t n,
+                       const std::function<void(size_t, size_t)>& body,
+                       const ParallelForOptions& options = {});
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_UTIL_PARALLEL_H_

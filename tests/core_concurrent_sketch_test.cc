@@ -89,7 +89,7 @@ TEST(ConcurrentSketchTest, SparseUpdatesForwarded) {
 TEST(ConcurrentSketchTest, NullInnerDies) {
   // Earlier tests in this binary spawn threads; fork-style death tests are
   // flaky in that situation, so use the threadsafe style here.
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(ConcurrentSketch sketch(nullptr), "");
 }
 

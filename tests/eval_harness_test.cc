@@ -97,6 +97,54 @@ TEST(HarnessTest, UpdateTimeMeasured) {
   EXPECT_GT(r.avg_update_ns, 0.0);
 }
 
+TEST(HarnessTest, ParallelCheckpointsBitIdenticalToSerial) {
+  // The deterministic (sampling-free) sketches — LM-FD, DI-FD, ExactWindow
+  // — must produce bit-identical checkpoints whether checkpoint evaluation
+  // runs on the pool or inline: every task reads only its own sketch and
+  // the Lanczos evaluation is seeded, not time- or thread-dependent.
+  const auto run = [](bool parallel) {
+    SyntheticStream stream(SyntheticStream::Options{
+        .rows = 1600, .dim = 12, .signal_dim = 4, .window = 250});
+    SketchConfig lm, di, exact;
+    lm.algorithm = "lm-fd";
+    lm.ell = 12;
+    di.algorithm = "di-fd";
+    di.ell = 12;
+    exact.algorithm = "exact";
+    auto s1 = MakeSlidingWindowSketch(12, WindowSpec::Sequence(250), lm);
+    auto s2 = MakeSlidingWindowSketch(12, WindowSpec::Sequence(250), di);
+    auto s3 = MakeSlidingWindowSketch(12, WindowSpec::Sequence(250), exact);
+    EXPECT_TRUE(s1.ok() && s2.ok() && s3.ok());
+    std::vector<SlidingWindowSketch*> sketches{s1->get(), s2->get(),
+                                               s3->get()};
+    HarnessOptions options;
+    options.num_checkpoints = 5;
+    options.total_rows = 1600;
+    options.measure_update_time = false;
+    options.best_k = 4;
+    options.parallel_checkpoints = parallel;
+    return RunMany(&stream, sketches, options);
+  };
+  const auto serial = run(false);
+  const auto parallel = run(true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t s = 0; s < serial.size(); ++s) {
+    ASSERT_EQ(serial[s].checkpoints.size(), parallel[s].checkpoints.size());
+    for (size_t c = 0; c < serial[s].checkpoints.size(); ++c) {
+      // Bit-exact comparisons on purpose: parallelism must not perturb a
+      // single ulp.
+      EXPECT_EQ(serial[s].checkpoints[c].cova_err,
+                parallel[s].checkpoints[c].cova_err);
+      EXPECT_EQ(serial[s].checkpoints[c].best_err,
+                parallel[s].checkpoints[c].best_err);
+      EXPECT_EQ(serial[s].checkpoints[c].rows_stored,
+                parallel[s].checkpoints[c].rows_stored);
+    }
+    EXPECT_EQ(serial[s].avg_err, parallel[s].avg_err);
+    EXPECT_EQ(serial[s].max_err, parallel[s].max_err);
+  }
+}
+
 TEST(HarnessTest, CheckpointMetadataPopulated) {
   SyntheticStream stream(SyntheticStream::Options{
       .rows = 1000, .dim = 6, .signal_dim = 2, .window = 150});

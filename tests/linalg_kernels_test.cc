@@ -1,0 +1,191 @@
+// Differential tests for the cache-blocked dense kernels: Gram, GramOuter,
+// Multiply, Apply/ApplyTranspose and the upper-triangle rank-1 update are
+// checked entry-by-entry against straightforward triple-loop references on
+// random, sparse-ish and degenerate shapes. Blocking changes summation
+// order, so comparisons are relative-tolerance, not bit-exact; what IS
+// exact is parallel-vs-serial for a fixed kernel (asserted via pool sizes).
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed, double density = 1.0) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (density >= 1.0 || rng.Uniform01() < density) m(i, j) = rng.Gaussian();
+    }
+  }
+  return m;
+}
+
+Matrix NaiveGram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (size_t r = 0; r < a.cols(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      double sum = 0.0;
+      for (size_t i = 0; i < a.rows(); ++i) sum += a(i, r) * a(i, c);
+      g(r, c) = sum;
+    }
+  }
+  return g;
+}
+
+Matrix NaiveMultiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) sum += a(i, k) * b(k, j);
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+// Largest |x - y| scaled by the magnitude of the reference.
+void ExpectMatrixNear(const Matrix& got, const Matrix& want, double rel_tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  double scale = 1.0;
+  for (double v : want.Data()) scale = std::max(scale, std::abs(v));
+  EXPECT_LE(got.MaxAbsDiff(want), rel_tol * scale);
+}
+
+TEST(BlockedKernelsTest, GramMatchesNaiveDense) {
+  // d spans below / at / above the tile sizes (48 and 96).
+  for (size_t d : {3u, 17u, 48u, 97u, 160u}) {
+    const Matrix a = RandomMatrix(3 * d + 7, d, d);
+    ExpectMatrixNear(a.Gram(), NaiveGram(a), 1e-12);
+  }
+}
+
+TEST(BlockedKernelsTest, GramMatchesNaiveSparse) {
+  // Mostly-zero input exercises the zero-quad skip in the inner loop.
+  const Matrix a = RandomMatrix(400, 120, 1, 0.05);
+  ExpectMatrixNear(a.Gram(), NaiveGram(a), 1e-12);
+}
+
+TEST(BlockedKernelsTest, GramDegenerateShapes) {
+  // 0 rows: Gram is the all-zero d x d matrix.
+  const Matrix empty_rows(0, 7);
+  const Matrix g0 = empty_rows.Gram();
+  EXPECT_EQ(g0.rows(), 7u);
+  EXPECT_EQ(g0.MaxAbsDiff(Matrix(7, 7)), 0.0);
+  // 1 column: Gram is the 1x1 squared norm.
+  const Matrix one_col = RandomMatrix(23, 1, 2);
+  ExpectMatrixNear(one_col.Gram(), NaiveGram(one_col), 1e-12);
+  // 1 row: rank-1 outer product.
+  const Matrix one_row = RandomMatrix(1, 60, 3);
+  ExpectMatrixNear(one_row.Gram(), NaiveGram(one_row), 1e-12);
+  // 0 x 0.
+  EXPECT_TRUE(Matrix().Gram().empty());
+}
+
+TEST(BlockedKernelsTest, GramIsExactlySymmetric) {
+  // The mirror copies the upper triangle, so symmetry is bit-exact — an
+  // invariant Jacobi/Lanczos downstream rely on.
+  const Matrix g = RandomMatrix(300, 130, 4).Gram();
+  for (size_t i = 0; i < g.rows(); ++i) {
+    for (size_t j = i + 1; j < g.cols(); ++j) EXPECT_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(BlockedKernelsTest, GramOuterMatchesNaive) {
+  const Matrix a = RandomMatrix(57, 90, 5);
+  ExpectMatrixNear(a.GramOuter(), NaiveMultiply(a, a.Transpose()), 1e-12);
+}
+
+TEST(BlockedKernelsTest, MultiplyMatchesNaive) {
+  struct Shape { size_t n, k, m; };
+  for (const auto& s : {Shape{1, 1, 1}, Shape{5, 130, 3}, Shape{64, 64, 64},
+                        Shape{33, 257, 19}}) {
+    const Matrix a = RandomMatrix(s.n, s.k, s.n + s.k);
+    const Matrix b = RandomMatrix(s.k, s.m, s.k + s.m + 1);
+    ExpectMatrixNear(a.Multiply(b), NaiveMultiply(a, b), 1e-12);
+  }
+}
+
+TEST(BlockedKernelsTest, MultiplyDegenerateShapes) {
+  const Matrix a(0, 5);
+  const Matrix b = RandomMatrix(5, 4, 6);
+  const Matrix c = a.Multiply(b);
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 4u);
+}
+
+TEST(BlockedKernelsTest, AddOuterProductUpperPlusMirrorEqualsFull) {
+  const size_t d = 75;
+  Rng rng(7);
+  std::vector<double> v(d);
+  for (auto& x : v) x = rng.Gaussian();
+
+  Matrix full = RandomMatrix(10, d, 8).Gram();
+  Matrix split = full;
+  full.AddOuterProduct(v, -2.5);
+  split.AddOuterProductUpper(v, -2.5);
+  split.MirrorUpperToLower();
+  EXPECT_EQ(full.MaxAbsDiff(split), 0.0);
+}
+
+TEST(BlockedKernelsTest, ManyUpperUpdatesThenOneMirror) {
+  // The CovarianceError pattern: accumulate rank-1 terms upper-only, mirror
+  // once, and land exactly where per-update mirroring would.
+  const Matrix b = RandomMatrix(40, 66, 9);
+  Matrix per_update(66, 66);
+  Matrix amortized(66, 66);
+  for (size_t i = 0; i < b.rows(); ++i) {
+    per_update.AddOuterProduct(b.Row(i), -1.0);
+    amortized.AddOuterProductUpper(b.Row(i), -1.0);
+  }
+  amortized.MirrorUpperToLower();
+  EXPECT_EQ(per_update.MaxAbsDiff(amortized), 0.0);
+}
+
+TEST(BlockedKernelsTest, ApplyMatchesNaive) {
+  const Matrix a = RandomMatrix(37, 118, 10);
+  Rng rng(11);
+  std::vector<double> x(a.cols()), y(a.rows()), want(a.rows());
+  for (auto& v : x) v = rng.Gaussian();
+  a.Apply(x, y);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += a(i, j) * x[j];
+    want[i] = sum;
+  }
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], want[i], 1e-10);
+}
+
+TEST(BlockedKernelsTest, ApplyTransposeMatchesNaive) {
+  const Matrix a = RandomMatrix(118, 37, 12);
+  Rng rng(13);
+  std::vector<double> x(a.rows()), y(a.cols()), want(a.cols(), 0.0);
+  for (auto& v : x) v = rng.Gaussian();
+  a.ApplyTranspose(x, y);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) want[j] += a(i, j) * x[i];
+  }
+  for (size_t j = 0; j < y.size(); ++j) EXPECT_NEAR(y[j], want[j], 1e-10);
+}
+
+TEST(BlockedKernelsTest, LargeGramDeterministicAcrossRepeats) {
+  // A shape big enough to cross the parallel flop threshold must give the
+  // same bits every run (band partitioning is fixed, accumulation order
+  // per entry is band-independent).
+  const Matrix a = RandomMatrix(2000, 160, 14);
+  const Matrix g1 = a.Gram();
+  const Matrix g2 = a.Gram();
+  EXPECT_EQ(g1.MaxAbsDiff(g2), 0.0);
+  ExpectMatrixNear(g1, NaiveGram(a), 1e-12);
+}
+
+}  // namespace
+}  // namespace swsketch

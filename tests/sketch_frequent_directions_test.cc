@@ -150,6 +150,49 @@ TEST(FrequentDirectionsTest, CustomShrinkRank) {
   EXPECT_LE(fd.RowsStored(), 8u);
 }
 
+TEST(FrequentDirectionsTest, BufferFactorPreservesErrorGuarantee) {
+  // Amortized shrinking must not weaken the FD analysis: with any
+  // buffer_factor the observed error stays within shed_mass, and shed_mass
+  // stays within ||A||_F^2 / shrink_rank.
+  const size_t ell = 12;
+  Matrix a = RandomMatrix(500, 16, 21);
+  for (double factor : {1.0, 1.5, 2.0, 4.0}) {
+    FrequentDirections fd(
+        16, FrequentDirections::Options{.ell = ell, .buffer_factor = factor});
+    fd.AppendMatrix(a);
+    EXPECT_LE(fd.RowsStored(), fd.buffer_capacity());
+    const double err = AbsCovErr(a, fd.Approximation());
+    EXPECT_LE(err, fd.shed_mass() * (1.0 + 1e-9) + 1e-9) << factor;
+    const double budget =
+        a.FrobeniusNormSq() / static_cast<double>(fd.shrink_rank());
+    EXPECT_LE(fd.shed_mass(), budget * (1.0 + 1e-9)) << factor;
+  }
+}
+
+TEST(FrequentDirectionsTest, BufferFactorAmortizesShrinks) {
+  const size_t ell = 16;
+  Matrix a = RandomMatrix(600, 20, 22);
+  FrequentDirections eager(
+      20, FrequentDirections::Options{.ell = ell, .buffer_factor = 1.0});
+  FrequentDirections buffered(
+      20, FrequentDirections::Options{.ell = ell, .buffer_factor = 2.0});
+  eager.AppendMatrix(a);
+  buffered.AppendMatrix(a);
+  EXPECT_EQ(buffered.buffer_capacity(), 2 * ell);
+  // Roughly (2*ell - r + 1) / (ell - r + 1) ~ 3x fewer SVDs at factor 2.
+  EXPECT_LT(buffered.shrink_count(), eager.shrink_count());
+  EXPECT_GT(buffered.shrink_count(), 0u);
+}
+
+TEST(FrequentDirectionsTest, ShrinkNowCompactsBuffer) {
+  FrequentDirections fd(
+      10, FrequentDirections::Options{.ell = 6, .buffer_factor = 2.0});
+  fd.AppendMatrix(RandomMatrix(11, 10, 23));  // Fills past ell, below 2*ell.
+  EXPECT_GT(fd.RowsStored(), 6u);
+  fd.ShrinkNow();
+  EXPECT_LT(fd.RowsStored(), 6u + 1u);
+}
+
 TEST(FrequentDirectionsTest, RejectsBadConfig) {
   EXPECT_DEATH(FrequentDirections(4, 1), "");
   EXPECT_DEATH(FrequentDirections(

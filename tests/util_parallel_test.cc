@@ -1,0 +1,146 @@
+// Tests for the thread pool and ParallelFor: lifecycle, exception
+// propagation, the determinism contract, and nested-call safety.
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace swsketch {
+namespace {
+
+TEST(ThreadPoolTest, ConstructDestructIdle) {
+  // Clean shutdown with no work submitted.
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain everything before joining.
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilAllTasksFinish) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 64);
+  // The pool stays usable after Wait.
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 65);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is consumed; the pool is healthy again.
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ThreadPool pool;  // threads = 0 -> default count.
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10007;  // Prime: chunks won't divide evenly.
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); }, {.pool = &pool});
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ZeroAndSingleIteration) {
+  int calls = 0;
+  ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, DeterministicAcrossPoolSizes) {
+  // The contract: writing result[i] from iteration i gives bit-identical
+  // output whatever the worker count.
+  const size_t n = 4096;
+  const auto run = [n](ThreadPool* pool) {
+    std::vector<double> out(n);
+    ParallelFor(
+        n,
+        [&](size_t i) {
+          // Index-seeded pseudo-random value (splitmix-style).
+          uint64_t z = (static_cast<uint64_t>(i) + 1) * 0x9E3779B97F4A7C15ULL;
+          z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+          out[i] = static_cast<double>(z >> 11) * 0x1.0p-53;
+        },
+        {.grain = 64, .pool = pool});
+    return out;
+  };
+  ThreadPool p1(1), p4(4);
+  const std::vector<double> serial = run(&p1);
+  const std::vector<double> parallel = run(&p4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(ParallelFor(
+                   100,
+                   [](size_t i) {
+                     if (i == 57) throw std::runtime_error("bad index");
+                   },
+                   {.grain = 10, .pool = &pool}),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  // A body that itself calls ParallelFor must not wait on its own pool.
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  ParallelFor(
+      8,
+      [&](size_t) {
+        ParallelFor(16, [&](size_t) { total.fetch_add(1); }, {.pool = &pool});
+      },
+      {.grain = 1, .pool = &pool});
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+TEST(ParallelForChunksTest, ChunksPartitionRange) {
+  ThreadPool pool(4);
+  const size_t n = 1003;
+  std::vector<int> hits(n, 0);
+  std::atomic<size_t> chunks{0};
+  ParallelForChunks(
+      n,
+      [&](size_t begin, size_t end) {
+        EXPECT_LT(begin, end);
+        EXPECT_LE(end, n);
+        for (size_t i = begin; i < end; ++i) ++hits[i];
+        chunks.fetch_add(1);
+      },
+      {.grain = 100, .pool = &pool});
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(n));
+  EXPECT_EQ(chunks.load(), (n + 99) / 100);
+}
+
+}  // namespace
+}  // namespace swsketch
