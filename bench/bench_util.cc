@@ -200,6 +200,8 @@ std::vector<SweepPoint> RunSweep(const Workload& workload,
     hopt.total_rows = workload.rows;
     hopt.measure_update_time = options.measure_time;
     hopt.best_k = options.with_best ? ell : 0;
+    hopt.batch_rows = options.batch_rows;
+    hopt.parallel_ingest = options.parallel_ingest;
     auto results = RunMany(stream.get(), ptrs, hopt);
 
     for (size_t i = 0; i < results.size(); ++i) {
@@ -385,6 +387,9 @@ void RunSequenceFigure(Metric metric, const Flags& flags,
   // Concurrent cells would contend for cores and skew per-row timings.
   options.parallel_cells = metric != Metric::kUpdateNs;
   options.fd_buffer_factor = flags.GetDouble("fd_buffer", 1.0);
+  options.batch_rows =
+      static_cast<size_t>(std::max<long long>(1, flags.GetInt("batch", 1)));
+  options.parallel_ingest = flags.GetBool("parallel_ingest", false);
 
   const std::string only = flags.GetString("dataset", "all");
   std::vector<Workload> workloads;
@@ -414,6 +419,9 @@ void RunTimeFigure(Metric metric, const Flags& flags,
   options.with_best = metric != Metric::kUpdateNs;
   options.parallel_cells = metric != Metric::kUpdateNs;
   options.fd_buffer_factor = flags.GetDouble("fd_buffer", 1.0);
+  options.batch_rows =
+      static_cast<size_t>(std::max<long long>(1, flags.GetInt("batch", 1)));
+  options.parallel_ingest = flags.GetBool("parallel_ingest", false);
 
   const std::string only = flags.GetString("dataset", "all");
   std::vector<Workload> workloads;

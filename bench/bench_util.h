@@ -77,6 +77,12 @@ struct SweepOptions {
   bool parallel_cells = true;
   /// FD amortized-shrink buffer factor forwarded to lm-fd / di-fd cells.
   double fd_buffer_factor = 1.0;
+  /// Rows per UpdateBatch call in the harness (HarnessOptions::batch_rows);
+  /// 1 keeps the legacy per-row ingest (bench flag --batch).
+  size_t batch_rows = 1;
+  /// Ingest each block with one pool task per sketch
+  /// (HarnessOptions::parallel_ingest); needs batch_rows > 1.
+  bool parallel_ingest = false;
 };
 
 /// Runs every algorithm at every ell over the workload. One stream pass

@@ -1,16 +1,24 @@
-// Microbenchmarks quantifying the PR-1 performance work: cache-blocked
+// Microbenchmarks quantifying the PR-1/PR-2 performance work: cache-blocked
 // Gram/Multiply kernels vs. the naive triple loop, amortized FD shrinking
-// (buffer_factor) vs. shrink-per-fill, and ThreadPool/ParallelFor overhead
-// and scaling. Run on the `release` or `bench` CMake preset (-O3); the
-// default RelWithDebInfo build understates kernel wins.
+// (buffer_factor) vs. shrink-per-fill, batched ingest (AppendBatch /
+// UpdateBatch) across batch sizes, the CSR-style sparse window Gram, and
+// ThreadPool/ParallelFor overhead and scaling. Run on the `release` or
+// `bench` CMake preset (-O3); the default RelWithDebInfo build understates
+// kernel wins.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <vector>
 
+#include "core/logarithmic_method.h"
+#include "core/swr.h"
 #include "linalg/matrix.h"
 #include "sketch/frequent_directions.h"
+#include "sketch/hash_sketch.h"
+#include "sketch/random_projection.h"
+#include "stream/window_buffer.h"
 #include "util/parallel.h"
 #include "util/random.h"
 
@@ -90,6 +98,160 @@ void BM_FdIngest(benchmark::State& state) {
                           static_cast<int64_t>(rows.rows()));
 }
 BENCHMARK(BM_FdIngest)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- Batched ingest sweep (the PR-2 tentpole): rows/sec as a function of
+// batch size, per backend. items_per_second is the throughput to compare
+// across the batch ∈ {1, 8, 64, 512} sweep.
+
+constexpr size_t kIngestRows = 4096;
+
+// Feeds `rows` to a MatrixSketch in blocks of `batch` via AppendBatch
+// (batch = 1 degenerates to the per-row path inside every backend).
+template <typename SketchT>
+void IngestBatched(SketchT& sketch, const Matrix& rows, size_t batch) {
+  uint64_t id = 0;
+  for (size_t b = 0; b < rows.rows(); b += batch) {
+    const size_t e = std::min(rows.rows(), b + batch);
+    sketch.AppendBatch(rows, b, e, id);
+    id += e - b;
+  }
+}
+
+void BM_FdIngestBatch(benchmark::State& state) {
+  // Tall regime (ell = d): one deferred shrink per block instead of one
+  // per (ell - rank + 1) rows; the SVD is O(d^3) either way.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t ell = 64, d = 64;
+  Matrix rows = RandomMatrix(kIngestRows, d, 6);
+  for (auto _ : state) {
+    FrequentDirections fd(d, FrequentDirections::Options{.ell = ell});
+    IngestBatched(fd, rows, batch);
+    benchmark::DoNotOptimize(fd);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.rows()));
+}
+BENCHMARK(BM_FdIngestBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RpIngestBatch(benchmark::State& state) {
+  // Block path: one ell x batch sign block through the tiled MultiplyRows
+  // kernel instead of ell rank-1 updates per row.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t ell = 64, d = 256;
+  Matrix rows = RandomMatrix(kIngestRows, d, 7);
+  for (auto _ : state) {
+    RandomProjection rp(d, ell, 1);
+    IngestBatched(rp, rows, batch);
+    benchmark::DoNotOptimize(rp);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.rows()));
+}
+BENCHMARK(BM_RpIngestBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_HashIngestBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t ell = 64, d = 256;
+  Matrix rows = RandomMatrix(kIngestRows, d, 8);
+  for (auto _ : state) {
+    HashSketch hs(d, ell, 1);
+    IngestBatched(hs, rows, batch);
+    benchmark::DoNotOptimize(hs);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.rows()));
+}
+BENCHMARK(BM_HashIngestBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+// Feeds a SlidingWindowSketch in UpdateBatch blocks (ts = arrival index,
+// pre-sliced outside the timed region).
+void BM_SwrIngestBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t ell = 32, d = 64;
+  Matrix rows = RandomMatrix(kIngestRows, d, 9);
+  std::vector<Matrix> blocks;
+  std::vector<std::vector<double>> ts;
+  for (size_t b = 0; b < rows.rows(); b += batch) {
+    const size_t e = std::min(rows.rows(), b + batch);
+    Matrix blk(0, d);
+    std::vector<double> bt;
+    for (size_t i = b; i < e; ++i) {
+      blk.AppendRow(rows.Row(i));
+      bt.push_back(static_cast<double>(i + 1));
+    }
+    blocks.push_back(std::move(blk));
+    ts.push_back(std::move(bt));
+  }
+  for (auto _ : state) {
+    SwrSketch swr(d, WindowSpec::Sequence(1024), SwrSketch::Options{.ell = ell});
+    for (size_t b = 0; b < blocks.size(); ++b) swr.UpdateBatch(blocks[b], ts[b]);
+    benchmark::DoNotOptimize(swr);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.rows()));
+}
+BENCHMARK(BM_SwrIngestBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_LmFdIngestBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t ell = 32, d = 64;
+  Matrix rows = RandomMatrix(kIngestRows, d, 10);
+  std::vector<Matrix> blocks;
+  std::vector<std::vector<double>> ts;
+  for (size_t b = 0; b < rows.rows(); b += batch) {
+    const size_t e = std::min(rows.rows(), b + batch);
+    Matrix blk(0, d);
+    std::vector<double> bt;
+    for (size_t i = b; i < e; ++i) {
+      blk.AppendRow(rows.Row(i));
+      bt.push_back(static_cast<double>(i + 1));
+    }
+    blocks.push_back(std::move(blk));
+    ts.push_back(std::move(bt));
+  }
+  for (auto _ : state) {
+    LmFd lm(d, WindowSpec::Sequence(1024), LmFd::Options{.ell = ell});
+    for (size_t b = 0; b < blocks.size(); ++b) lm.UpdateBatch(blocks[b], ts[b]);
+    benchmark::DoNotOptimize(lm);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.rows()));
+}
+BENCHMARK(BM_LmFdIngestBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+// ---- Sparse window Gram: CSR-style scatter vs. the dense blocked kernel
+// at WIKI-like density (nnz/d = 0.05).
+
+WindowBuffer MakeSparseWindow(size_t n, size_t d, size_t nnz) {
+  WindowBuffer buffer(WindowSpec::Sequence(n));
+  Rng rng(11);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> v(d, 0.0);
+    for (size_t k = 0; k < nnz; ++k) {
+      v[static_cast<size_t>(rng.Next() % d)] = rng.Gaussian();
+    }
+    buffer.Add(Row(std::move(v), static_cast<double>(i + 1)));
+  }
+  return buffer;
+}
+
+void BM_WindowGramDense(benchmark::State& state) {
+  const size_t d = 400;
+  const WindowBuffer buffer = MakeSparseWindow(1000, d, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.ToMatrix().Gram());
+  }
+}
+BENCHMARK(BM_WindowGramDense);
+
+void BM_WindowGramSparse(benchmark::State& state) {
+  const size_t d = 400;
+  const WindowBuffer buffer = MakeSparseWindow(1000, d, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.SparseGramMatrix(d));
+  }
+}
+BENCHMARK(BM_WindowGramSparse);
 
 void BM_ParallelForOverhead(benchmark::State& state) {
   // Dispatch cost for a trivial body; on a 1-core pool this measures the

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diff BENCH_<slug>.json files between two revisions of the repo.
+
+Each figure binary writes one BENCH_<slug>.json per run (see
+bench/bench_util.cc). To track the perf/accuracy trajectory across PRs,
+check out or stash the old JSONs in one directory, the new ones in
+another, and run:
+
+    scripts/bench_diff.py OLD_DIR NEW_DIR [--threshold 0.10]
+
+Both arguments may also be single files. Cells are keyed by
+(figure, algorithm, ell); the report shows the relative change per metric
+for every key present on both sides, and lists keys that appear on only
+one side. The exit code is nonzero when any update_ns cell regresses by
+more than --threshold (default 10%), so CI or a pre-merge hook can gate
+on it. Error metrics are reported but do not gate: accuracy cells move
+when sketch parameters change and are judged by the paper's bounds, not
+by drift.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+METRICS = ("update_ns", "avg_err", "max_err", "max_rows_stored")
+
+
+def load_cells(path):
+    """Returns {(figure, algorithm, ell): cell_dict} from a file or dir."""
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(path, f)
+            for f in os.listdir(path)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+    else:
+        files = [path]
+    cells = {}
+    for f in files:
+        with open(f) as fh:
+            doc = json.load(fh)
+        for cell in doc.get("cells", []):
+            key = (doc.get("figure", "?"), cell["algorithm"], cell["ell"])
+            cells[key] = cell
+    return cells
+
+
+def rel_change(old, new):
+    if old == 0:
+        return float("inf") if new != 0 else 0.0
+    return (new - old) / old
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH json file or directory")
+    parser.add_argument("new", help="candidate BENCH json file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="update_ns regression fraction that fails the diff "
+        "(default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    old_cells = load_cells(args.old)
+    new_cells = load_cells(args.new)
+    if not old_cells:
+        sys.exit(f"no BENCH_*.json cells found in {args.old}")
+    if not new_cells:
+        sys.exit(f"no BENCH_*.json cells found in {args.new}")
+
+    common = sorted(set(old_cells) & set(new_cells))
+    regressions = []
+
+    header = f"{'figure':<28} {'algorithm':<10} {'ell':>4}"
+    header += "".join(f" {m:>16}" for m in METRICS)
+    print(header)
+    print("-" * len(header))
+    for key in common:
+        figure, algorithm, ell = key
+        old, new = old_cells[key], new_cells[key]
+        row = f"{figure[:28]:<28} {algorithm:<10} {ell:>4}"
+        for metric in METRICS:
+            if metric not in old or metric not in new:
+                row += f" {'-':>16}"
+                continue
+            change = rel_change(old[metric], new[metric])
+            row += f" {change:>+15.1%} "
+            if metric == "update_ns" and change > args.threshold:
+                regressions.append((key, old[metric], new[metric], change))
+        print(row)
+
+    for key in sorted(set(old_cells) - set(new_cells)):
+        print(f"only in {args.old}: {key}")
+    for key in sorted(set(new_cells) - set(old_cells)):
+        print(f"only in {args.new}: {key}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} update_ns regression(s) over "
+            f"{args.threshold:.0%}:"
+        )
+        for (figure, algorithm, ell), old_ns, new_ns, change in regressions:
+            print(
+                f"  {figure} / {algorithm} / ell={ell}: "
+                f"{old_ns:.0f} ns -> {new_ns:.0f} ns ({change:+.1%})"
+            )
+        return 1
+    print(f"\nOK: no update_ns regression over {args.threshold:.0%} "
+          f"across {len(common)} cells")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

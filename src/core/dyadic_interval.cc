@@ -73,15 +73,17 @@ DiRp::DiRp(size_t dim, Options options)
           DyadicIntervalOptions{.levels = options.levels,
                                 .window_size = options.window_size,
                                 .max_norm_sq = options.max_norm_sq},
-          [dim, options](size_t level) {
-            // Every block needs its own independent projection; derive a
-            // distinct seed per construction.
-            static thread_local uint64_t counter = 0;
+          [dim, options, seed = options.seed](size_t level) mutable {
+            // Every block needs its own independent projection: chain a
+            // per-instance seed per construction (same idiom as LmRp) so
+            // two identically-seeded DI-RP instances fed the same stream
+            // are reproducible.
+            seed = seed * 0x9E3779B97F4A7C15ULL + 1;
             return RandomProjection(
                 dim,
                 LevelEll(level, options.levels, options.ell_top,
                          options.ell_min),
-                options.seed * 0x9E3779B97F4A7C15ULL + ++counter);
+                seed);
           },
           "DI-RP") {}
 

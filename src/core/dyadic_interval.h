@@ -30,6 +30,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -95,6 +96,72 @@ class DyadicInterval : public SlidingWindowSketch {
     UpdateImpl(ts, row.NormSq(), [&](SketchT& sketch, uint64_t id) {
       sketch.AppendSparse(row, id);
     });
+  }
+
+  /// Splits the block at level boundaries: contiguous runs of nonzero rows
+  /// are forwarded to every level's active sketch as one AppendBatch; a run
+  /// ends at a zero row (never appended), at a level-1 close (the aligned
+  /// actives are replaced by fresh sketches, so the run must land first),
+  /// or at the end of the block. All per-row bookkeeping — started flags,
+  /// start/end timestamps, ids, mass and row counters, close triggers —
+  /// replays the serial order exactly. Expiry runs once at the end of the
+  /// block: DI never merges, the update path only pushes onto the closed
+  /// deques, and expired blocks form a front prefix, so the deferral is
+  /// state-identical. DI-FD stays bit-identical (FD runs replay per-row
+  /// appends); DI-RP inherits RP's batch accumulation-order caveat.
+  void UpdateBatch(const Matrix& rows, std::span<const double> ts) override {
+    SWSKETCH_CHECK_EQ(rows.rows(), ts.size());
+    if (rows.rows() == 0) return;
+    SWSKETCH_CHECK_EQ(rows.cols(), dim_);
+    size_t rb = 0;                     // Pending (unforwarded) run start.
+    uint64_t run_first_id = next_id_;  // Id of the run's first row.
+    const auto flush = [&](size_t re) {
+      if (rb < re) {
+        for (auto& a : actives_) {
+          AppendRunTo(a.sketch, rows, rb, re, run_first_id);
+        }
+      }
+      rb = re;
+      run_first_id = next_id_;
+    };
+    const uint64_t row_cap = std::max<uint64_t>(1, options_.window_size / 8);
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      SWSKETCH_CHECK_GE(ts[i], now_);
+      now_ = ts[i];
+      const double w = NormSq(rows.Row(i));
+      if (w <= 0.0) {
+        flush(i);
+        rb = i + 1;  // The zero row itself is never appended.
+        continue;
+      }
+      for (auto& a : actives_) {
+        if (!a.started) {
+          a.start_ts = ts[i];
+          a.started = true;
+        }
+        a.end_ts = ts[i];
+      }
+      ++next_id_;
+      level1_mass_ += w;
+      ++level1_rows_;
+      if (level1_mass_ > level1_capacity_ || level1_rows_ >= row_cap) {
+        flush(i + 1);
+        level1_mass_ = 0.0;
+        level1_rows_ = 0;
+        ++closed_l1_;
+        for (size_t li = 0; li < options_.levels; ++li) {
+          const uint64_t span = 1ULL << li;
+          if (closed_l1_ % span != 0) break;
+          levels_[li].push_back(Block(std::move(actives_[li].sketch),
+                                      closed_l1_ - span, closed_l1_,
+                                      actives_[li].start_ts,
+                                      actives_[li].end_ts));
+          actives_[li] = Active{factory_(li + 1), 0.0, 0.0, false};
+        }
+      }
+    }
+    flush(rows.rows());
+    Expire(now_);
   }
 
  private:
@@ -319,6 +386,21 @@ class DyadicInterval : public SlidingWindowSketch {
           start_ts(st),
           end_ts(et) {}
   };
+
+  // Forwards rows[rb:re) to one active sketch. FD replays per-row appends
+  // so the shrink schedule — and hence DI-FD's state — is bit-identical to
+  // the serial path regardless of the block/buffer shape; every other
+  // backend takes its block fast path.
+  static void AppendRunTo(SketchT& sketch, const Matrix& rows, size_t rb,
+                          size_t re, uint64_t first_id) {
+    if constexpr (std::is_same_v<SketchT, FrequentDirections>) {
+      for (size_t i = rb; i < re; ++i) {
+        sketch.Append(rows.Row(i), first_id + (i - rb));
+      }
+    } else {
+      sketch.AppendBatch(rows, rb, re, first_id);
+    }
+  }
 
   const Block* FindBlock(size_t li, uint64_t l1_begin) const {
     for (const Block& blk : levels_[li]) {

@@ -11,4 +11,13 @@ void ExactWindow::Update(std::span<const double> row, double ts) {
   buffer_.Add(Row(std::vector<double>(row.begin(), row.end()), ts));
 }
 
+void ExactWindow::UpdateBatch(const Matrix& rows, std::span<const double> ts) {
+  SWSKETCH_CHECK_EQ(rows.rows(), ts.size());
+  if (rows.rows() > 0) SWSKETCH_CHECK_EQ(rows.cols(), dim_);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const auto row = rows.Row(i);
+    buffer_.Add(Row(std::vector<double>(row.begin(), row.end()), ts[i]));
+  }
+}
+
 }  // namespace swsketch

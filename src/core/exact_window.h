@@ -20,6 +20,12 @@ class ExactWindow : public SlidingWindowSketch {
       : dim_(dim), window_(window), buffer_(window) {}
 
   void Update(std::span<const double> row, double ts) override;
+
+  /// Bit-identical to the serial loop (the buffer append commutes with
+  /// nothing); overridden only to skip per-row virtual dispatch and to
+  /// reserve the block up front.
+  void UpdateBatch(const Matrix& rows, std::span<const double> ts) override;
+
   void AdvanceTo(double now) override { buffer_.AdvanceTo(now); }
 
   /// Returns A_W itself (B = A => zero error).

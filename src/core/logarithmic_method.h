@@ -95,6 +95,19 @@ class LogarithmicMethod : public SlidingWindowSketch {
     }
   }
 
+  /// Replays the serial per-row schedule with the virtual dispatch hoisted
+  /// out of the loop (bit-identical). LM cannot defer more than that: the
+  /// active block's mass is a running float sum (adds on arrival, subtracts
+  /// on expiry) and block-close triggers compare it against the capacity,
+  /// so any reordering of the per-row add/expire interleaving could move a
+  /// close boundary and change the whole level structure downstream.
+  void UpdateBatch(const Matrix& rows, std::span<const double> ts) override {
+    SWSKETCH_CHECK_EQ(rows.rows(), ts.size());
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      LogarithmicMethod::Update(rows.Row(i), ts[i]);
+    }
+  }
+
   void AdvanceTo(double now) override {
     SWSKETCH_CHECK_GE(now, now_);
     now_ = now;

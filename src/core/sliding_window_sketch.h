@@ -13,6 +13,7 @@
 #include "linalg/matrix.h"
 #include "linalg/sparse_vector.h"
 #include "stream/window.h"
+#include "util/logging.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -33,6 +34,19 @@ class SlidingWindowSketch {
   virtual void UpdateSparse(const SparseVector& row, double ts) {
     const std::vector<double> dense = row.ToDense();
     Update(dense, ts);
+  }
+
+  /// Batched variant: consumes rows.rows() rows in one call; ts[i] is the
+  /// timestamp of rows.Row(i) and must be non-decreasing (continuing from
+  /// any previous Update). Window semantics are identical to feeding the
+  /// rows one at a time; backends override the default row loop with block
+  /// fast paths. Deterministic backends produce bit-identical state to the
+  /// serial path unless their override documents otherwise; randomized
+  /// backends draw the same randomness per row but may accumulate in a
+  /// different floating-point order.
+  virtual void UpdateBatch(const Matrix& rows, std::span<const double> ts) {
+    SWSKETCH_CHECK_EQ(rows.rows(), ts.size());
+    for (size_t i = 0; i < rows.rows(); ++i) Update(rows.Row(i), ts[i]);
   }
 
   /// Moves the window forward to `now` without an arrival (time-based

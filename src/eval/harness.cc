@@ -10,6 +10,53 @@
 
 namespace swsketch {
 
+namespace {
+
+// Evaluates one mature checkpoint (exact Gram + per-sketch Query/error,
+// optionally on the pool) and appends a Checkpoint per sketch. Shared by
+// the per-row and batched ingest paths so both produce identical records.
+void EvalCheckpoint(std::span<SlidingWindowSketch* const> sketches,
+                    const HarnessOptions& options, const WindowBuffer& buffer,
+                    size_t dim, size_t row_index, double ts,
+                    std::vector<HarnessResult>* results) {
+  const Matrix gram = buffer.GramMatrix(dim);
+  const double frob_sq = buffer.FrobeniusNormSq();
+  double best_err = 0.0, zero_err = 0.0;
+  if (options.best_k > 0) {
+    const ReferenceErrors refs = BestAndZeroError(gram, options.best_k,
+                                                  frob_sq);
+    best_err = refs.best_err;
+    zero_err = refs.zero_err;
+  }
+  // One task per sketch: Query + spectral-norm evaluation dominate
+  // checkpoint cost and are independent across sketches. Each task
+  // reads only its own sketch and writes its own slot, so parallel
+  // and serial execution produce bit-identical checkpoints.
+  std::vector<Checkpoint> ckpts(sketches.size());
+  const auto eval_one = [&](size_t s) {
+    Checkpoint c;
+    c.row_index = row_index;
+    c.ts = ts;
+    c.rows_stored = sketches[s]->RowsStored();
+    c.window_rows = buffer.size();
+    c.best_err = best_err;
+    c.zero_err = zero_err;
+    const Matrix b = sketches[s]->Query();
+    c.cova_err = CovarianceError(gram, frob_sq, b);
+    ckpts[s] = c;
+  };
+  if (options.parallel_checkpoints) {
+    ParallelFor(sketches.size(), eval_one, {.grain = 1, .pool = options.pool});
+  } else {
+    for (size_t s = 0; s < sketches.size(); ++s) eval_one(s);
+  }
+  for (size_t s = 0; s < sketches.size(); ++s) {
+    (*results)[s].checkpoints.push_back(ckpts[s]);
+  }
+}
+
+}  // namespace
+
 std::vector<HarnessResult> RunMany(RowStream* stream,
                                    std::span<SlidingWindowSketch* const>
                                        sketches,
@@ -39,75 +86,107 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
   size_t next_ckpt = 0;
   const size_t dim = stream->dim();
 
-  while (auto row = stream->Next()) {
-    if (!have_first) {
-      first_ts = row->ts;
-      have_first = true;
-    }
-    for (size_t s = 0; s < sketches.size(); ++s) {
-      if (options.measure_update_time) {
-        Timer t;
-        sketches[s]->Update(row->view(), row->ts);
-        costs[s].Add(t.ElapsedNanos());
-      } else {
-        sketches[s]->Update(row->view(), row->ts);
-      }
-    }
-    buffer.Add(*row);
-
-    for (size_t s = 0; s < sketches.size(); ++s) {
-      results[s].max_rows_stored =
-          std::max(results[s].max_rows_stored, sketches[s]->RowsStored());
-    }
-
-    const bool at_ckpt = next_ckpt < ckpt_indices.size() &&
-                         row_index == ckpt_indices[next_ckpt];
-    if (at_ckpt) {
-      ++next_ckpt;
-      // Window maturity: a full sequence window, or a full time span.
-      const bool mature =
-          window.type() == WindowType::kSequence
-              ? buffer.size() >= static_cast<size_t>(window.extent())
-              : (row->ts - first_ts) >= window.extent();
-      if (mature && !buffer.empty()) {
-        const Matrix gram = buffer.GramMatrix(dim);
-        const double frob_sq = buffer.FrobeniusNormSq();
-        double best_err = 0.0, zero_err = 0.0;
-        if (options.best_k > 0) {
-          const ReferenceErrors refs =
-              BestAndZeroError(gram, options.best_k, frob_sq);
-          best_err = refs.best_err;
-          zero_err = refs.zero_err;
-        }
-        // One task per sketch: Query + spectral-norm evaluation dominate
-        // checkpoint cost and are independent across sketches. Each task
-        // reads only its own sketch and writes its own slot, so parallel
-        // and serial execution produce bit-identical checkpoints.
-        std::vector<Checkpoint> ckpts(sketches.size());
-        const auto eval_one = [&](size_t s) {
-          Checkpoint c;
-          c.row_index = row_index;
-          c.ts = row->ts;
-          c.rows_stored = sketches[s]->RowsStored();
-          c.window_rows = buffer.size();
-          c.best_err = best_err;
-          c.zero_err = zero_err;
-          const Matrix b = sketches[s]->Query();
-          c.cova_err = CovarianceError(gram, frob_sq, b);
-          ckpts[s] = c;
-        };
-        if (options.parallel_checkpoints) {
-          ParallelFor(sketches.size(), eval_one,
-                      {.grain = 1, .pool = options.pool});
+  if (options.batch_rows > 1) {
+    // Batched ingest: buffer the stream into blocks and hand each sketch
+    // one UpdateBatch per block. Blocks are cut early at checkpoint
+    // indices, so a checkpoint always observes exactly the rows up to it.
+    Matrix block(0, dim);
+    block.ReserveRows(options.batch_rows);
+    std::vector<double> block_ts;
+    std::vector<Row> block_rows;
+    const auto flush_block = [&]() {
+      if (block.rows() == 0) return;
+      const auto ingest_one = [&](size_t s) {
+        if (options.measure_update_time) {
+          Timer t;
+          sketches[s]->UpdateBatch(block, block_ts);
+          costs[s].AddSpanning(t.ElapsedNanos(),
+                               static_cast<int64_t>(block.rows()));
         } else {
-          for (size_t s = 0; s < sketches.size(); ++s) eval_one(s);
+          sketches[s]->UpdateBatch(block, block_ts);
         }
-        for (size_t s = 0; s < sketches.size(); ++s) {
-          results[s].checkpoints.push_back(ckpts[s]);
+      };
+      if (options.parallel_ingest) {
+        ParallelFor(sketches.size(), ingest_one,
+                    {.grain = 1, .pool = options.pool});
+      } else {
+        for (size_t s = 0; s < sketches.size(); ++s) ingest_one(s);
+      }
+      for (auto& r : block_rows) buffer.Add(std::move(r));
+      for (size_t s = 0; s < sketches.size(); ++s) {
+        results[s].max_rows_stored =
+            std::max(results[s].max_rows_stored, sketches[s]->RowsStored());
+      }
+      block.TruncateRows(0);
+      block_ts.clear();
+      block_rows.clear();
+    };
+    while (auto row = stream->Next()) {
+      if (!have_first) {
+        first_ts = row->ts;
+        have_first = true;
+      }
+      block.AppendRow(row->view());
+      block_ts.push_back(row->ts);
+      const double ts = row->ts;
+      block_rows.push_back(std::move(*row));
+      const bool at_ckpt = next_ckpt < ckpt_indices.size() &&
+                           row_index == ckpt_indices[next_ckpt];
+      if (at_ckpt || block.rows() >= options.batch_rows) {
+        flush_block();
+        if (at_ckpt) {
+          ++next_ckpt;
+          const bool mature =
+              window.type() == WindowType::kSequence
+                  ? buffer.size() >= static_cast<size_t>(window.extent())
+                  : (ts - first_ts) >= window.extent();
+          if (mature && !buffer.empty()) {
+            EvalCheckpoint(sketches, options, buffer, dim, row_index, ts,
+                           &results);
+          }
         }
       }
+      ++row_index;
     }
-    ++row_index;
+    flush_block();
+  } else {
+    while (auto row = stream->Next()) {
+      if (!have_first) {
+        first_ts = row->ts;
+        have_first = true;
+      }
+      for (size_t s = 0; s < sketches.size(); ++s) {
+        if (options.measure_update_time) {
+          Timer t;
+          sketches[s]->Update(row->view(), row->ts);
+          costs[s].Add(t.ElapsedNanos());
+        } else {
+          sketches[s]->Update(row->view(), row->ts);
+        }
+      }
+      buffer.Add(*row);
+
+      for (size_t s = 0; s < sketches.size(); ++s) {
+        results[s].max_rows_stored =
+            std::max(results[s].max_rows_stored, sketches[s]->RowsStored());
+      }
+
+      const bool at_ckpt = next_ckpt < ckpt_indices.size() &&
+                           row_index == ckpt_indices[next_ckpt];
+      if (at_ckpt) {
+        ++next_ckpt;
+        // Window maturity: a full sequence window, or a full time span.
+        const bool mature =
+            window.type() == WindowType::kSequence
+                ? buffer.size() >= static_cast<size_t>(window.extent())
+                : (row->ts - first_ts) >= window.extent();
+        if (mature && !buffer.empty()) {
+          EvalCheckpoint(sketches, options, buffer, dim, row_index, row->ts,
+                         &results);
+        }
+      }
+      ++row_index;
+    }
   }
 
   for (size_t s = 0; s < sketches.size(); ++s) {

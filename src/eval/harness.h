@@ -34,7 +34,21 @@ struct HarnessOptions {
   /// the results are bit-identical to a serial run for deterministic
   /// sketches.
   bool parallel_checkpoints = true;
-  /// Pool for checkpoint evaluation; nullptr = ThreadPool::Shared().
+  /// Rows fed per UpdateBatch call. 1 keeps the legacy per-row Update path
+  /// untouched; > 1 buffers the stream into blocks of this many rows (cut
+  /// early at checkpoints so every checkpoint still sees exactly the rows
+  /// up to its index) and ingests each block with one UpdateBatch per
+  /// sketch. With batching, avg_update_ns is total ingest time over rows
+  /// and max_rows_stored is sampled at block boundaries rather than per
+  /// row (transient within-block peaks are not observed).
+  size_t batch_rows = 1;
+  /// Ingest each block on the thread pool, one task per sketch per block
+  /// (sketches are independent; the stream stays in order). Only
+  /// meaningful when batch_rows > 1. Per-sketch update timing still works:
+  /// each task times its own UpdateBatch.
+  bool parallel_ingest = false;
+  /// Pool for checkpoint evaluation and parallel ingest; nullptr =
+  /// ThreadPool::Shared().
   ThreadPool* pool = nullptr;
 };
 

@@ -5,6 +5,13 @@
 #include <cmath>
 #include <limits>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define SWSKETCH_FUSED_AVX2 1
+#else
+#define SWSKETCH_FUSED_AVX2 0
+#endif
+
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -23,6 +30,99 @@ constexpr size_t kMultiplyKPanel = 128;
 // Minimum multiply-add count before a kernel fans out to the thread pool;
 // below this the submit/wake latency dominates.
 constexpr size_t kParallelFlopThreshold = size_t{1} << 22;  // ~4M madds.
+
+// Fused 4-row accumulation, the inner loop shared by Gram / Multiply /
+// ApplyTranspose: dst[j] += v0*a0[j] + v1*a1[j] + v2*a2[j] + v3*a3[j] for
+// j in [js, je).
+//
+// SIMD dispatch: on x86-64 the loop runs on 256-bit fmadd chains whenever
+// the CPU has AVX2+FMA — selected at compile time when the build already
+// targets them (bench preset / -march=native) and by a one-time cpuid
+// probe otherwise, so plain -O3 builds get the fast path on capable
+// hardware too. The scalar remainder of the AVX2 path uses std::fma in
+// the SAME association order as the vector lanes, so every output element
+// — main loop or tail — rounds identically. The fallback keeps the plain
+// mul+add form (which auto-vectorizes and, with no FMA target, cannot be
+// contracted, so it too is deterministic). The active per-element formula
+// is exposed as Matrix::FusedKernelsUseFmaChains() and pinned by the
+// kernel tests; determinism is per build *and host CPU class*, which is
+// all the repo's bit-identity contracts (parallel-vs-serial, batch-vs-
+// serial) require — they never compare numbers across machines.
+#if SWSKETCH_FUSED_AVX2
+
+__attribute__((target("avx2,fma"))) void FusedAccumulate4Avx2(
+    double* dst, const double* a0, const double* a1, const double* a2,
+    const double* a3, double v0, double v1, double v2, double v3, size_t js,
+    size_t je) {
+  const __m256d w0 = _mm256_set1_pd(v0);
+  const __m256d w1 = _mm256_set1_pd(v1);
+  const __m256d w2 = _mm256_set1_pd(v2);
+  const __m256d w3 = _mm256_set1_pd(v3);
+  size_t j = js;
+  for (; j + 4 <= je; j += 4) {
+    __m256d acc = _mm256_loadu_pd(dst + j);
+    acc = _mm256_fmadd_pd(w0, _mm256_loadu_pd(a0 + j), acc);
+    acc = _mm256_fmadd_pd(w1, _mm256_loadu_pd(a1 + j), acc);
+    acc = _mm256_fmadd_pd(w2, _mm256_loadu_pd(a2 + j), acc);
+    acc = _mm256_fmadd_pd(w3, _mm256_loadu_pd(a3 + j), acc);
+    _mm256_storeu_pd(dst + j, acc);
+  }
+  for (; j < je; ++j) {
+    dst[j] = std::fma(
+        v3, a3[j], std::fma(v2, a2[j], std::fma(v1, a1[j],
+                                                std::fma(v0, a0[j], dst[j]))));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void FusedAccumulate1Avx2(
+    double* dst, const double* a, double v, size_t js, size_t je) {
+  const __m256d w = _mm256_set1_pd(v);
+  size_t j = js;
+  for (; j + 4 <= je; j += 4) {
+    __m256d acc = _mm256_loadu_pd(dst + j);
+    acc = _mm256_fmadd_pd(w, _mm256_loadu_pd(a + j), acc);
+    _mm256_storeu_pd(dst + j, acc);
+  }
+  for (; j < je; ++j) dst[j] = std::fma(v, a[j], dst[j]);
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+constexpr bool kFusedAvx2 = true;  // Compiled in; no cpuid probe needed.
+#else
+const bool kFusedAvx2 =
+    __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#endif
+
+#else  // !SWSKETCH_FUSED_AVX2
+constexpr bool kFusedAvx2 = false;
+#endif
+
+inline void FusedAccumulate4(double* dst, const double* a0, const double* a1,
+                             const double* a2, const double* a3, double v0,
+                             double v1, double v2, double v3, size_t js,
+                             size_t je) {
+#if SWSKETCH_FUSED_AVX2
+  if (kFusedAvx2) {
+    FusedAccumulate4Avx2(dst, a0, a1, a2, a3, v0, v1, v2, v3, js, je);
+    return;
+  }
+#endif
+  for (size_t j = js; j < je; ++j) {
+    dst[j] += v0 * a0[j] + v1 * a1[j] + v2 * a2[j] + v3 * a3[j];
+  }
+}
+
+// Single-row tail of the fused accumulation: dst[j] += v * a[j].
+inline void FusedAccumulate1(double* dst, const double* a, double v, size_t js,
+                             size_t je) {
+#if SWSKETCH_FUSED_AVX2
+  if (kFusedAvx2) {
+    FusedAccumulate1Avx2(dst, a, v, js, je);
+    return;
+  }
+#endif
+  for (size_t j = js; j < je; ++j) dst[j] += v * a[j];
+}
 
 // Accumulates the upper triangle of A^T A into g for the column band
 // [i_begin, i_end): g(i, j) += sum_r a(r, i) * a(r, j) for j >= i. Rows
@@ -51,15 +151,13 @@ void AccumulateGramUpperBand(const Matrix& a, Matrix* g, size_t i_begin,
             const double* a3 = a.RowPtr(r + 3);
             const double v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
             if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
-            for (size_t j = js; j < j1; ++j) {
-              grow[j] += v0 * a0[j] + v1 * a1[j] + v2 * a2[j] + v3 * a3[j];
-            }
+            FusedAccumulate4(grow, a0, a1, a2, a3, v0, v1, v2, v3, js, j1);
           }
           for (; r < r1; ++r) {
             const double* ar = a.RowPtr(r);
             const double vi = ar[i];
             if (vi == 0.0) continue;
-            for (size_t j = js; j < j1; ++j) grow[j] += vi * ar[j];
+            FusedAccumulate1(grow, ar, vi, js, j1);
           }
         }
       }
@@ -68,6 +166,8 @@ void AccumulateGramUpperBand(const Matrix& a, Matrix* g, size_t i_begin,
 }
 
 }  // namespace
+
+bool Matrix::FusedKernelsUseFmaChains() { return kFusedAvx2; }
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     : rows_(rows.size()), cols_(0) {
@@ -118,31 +218,48 @@ Matrix Matrix::Transpose() const {
 
 Matrix Matrix::Multiply(const Matrix& other) const {
   SWSKETCH_CHECK_EQ(cols_, other.rows_);
+  return MultiplyRows(other, 0);
+}
+
+Matrix Matrix::MultiplyRows(const Matrix& other, size_t other_row_begin) const {
+  SWSKETCH_CHECK_LE(other_row_begin + cols_, other.rows_);
   Matrix out(rows_, other.cols_);
   const size_t n = other.cols_;
+  // Output rows are processed in blocks of 8 with the k-group loop hoisted
+  // outside the block, so each loaded 4-row group of `other` is reused for
+  // 8 output rows from L1 instead of being re-streamed from L2 once per
+  // output row (the dominant traffic when `other`'s panel exceeds L1 —
+  // exactly the RP-batch shape, ell x count times count x d). For a fixed
+  // output element the k-groups still arrive in ascending order through
+  // the same fused chain, so the blocking changes no bits.
   const auto multiply_rows = [&](size_t row_begin, size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const double* a = RowPtr(i);
-      double* dst = out.RowPtr(i);
+    constexpr size_t kIBlock = 8;
+    for (size_t ib = row_begin; ib < row_end; ib += kIBlock) {
+      const size_t ie = std::min(ib + kIBlock, row_end);
       for (size_t k0 = 0; k0 < cols_; k0 += kMultiplyKPanel) {
         const size_t k1 = std::min(k0 + kMultiplyKPanel, cols_);
         size_t k = k0;
         for (; k + 3 < k1; k += 4) {
-          const double a0 = a[k], a1 = a[k + 1], a2 = a[k + 2], a3 = a[k + 3];
-          if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
-          const double* b0 = other.RowPtr(k);
-          const double* b1 = other.RowPtr(k + 1);
-          const double* b2 = other.RowPtr(k + 2);
-          const double* b3 = other.RowPtr(k + 3);
-          for (size_t j = 0; j < n; ++j) {
-            dst[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+          const double* b0 = other.RowPtr(other_row_begin + k);
+          const double* b1 = other.RowPtr(other_row_begin + k + 1);
+          const double* b2 = other.RowPtr(other_row_begin + k + 2);
+          const double* b3 = other.RowPtr(other_row_begin + k + 3);
+          for (size_t i = ib; i < ie; ++i) {
+            const double* a = RowPtr(i);
+            const double a0 = a[k], a1 = a[k + 1], a2 = a[k + 2],
+                         a3 = a[k + 3];
+            if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
+            FusedAccumulate4(out.RowPtr(i), b0, b1, b2, b3, a0, a1, a2, a3,
+                             0, n);
           }
         }
         for (; k < k1; ++k) {
-          const double aik = a[k];
-          if (aik == 0.0) continue;
-          const double* b = other.RowPtr(k);
-          for (size_t j = 0; j < n; ++j) dst[j] += aik * b[j];
+          const double* b = other.RowPtr(other_row_begin + k);
+          for (size_t i = ib; i < ie; ++i) {
+            const double aik = RowPtr(i)[k];
+            if (aik == 0.0) continue;
+            FusedAccumulate1(out.RowPtr(i), b, aik, 0, n);
+          }
         }
       }
     }
@@ -325,15 +442,12 @@ void Matrix::ApplyTranspose(std::span<const double> x,
     const double* a1 = RowPtr(i + 1);
     const double* a2 = RowPtr(i + 2);
     const double* a3 = RowPtr(i + 3);
-    for (size_t j = 0; j < cols_; ++j) {
-      y[j] += x0 * a0[j] + x1 * a1[j] + x2 * a2[j] + x3 * a3[j];
-    }
+    FusedAccumulate4(y.data(), a0, a1, a2, a3, x0, x1, x2, x3, 0, cols_);
   }
   for (; i < rows_; ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    const double* a = RowPtr(i);
-    for (size_t j = 0; j < cols_; ++j) y[j] += xi * a[j];
+    FusedAccumulate1(y.data(), RowPtr(i), xi, 0, cols_);
   }
 }
 

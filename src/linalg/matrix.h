@@ -74,6 +74,13 @@ class Matrix {
   /// enough to amortize the fan-out (identical results either way).
   Matrix Multiply(const Matrix& other) const;
 
+  /// this * other[other_row_begin : other_row_begin + cols(), :] — the same
+  /// tiled kernel applied to a contiguous row slice of `other` without
+  /// copying it. Batched ingest uses this to apply a sign/projection matrix
+  /// to a sub-block of a larger row batch. Requires
+  /// other_row_begin + cols() <= other.rows().
+  Matrix MultiplyRows(const Matrix& other, size_t other_row_begin) const;
+
   /// A^T * A, a cols x cols symmetric PSD matrix. Cache-blocked over the
   /// upper triangle with 4-row accumulation, mirrored once at the end;
   /// column bands go to the shared thread pool above a flop threshold.
@@ -126,6 +133,13 @@ class Matrix {
   /// Vertical stack [this; other]; column counts must match (an empty
   /// matrix acts as the identity element).
   Matrix VStack(const Matrix& other) const;
+
+  /// True when the fused dense kernels (Gram / Multiply / ApplyTranspose)
+  /// accumulate through AVX2 fmadd chains on this host — compiled in under
+  /// -march=native, else enabled by a one-time cpuid probe. Selects the
+  /// per-element accumulation formula the kernel tests pin; false means
+  /// the plain mul+add fallback is active.
+  static bool FusedKernelsUseFmaChains();
 
   /// Binary serialization (shape + row-major payload).
   void Serialize(ByteWriter* writer) const;

@@ -32,6 +32,32 @@ void FrequentDirections::Append(std::span<const double> row, uint64_t) {
   input_mass_ += NormSq(row);
 }
 
+void FrequentDirections::AppendBatch(const Matrix& m, size_t begin, size_t end,
+                                     uint64_t first_id) {
+  SWSKETCH_CHECK_LE(begin, end);
+  SWSKETCH_CHECK_LE(end, m.rows());
+  const size_t count = end - begin;
+  if (count == 0) return;
+  if (count == 1 || capacity_ < dim_) {
+    // Shrinking an n x d buffer costs O(min(n, d)^3); below d rows that is
+    // cubic in n, so batching rows before the shrink makes each SVD more
+    // expensive than the per-row schedule saves. Replay the serial path.
+    for (size_t i = begin; i < end; ++i) Append(m.Row(i), first_id + (i - begin));
+    return;
+  }
+  // Tall regime: every shrink costs O(d^3) regardless of how many rows are
+  // buffered, so append the whole block and pay one shrink instead of up to
+  // `count`. The single shrink still sheds >= shrink_rank * lambda of mass,
+  // so shed_mass() stays <= input_mass() / shrink_rank.
+  b_.ReserveRows(b_.rows() + count);
+  for (size_t i = begin; i < end; ++i) {
+    const auto row = m.Row(i);
+    b_.AppendRow(row);
+    input_mass_ += NormSq(row);
+  }
+  if (b_.rows() > capacity_) ShrinkWithRank(shrink_rank_);
+}
+
 void FrequentDirections::AppendSparse(const SparseVector& row, uint64_t) {
   SWSKETCH_CHECK_EQ(row.dim(), dim_);
   if (b_.rows() == capacity_) ShrinkWithRank(shrink_rank_);

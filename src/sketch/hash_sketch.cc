@@ -52,6 +52,21 @@ void HashSketch::Append(std::span<const double> row, uint64_t id) {
   for (size_t j = 0; j < dim_; ++j) dst[j] += sign * row[j];
 }
 
+void HashSketch::AppendBatch(const Matrix& m, size_t begin, size_t end,
+                             uint64_t first_id) {
+  SWSKETCH_CHECK_LE(begin, end);
+  SWSKETCH_CHECK_LE(end, m.rows());
+  if (begin < end) SWSKETCH_CHECK_EQ(m.cols(), dim_);
+  const size_t ell = b_.rows();
+  for (size_t i = begin; i < end; ++i) {
+    const uint64_t id = first_id + (i - begin);
+    const double sign = hash_.Sign(id);
+    const double* src = m.RowPtr(i);
+    double* dst = b_.RowPtr(hash_.Bucket(id, ell));
+    for (size_t j = 0; j < dim_; ++j) dst[j] += sign * src[j];
+  }
+}
+
 void HashSketch::AppendSparse(const SparseVector& row, uint64_t id) {
   SWSKETCH_CHECK_EQ(row.dim(), dim_);
   const size_t bucket = hash_.Bucket(id, b_.rows());

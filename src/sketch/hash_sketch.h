@@ -47,6 +47,13 @@ class HashSketch : public MatrixSketch {
 
   void Append(std::span<const double> row, uint64_t id) override;
 
+  /// Batched append: row i scatters with id first_id + (i - begin). The
+  /// scatter order matches the serial loop exactly, so the result is
+  /// bit-identical; the win is one virtual dispatch (and hash/bucket
+  /// pointer setup kept hot) per block instead of per row.
+  void AppendBatch(const Matrix& m, size_t begin, size_t end,
+                   uint64_t first_id) override;
+
   /// Sparse fast path: O(nnz) signed scatter into the bucket row.
   void AppendSparse(const SparseVector& row, uint64_t id);
 

@@ -25,6 +25,15 @@ class MatrixSketch {
   /// sketches need it for cross-sketch consistency, others ignore it.
   virtual void Append(std::span<const double> row, uint64_t id) = 0;
 
+  /// Consumes rows m[begin:end) as one block; row i gets id
+  /// first_id + (i - begin). Backends override the default row loop with
+  /// block fast paths (deferred shrinks, tiled multiplies); overrides
+  /// document whether the result is bit-identical to the serial loop.
+  virtual void AppendBatch(const Matrix& m, size_t begin, size_t end,
+                           uint64_t first_id) {
+    for (size_t i = begin; i < end; ++i) Append(m.Row(i), first_id + (i - begin));
+  }
+
   /// Current approximation matrix B.
   virtual Matrix Approximation() const = 0;
 

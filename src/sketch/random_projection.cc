@@ -31,6 +31,39 @@ void RandomProjection::Append(std::span<const double> row, uint64_t) {
   }
 }
 
+void RandomProjection::AppendBatch(const Matrix& m, size_t begin, size_t end,
+                                   uint64_t /*first_id*/) {
+  SWSKETCH_CHECK_LE(begin, end);
+  SWSKETCH_CHECK_LE(end, m.rows());
+  const size_t count = end - begin;
+  if (count == 0) return;
+  if (count == 1) {
+    Append(m.Row(begin));
+    return;
+  }
+  SWSKETCH_CHECK_EQ(m.cols(), dim_);
+  const size_t ell = b_.rows();
+  // One sign column per input row, drawn exactly as Append draws it (a
+  // fresh 64-bit word batch per row, bits consumed LSB-first), laid out as
+  // the columns of an ell x count block so the tiled kernel can apply all
+  // rank-1 updates at once.
+  Matrix s(ell, count);
+  for (size_t c = 0; c < count; ++c) {
+    uint64_t bits = 0;
+    int available = 0;
+    for (size_t i = 0; i < ell; ++i) {
+      if (available == 0) {
+        bits = rng_.Next();
+        available = 64;
+      }
+      s(i, c) = (bits & 1) ? scale_ : -scale_;
+      bits >>= 1;
+      --available;
+    }
+  }
+  b_.AddScaled(s.MultiplyRows(m, begin), 1.0);
+}
+
 void RandomProjection::AppendSparse(const SparseVector& row, uint64_t) {
   SWSKETCH_CHECK_EQ(row.dim(), dim_);
   const size_t ell = b_.rows();

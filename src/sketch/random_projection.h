@@ -26,6 +26,14 @@ class RandomProjection : public MatrixSketch {
 
   void Append(std::span<const double> row, uint64_t id = 0) override;
 
+  /// Batched append: materializes the ell x count sign block — drawing the
+  /// exact same signs, in the same order, as `count` serial Appends — and
+  /// applies it with the tiled MultiplyRows kernel. The projection is
+  /// therefore identical as a linear map; only the floating-point
+  /// accumulation order of the += differs from the serial path.
+  void AppendBatch(const Matrix& m, size_t begin, size_t end,
+                   uint64_t first_id = 0) override;
+
   /// Sparse fast path: O(ell * nnz) instead of O(ell * d). Draws the same
   /// sign column as the dense path, so results match bit-for-bit.
   void AppendSparse(const SparseVector& row, uint64_t id = 0);

@@ -1,6 +1,7 @@
 #include "stream/window_buffer.h"
 
 #include <utility>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -28,13 +29,55 @@ Matrix WindowBuffer::ToMatrix() const {
 
 Matrix WindowBuffer::GramMatrix(size_t dim) const {
   if (rows_.empty()) return Matrix(dim, dim);
+  SWSKETCH_CHECK_EQ(rows_.front().dim(), dim);
+  // The O(n d) density probe is negligible against either Gram path and
+  // lets sparse (WIKI-style) windows skip the O(n d^2) dense product.
+  const size_t nnz = NonzeroCount();
+  const double density =
+      static_cast<double>(nnz) /
+      (static_cast<double>(rows_.size()) * static_cast<double>(dim));
+  if (density <= kSparseGramDensityThreshold) return SparseGramMatrix(dim);
   // Materialize the window contiguously and use the blocked (and, for
   // large windows, parallel) Gram kernel: the copy is O(n d) against the
   // O(n d^2) product, and the blocked kernel is several times faster than
   // a rank-1 update per row.
   const Matrix a = ToMatrix();
-  SWSKETCH_CHECK_EQ(a.cols(), dim);
   return a.Gram();
+}
+
+Matrix WindowBuffer::SparseGramMatrix(size_t dim) const {
+  Matrix g(dim, dim);
+  std::vector<size_t> idx;
+  std::vector<double> val;
+  for (const auto& r : rows_) {
+    const auto row = r.view();
+    idx.clear();
+    val.clear();
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (row[j] != 0.0) {
+        idx.push_back(j);
+        val.push_back(row[j]);
+      }
+    }
+    // Scatter the row's rank-1 contribution: indices are gathered in
+    // ascending order, so (p, q) with q >= p always lands in the upper
+    // triangle.
+    for (size_t p = 0; p < idx.size(); ++p) {
+      double* grow = g.RowPtr(idx[p]);
+      const double vp = val[p];
+      for (size_t q = p; q < idx.size(); ++q) grow[idx[q]] += vp * val[q];
+    }
+  }
+  g.MirrorUpperToLower();
+  return g;
+}
+
+size_t WindowBuffer::NonzeroCount() const {
+  size_t nnz = 0;
+  for (const auto& r : rows_) {
+    for (const double v : r.view()) nnz += v != 0.0;
+  }
+  return nnz;
 }
 
 double WindowBuffer::FrobeniusNormSq() const {

@@ -32,8 +32,27 @@ class WindowBuffer {
   /// Exact window matrix A (copies rows; evaluation-time only).
   Matrix ToMatrix() const;
 
-  /// Exact Gram matrix A^T A of the window.
+  /// Exact Gram matrix A^T A of the window. Probes the window's density
+  /// first: sparse windows (nnz fraction <= kSparseGramDensityThreshold)
+  /// take the CSR-style scatter path, dense windows the blocked dense
+  /// kernel.
   Matrix GramMatrix(size_t dim) const;
+
+  /// CSR-style Gram: gathers each row's nonzeros and scatters the
+  /// O(nnz_r^2) index pairs into the upper triangle, mirroring once at the
+  /// end — O(sum nnz_r^2) instead of the dense kernel's O(n d^2), so
+  /// WIKI-style checkpoints stop paying for zeros. Exposed for tests and
+  /// benches; GramMatrix() dispatches here automatically.
+  Matrix SparseGramMatrix(size_t dim) const;
+
+  /// Number of nonzero entries currently in the window (O(n d) scan).
+  size_t NonzeroCount() const;
+
+  /// Density at or below which GramMatrix() prefers the sparse path: the
+  /// scatter does ~(density * d)^2 work per row against the dense kernel's
+  /// d^2/2, so the crossover sits near sqrt(1/2); 0.1 leaves margin for
+  /// the gather overhead and the dense kernel's better locality.
+  static constexpr double kSparseGramDensityThreshold = 0.1;
 
   /// Exact squared Frobenius norm of the window matrix.
   double FrobeniusNormSq() const;

@@ -42,6 +42,13 @@ class CostAccumulator {
     ++count_;
   }
 
+  /// Records one timed section covering `events` events (a batched update
+  /// covering many rows); AverageNanos() stays per-event.
+  void AddSpanning(int64_t nanos, int64_t events) {
+    total_nanos_ += nanos;
+    count_ += events;
+  }
+
   int64_t total_nanos() const { return total_nanos_; }
   int64_t count() const { return count_; }
 

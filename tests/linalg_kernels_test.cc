@@ -176,6 +176,127 @@ TEST(BlockedKernelsTest, ApplyTransposeMatchesNaive) {
   for (size_t j = 0; j < y.size(); ++j) EXPECT_NEAR(y[j], want[j], 1e-10);
 }
 
+// ---- Bit-compatibility of the fused inner loop across dispatch paths.
+//
+// The kernels promise a pinned per-element accumulation formula per build
+// and host CPU class: when Matrix::FusedKernelsUseFmaChains() — compiled-in
+// AVX2+FMA or the runtime cpuid dispatch — each 4-row group contributes
+// via a nested fma chain (vector lanes and scalar tail associate
+// identically); otherwise plain mul+add. These references replay the
+// active formula element-by-element (std::fma is exact in any build), so
+// the comparison is EXPECT_EQ — any drift between the SIMD main loop, its
+// tail, and the documented contract is a bit-level failure, in both the
+// release and the bench (-march=native) build.
+
+// dst[j] accumulated with one 4-row group, matching FusedAccumulate4.
+double RefFused4(double dst, double a0, double a1, double a2, double a3,
+                 double v0, double v1, double v2, double v3) {
+  if (Matrix::FusedKernelsUseFmaChains()) {
+    return std::fma(v3, a3, std::fma(v2, a2, std::fma(v1, a1,
+                                                      std::fma(v0, a0, dst))));
+  }
+  return dst + (v0 * a0 + v1 * a1 + v2 * a2 + v3 * a3);
+}
+
+// dst[j] accumulated with one remaining row, matching FusedAccumulate1.
+double RefFused1(double dst, double a, double v) {
+  if (Matrix::FusedKernelsUseFmaChains()) return std::fma(v, a, dst);
+  return dst + v * a;
+}
+
+TEST(FusedKernelBitCompatTest, ApplyTransposeMatchesReferenceChainExactly) {
+  // rows = 11 exercises two 4-row groups plus a 3-row tail; cols = 10
+  // covers both the 256-bit lanes (j < 8) and the scalar tail (j = 8, 9),
+  // which must associate identically.
+  const Matrix a = RandomMatrix(11, 10, 21);
+  Rng rng(22);
+  std::vector<double> x(a.rows());
+  for (auto& v : x) v = rng.Gaussian();
+
+  std::vector<double> want(a.cols(), 0.0);
+  size_t i = 0;
+  for (; i + 3 < a.rows(); i += 4) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      want[j] = RefFused4(want[j], a(i, j), a(i + 1, j), a(i + 2, j),
+                          a(i + 3, j), x[i], x[i + 1], x[i + 2], x[i + 3]);
+    }
+  }
+  for (; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      want[j] = RefFused1(want[j], a(i, j), x[i]);
+    }
+  }
+
+  std::vector<double> y(a.cols());
+  a.ApplyTranspose(x, y);
+  for (size_t j = 0; j < a.cols(); ++j) EXPECT_EQ(y[j], want[j]) << j;
+}
+
+TEST(FusedKernelBitCompatTest, GramMatchesReferenceChainExactly) {
+  // Small enough for a single row panel (<= 64) and a single (i, j) tile
+  // (d <= 48), so the blocked loop reduces to: per column i, 4-row fused
+  // groups then remainder rows, j running over the upper triangle.
+  const Matrix a = RandomMatrix(11, 10, 23);
+  const size_t d = a.cols();
+  Matrix want(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    size_t r = 0;
+    for (; r + 3 < a.rows(); r += 4) {
+      const double v0 = a(r, i), v1 = a(r + 1, i), v2 = a(r + 2, i),
+                   v3 = a(r + 3, i);
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      for (size_t j = i; j < d; ++j) {
+        want(i, j) = RefFused4(want(i, j), a(r, j), a(r + 1, j), a(r + 2, j),
+                               a(r + 3, j), v0, v1, v2, v3);
+      }
+    }
+    for (; r < a.rows(); ++r) {
+      const double vi = a(r, i);
+      if (vi == 0.0) continue;
+      for (size_t j = i; j < d; ++j) {
+        want(i, j) = RefFused1(want(i, j), a(r, j), vi);
+      }
+    }
+  }
+  want.MirrorUpperToLower();
+  EXPECT_EQ(a.Gram().MaxAbsDiff(want), 0.0);
+}
+
+TEST(FusedKernelBitCompatTest, MultiplyMatchesReferenceChainExactly) {
+  // k = 11 (< the 128 panel) reduces Multiply to 4-deep fused k-groups plus
+  // a remainder per output row; m = 10 covers lanes and tail.
+  const Matrix a = RandomMatrix(3, 11, 24);
+  const Matrix b = RandomMatrix(11, 10, 25);
+  Matrix want(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    size_t k = 0;
+    for (; k + 3 < a.cols(); k += 4) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        want(i, j) = RefFused4(want(i, j), b(k, j), b(k + 1, j), b(k + 2, j),
+                               b(k + 3, j), a(i, k), a(i, k + 1), a(i, k + 2),
+                               a(i, k + 3));
+      }
+    }
+    for (; k < a.cols(); ++k) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        want(i, j) = RefFused1(want(i, j), b(k, j), a(i, k));
+      }
+    }
+  }
+  EXPECT_EQ(a.Multiply(b).MaxAbsDiff(want), 0.0);
+}
+
+TEST(FusedKernelBitCompatTest, MultiplyRowsMatchesMultiplyOnSlice) {
+  // MultiplyRows(b, begin) must produce bit-for-bit what Multiply gives on
+  // a materialized copy of the row slice — same kernel, shifted base row.
+  const Matrix a = RandomMatrix(16, 33, 26);
+  const Matrix b = RandomMatrix(80, 29, 27);
+  const size_t begin = 17;
+  Matrix slice(0, b.cols());
+  for (size_t i = 0; i < a.cols(); ++i) slice.AppendRow(b.Row(begin + i));
+  EXPECT_EQ(a.MultiplyRows(b, begin).MaxAbsDiff(a.Multiply(slice)), 0.0);
+}
+
 TEST(BlockedKernelsTest, LargeGramDeterministicAcrossRepeats) {
   // A shape big enough to cross the parallel flop threshold must give the
   // same bits every run (band partitioning is fixed, accumulation order
