@@ -1,10 +1,19 @@
-// Ablation: the FD shrink position (DESIGN.md §3). The paper shrinks at
-// sigma_{ell/2}^2 (leaving ell/2 free rows); shrinking later (closer to
-// ell) sheds less mass per step (better error) but shrinks more often
-// (more SVDs, slower). This sweep quantifies the tradeoff.
+// Ablation: the FD shrink (DESIGN.md §3, §8). Two sweeps over one stream:
 //
-//   ./ablate_fd_shrink [--ell=32] [--rows=20000]
+//  1. Shrink position: the paper shrinks at sigma_{ell/2}^2 (leaving ell/2
+//     free rows); shrinking later (closer to ell) sheds less mass per step
+//     (better error) but shrinks more often (slower).
+//  2. Shrink backend x buffer factor: the Gram-eigen shrink (default)
+//     against the legacy ThinSvd shrink, each at buffer factors
+//     {1, 1.5, 2, 3}. This is the grid that picked the shipped --fd_buffer
+//     default; cells land in BENCH_ablate_fd_shrink.json for
+//     scripts/bench_diff.py.
+//
+//   ./ablate_fd_shrink [--ell=64] [--d=256] [--rows=20000] [--json=1]
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "eval/cov_err.h"
 #include "eval/report.h"
@@ -15,11 +24,54 @@
 
 using namespace swsketch;
 
+namespace {
+
+struct GridCell {
+  std::string algorithm;
+  size_t ell = 0;
+  double cova_err = 0.0;
+  double update_ns = 0.0;
+  size_t max_rows_stored = 0;
+  size_t rows_processed = 0;
+  size_t shrink_count = 0;
+};
+
+// Minimal cells-format emitter matching bench_util's WriteBenchJson, so
+// scripts/bench_diff.py can diff ablation runs like any figure.
+void WriteCellsJson(const std::string& path, size_t rows, size_t d,
+                    const std::vector<GridCell>& cells) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"figure\": \"ablate_fd_shrink\",\n"
+      << "  \"metric\": \"update_ns\",\n"
+      << "  \"dataset\": \"SYNTH-decay\",\n"
+      << "  \"n\": " << rows << ",\n  \"d\": " << d << ",\n"
+      << "  \"window\": \"none\",\n  \"cells\": [";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const GridCell& c = cells[i];
+    out << (i ? "," : "") << "\n    {\"algorithm\": \"" << c.algorithm
+        << "\", \"ell\": " << c.ell << ", \"avg_err\": " << c.cova_err
+        << ", \"max_err\": " << c.cova_err
+        << ", \"update_ns\": " << c.update_ns
+        << ", \"max_rows_stored\": " << c.max_rows_stored
+        << ", \"best_err_avg\": 0, \"best_err_max\": 0"
+        << ", \"zero_err_avg\": 0, \"rows_processed\": " << c.rows_processed
+        << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "(wrote " << path << ")\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  const size_t ell = static_cast<size_t>(flags.GetInt("ell", 32));
+  const size_t ell = static_cast<size_t>(flags.GetInt("ell", 64));
+  const size_t d = static_cast<size_t>(flags.GetInt("d", 256));
   const size_t rows = static_cast<size_t>(flags.GetInt("rows", 20000));
-  const size_t d = 64;
 
   // A stream with a decaying spectrum (FD's target regime).
   Rng rng(1);
@@ -38,8 +90,8 @@ int main(int argc, char** argv) {
 
   PrintBanner(std::cout, "Ablation: FD shrink rank (ell = " +
                              std::to_string(ell) + ")");
-  Table table({"shrink_rank", "cova_err", "shed_mass_fraction",
-               "update_ns_per_row"});
+  Table rank_table({"shrink_rank", "cova_err", "shed_mass_fraction",
+                    "update_ns_per_row"});
   for (size_t rank : {ell / 4, ell / 2, 3 * ell / 4, ell}) {
     if (rank == 0) continue;
     FrequentDirections fd(
@@ -49,12 +101,64 @@ int main(int argc, char** argv) {
     const double ns_per_row =
         static_cast<double>(timer.ElapsedNanos()) / static_cast<double>(rows);
     const double err = CovarianceError(gram, frob_sq, fd.Approximation());
-    table.AddRow({Table::Int(static_cast<long long>(rank)), Table::Num(err),
-                  Table::Num(fd.shed_mass() / frob_sq),
-                  Table::Num(ns_per_row)});
+    rank_table.AddRow({Table::Int(static_cast<long long>(rank)),
+                       Table::Num(err), Table::Num(fd.shed_mass() / frob_sq),
+                       Table::Num(ns_per_row)});
   }
-  table.Print(std::cout);
+  rank_table.Print(std::cout);
   std::cout << "\nExpected: larger shrink ranks lower the error (less mass "
-               "shed per\nshrink) but pay more frequent SVDs per row.\n";
+               "shed per\nshrink) but pay more frequent shrinks per row.\n\n";
+
+  PrintBanner(std::cout, "Ablation: shrink backend x buffer factor");
+  Table grid_table({"backend", "buffer_factor", "cova_err", "update_ns_per_row",
+                    "shrinks", "max_rows"});
+  std::vector<GridCell> cells;
+  const struct {
+    FdShrinkBackend backend;
+    const char* name;
+  } kBackends[] = {{FdShrinkBackend::kGramEigen, "gram-eigen"},
+                   {FdShrinkBackend::kThinSvd, "thinsvd"}};
+  for (const auto& backend : kBackends) {
+    for (double factor : {1.0, 1.5, 2.0, 3.0}) {
+      FrequentDirections fd(
+          d, FrequentDirections::Options{.ell = ell,
+                                         .buffer_factor = factor,
+                                         .shrink_backend = backend.backend});
+      size_t max_rows = 0;
+      Timer timer;
+      for (size_t i = 0; i < rows; ++i) {
+        fd.Append(a.Row(i), i);
+        max_rows = std::max(max_rows, fd.RowsStored());
+      }
+      const double ns_per_row = static_cast<double>(timer.ElapsedNanos()) /
+                                static_cast<double>(rows);
+      const double err = CovarianceError(gram, frob_sq, fd.Approximation());
+      grid_table.AddRow(
+          {std::string(backend.name), Table::Num(factor), Table::Num(err),
+           Table::Num(ns_per_row),
+           Table::Int(static_cast<long long>(fd.shrink_count())),
+           Table::Int(static_cast<long long>(max_rows))});
+      GridCell cell;
+      // Strip the trailing .0/.5 into a stable slug: f1, f1.5, f2, f3.
+      std::string f = std::to_string(factor);
+      f.erase(f.find_last_not_of('0') + 1);
+      if (!f.empty() && f.back() == '.') f.pop_back();
+      cell.algorithm = std::string("fd-") + backend.name + "-f" + f;
+      cell.ell = ell;
+      cell.cova_err = err;
+      cell.update_ns = ns_per_row;
+      cell.max_rows_stored = max_rows;
+      cell.rows_processed = rows;
+      cell.shrink_count = fd.shrink_count();
+      cells.push_back(cell);
+    }
+  }
+  grid_table.Print(std::cout);
+  std::cout << "\nThe gram-eigen backend should dominate thinsvd at every "
+               "factor (no U/V\nrecovery); the factor column picks the "
+               "--fd_buffer default.\n";
+  if (flags.GetBool("json", true)) {
+    WriteCellsJson("BENCH_ablate_fd_shrink.json", rows, d, cells);
+  }
   return 0;
 }

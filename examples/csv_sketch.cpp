@@ -3,12 +3,14 @@
 //
 //   ./csv_sketch --input=data.csv [--output=approx.csv] [--algo=lm-fd]
 //                [--ell=32] [--window=10000] [--time-column] [--delta=3600]
-//                [--header]
+//                [--header] [--batch=256]
 //
 // Without --time-column rows are indexed sequentially (sequence window of
 // N = --window rows); with it the first CSV column is the timestamp and a
-// time window of span --delta is used.
+// time window of span --delta is used. --batch > 1 pulls blocks through
+// the CSV loader's NextBatch and feeds UpdateBatch (amortized shrinks).
 #include <cstdio>
+#include <vector>
 
 #include "core/factory.h"
 #include "data/csv.h"
@@ -52,9 +54,19 @@ int main(int argc, char** argv) {
   }
 
   size_t rows = 0;
-  while (auto row = (*stream)->Next()) {
-    (*sketch)->Update(row->view(), row->ts);
-    ++rows;
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 1));
+  if (batch > 1) {
+    Matrix block(0, (*stream)->dim());
+    std::vector<double> block_ts;
+    while (size_t got = (*stream)->NextBatch(batch, &block, &block_ts)) {
+      (*sketch)->UpdateBatch(block, block_ts);
+      rows += got;
+    }
+  } else {
+    while (auto row = (*stream)->Next()) {
+      (*sketch)->Update(row->view(), row->ts);
+      ++rows;
+    }
   }
   const Matrix b = (*sketch)->Query();
   std::printf("processed %zu rows (d=%zu, %s); sketch %s stores %zu rows;\n"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Perf regression gate for the sketch-update hot path.
+#
+# Builds the release preset, runs the micro_sketch append benchmarks,
+# converts the result to BENCH cells and diffs them against the committed
+# baseline in bench/baselines/. Exits nonzero when any update_ns cell
+# regresses by more than the bench_diff threshold (default 10%), so it
+# can run as a pre-merge check:
+#
+#     scripts/bench_gate.sh [extra bench_diff.py args, e.g. --threshold 0.15]
+#
+# To refresh the baseline after an intentional perf change:
+#
+#     scripts/bench_gate.sh --update-baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=bench/baselines/BENCH_micro_sketch.json
+FILTER='BM_FrequentDirectionsAppend|BM_RandomProjectionAppend|BM_HashSketchAppend'
+MIN_TIME=2
+
+update_baseline=0
+diff_args=()
+for arg in "$@"; do
+  if [[ "$arg" == "--update-baseline" ]]; then
+    update_baseline=1
+  else
+    diff_args+=("$arg")
+  fi
+done
+
+cmake --preset release >/dev/null
+cmake --build build-release -j"$(nproc)" --target micro_sketch >/dev/null
+
+./build-release/bench/micro_sketch \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json 2>/dev/null |
+  python3 scripts/microbench_to_cells.py --figure micro_sketch \
+    -o BENCH_micro_sketch.json
+
+if [[ "$update_baseline" == 1 ]]; then
+  cp BENCH_micro_sketch.json "$BASELINE"
+  echo "baseline refreshed: $BASELINE"
+  exit 0
+fi
+
+python3 scripts/bench_diff.py "$BASELINE" BENCH_micro_sketch.json \
+  ${diff_args[@]+"${diff_args[@]}"}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON output into the BENCH cells format.
+
+The figure binaries in bench/ emit BENCH_<slug>.json documents with a
+`cells` list keyed by (figure, algorithm, ell) — the shape consumed by
+scripts/bench_diff.py. The google-benchmark microbenchmarks
+(micro_sketch, micro_linalg, ...) emit their own JSON schema instead.
+This script bridges the two so microbenchmark runs can be gated by the
+same diff tool:
+
+    ./build-release/bench/micro_sketch --benchmark_format=json ... \
+        | scripts/microbench_to_cells.py --figure micro_sketch \
+              -o BENCH_micro_sketch.json
+
+Mapping: each per-iteration benchmark entry named `BM_Foo/N` becomes a
+cell with algorithm "BM_Foo", ell N and update_ns = real_time (the
+microbenchmarks all report nanoseconds per item). Aggregate entries
+(_mean/_median/_stddev) are skipped; when repetitions are used, pass
+--use-aggregate mean to keep only the mean rows instead.
+"""
+
+import argparse
+import json
+import sys
+
+
+def to_cells(doc, use_aggregate=None):
+    cells = []
+    for b in doc.get("benchmarks", []):
+        run_type = b.get("run_type", "iteration")
+        if use_aggregate is None:
+            if run_type != "iteration":
+                continue
+        else:
+            if run_type != "aggregate" or b.get("aggregate_name") != use_aggregate:
+                continue
+        name = b["name"]
+        if use_aggregate is not None:
+            name = name.rsplit("_", 1)[0]  # strip `_mean` etc.
+        algorithm, _, arg = name.partition("/")
+        try:
+            ell = int(arg)
+        except ValueError:
+            ell = 0
+        if b.get("time_unit", "ns") != "ns":
+            raise SystemExit(f"{name}: expected ns time_unit, got {b['time_unit']}")
+        cells.append(
+            {
+                "algorithm": algorithm,
+                "ell": ell,
+                "update_ns": b["real_time"],
+            }
+        )
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "input",
+        nargs="?",
+        default="-",
+        help="google-benchmark JSON file (default: stdin)",
+    )
+    parser.add_argument(
+        "--figure",
+        required=True,
+        help="figure label for the emitted cells (e.g. micro_sketch)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="output BENCH json path (default: stdout)",
+    )
+    parser.add_argument(
+        "--use-aggregate",
+        default=None,
+        help="keep only this aggregate row per benchmark (e.g. mean); "
+        "default keeps per-iteration rows",
+    )
+    args = parser.parse_args()
+
+    with (sys.stdin if args.input == "-" else open(args.input)) as fh:
+        doc = json.load(fh)
+    cells = to_cells(doc, args.use_aggregate)
+    if not cells:
+        raise SystemExit("no benchmark entries converted")
+    out = {"figure": args.figure, "cells": cells}
+    text = json.dumps(out, indent=2)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,12 +23,19 @@ DiFd::DiFd(size_t dim, Options options)
           DyadicIntervalOptions{.levels = options.levels,
                                 .window_size = options.window_size,
                                 .max_norm_sq = options.max_norm_sq},
-          [dim, options](size_t level) {
-            return FrequentDirections(
+          // All levels share one shrink arena (sized once by the largest
+          // level ell): level sketches are advanced sequentially by the
+          // owning thread, so the shared workspace never sees concurrent
+          // shrinks.
+          [dim, options,
+           scratch = FrequentDirections::MakeShrinkScratch()](size_t level) {
+            FrequentDirections fd(
                 dim, FrequentDirections::Options{
                          .ell = LevelEll(level, options.levels,
                                          options.ell_top, options.ell_min),
                          .buffer_factor = options.fd_buffer_factor});
+            fd.ShareShrinkScratch(scratch);
+            return fd;
           },
           "DI-FD"),
       di_options_(options) {}

@@ -17,10 +17,17 @@ LmFd::LmFd(size_t dim, WindowSpec window, Options options)
               .block_capacity =
                   ResolveCapacity(options.block_capacity, options.ell),
               .blocks_per_level = options.blocks_per_level},
-          [dim, ell = options.ell, factor = options.fd_buffer_factor] {
-            return FrequentDirections(
+          // Every per-block FD shares one shrink arena: blocks are closed
+          // and queried sequentially on the owning thread, so the shared
+          // workspace is never used concurrently and the steady state
+          // allocates nothing per block.
+          [dim, ell = options.ell, factor = options.fd_buffer_factor,
+           scratch = FrequentDirections::MakeShrinkScratch()] {
+            FrequentDirections fd(
                 dim, FrequentDirections::Options{.ell = ell,
                                                  .buffer_factor = factor});
+            fd.ShareShrinkScratch(scratch);
+            return fd;
           },
           "LM-FD"),
       lm_options_(options) {}

@@ -1,6 +1,7 @@
 #include "data/csv.h"
 
 #include <cstdlib>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -75,6 +76,40 @@ std::optional<Row> CsvRowStream::ParseLine(const std::string& line) {
   last_ts_ = ts;
   ++line_index_;
   return Row(std::move(values), ts);
+}
+
+size_t CsvRowStream::NextBatch(size_t max_rows, Matrix* rows,
+                               std::vector<double>* ts) {
+  rows->ResetShape(0, dim_);
+  rows->ReserveRows(max_rows);
+  ts->clear();
+  if (first_row_.has_value() && max_rows > 0) {
+    rows->AppendRow(first_row_->view());
+    ts->push_back(first_row_->ts);
+    first_row_.reset();
+  }
+  // Same termination rules as Next(): a malformed line or a dimension
+  // mismatch ends the stream.
+  while (ts->size() < max_rows && std::getline(file_, batch_line_)) {
+    if (batch_line_.empty()) continue;
+    if (!ParseDoubles(batch_line_, &batch_fields_)) break;
+    double t;
+    std::span<const double> values;
+    if (options_.first_column_is_timestamp) {
+      if (batch_fields_.size() < 2 || batch_fields_[0] < last_ts_) break;
+      t = batch_fields_[0];
+      values = std::span<const double>(batch_fields_).subspan(1);
+    } else {
+      t = static_cast<double>(line_index_);
+      values = batch_fields_;
+    }
+    if (values.size() != dim_) break;
+    last_ts_ = t;
+    ++line_index_;
+    rows->AppendRow(values);
+    ts->push_back(t);
+  }
+  return ts->size();
 }
 
 std::optional<Row> CsvRowStream::Next() {

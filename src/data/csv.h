@@ -33,6 +33,13 @@ class CsvRowStream : public RowStream {
   }
 
   std::optional<Row> Next() override;
+
+  /// Parses lines straight into the block matrix through one reused field
+  /// buffer — no per-row vector, so batched CSV ingest allocates nothing
+  /// per row in steady state.
+  size_t NextBatch(size_t max_rows, Matrix* rows,
+                   std::vector<double>* ts) override;
+
   size_t dim() const override { return dim_; }
   std::string name() const override { return name_; }
 
@@ -49,6 +56,8 @@ class CsvRowStream : public RowStream {
   size_t line_index_ = 0;
   std::optional<Row> first_row_;  // Pre-parsed during Open.
   double last_ts_ = 0.0;
+  std::vector<double> batch_fields_;  // Reused line buffer for NextBatch.
+  std::string batch_line_;            // Reused getline target for NextBatch.
 };
 
 /// Writes a matrix as CSV (one row per line).

@@ -87,21 +87,30 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
   const size_t dim = stream->dim();
 
   if (options.batch_rows > 1) {
-    // Batched ingest: buffer the stream into blocks and hand each sketch
-    // one UpdateBatch per block. Blocks are cut early at checkpoint
-    // indices, so a checkpoint always observes exactly the rows up to it.
+    // Batched ingest: pull blocks straight from the stream via NextBatch
+    // (loaders like CSV parse directly into the block) and hand each sketch
+    // one UpdateBatch per block. Pulls are capped at the next checkpoint
+    // index, so a checkpoint always observes exactly the rows up to it —
+    // checkpoint records match the per-row path block-for-block.
     Matrix block(0, dim);
     block.ReserveRows(options.batch_rows);
     std::vector<double> block_ts;
-    std::vector<Row> block_rows;
-    const auto flush_block = [&]() {
-      if (block.rows() == 0) return;
+    for (;;) {
+      size_t want = options.batch_rows;
+      if (next_ckpt < ckpt_indices.size()) {
+        want = std::min(want, ckpt_indices[next_ckpt] - row_index + 1);
+      }
+      const size_t got = stream->NextBatch(want, &block, &block_ts);
+      if (got == 0) break;
+      if (!have_first) {
+        first_ts = block_ts[0];
+        have_first = true;
+      }
       const auto ingest_one = [&](size_t s) {
         if (options.measure_update_time) {
           Timer t;
           sketches[s]->UpdateBatch(block, block_ts);
-          costs[s].AddSpanning(t.ElapsedNanos(),
-                               static_cast<int64_t>(block.rows()));
+          costs[s].AddSpanning(t.ElapsedNanos(), static_cast<int64_t>(got));
         } else {
           sketches[s]->UpdateBatch(block, block_ts);
         }
@@ -112,43 +121,30 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
       } else {
         for (size_t s = 0; s < sketches.size(); ++s) ingest_one(s);
       }
-      for (auto& r : block_rows) buffer.Add(std::move(r));
+      for (size_t i = 0; i < got; ++i) {
+        const auto row = block.Row(i);
+        buffer.Add(Row(std::vector<double>(row.begin(), row.end()),
+                       block_ts[i]));
+      }
       for (size_t s = 0; s < sketches.size(); ++s) {
         results[s].max_rows_stored =
             std::max(results[s].max_rows_stored, sketches[s]->RowsStored());
       }
-      block.TruncateRows(0);
-      block_ts.clear();
-      block_rows.clear();
-    };
-    while (auto row = stream->Next()) {
-      if (!have_first) {
-        first_ts = row->ts;
-        have_first = true;
-      }
-      block.AppendRow(row->view());
-      block_ts.push_back(row->ts);
-      const double ts = row->ts;
-      block_rows.push_back(std::move(*row));
-      const bool at_ckpt = next_ckpt < ckpt_indices.size() &&
-                           row_index == ckpt_indices[next_ckpt];
-      if (at_ckpt || block.rows() >= options.batch_rows) {
-        flush_block();
-        if (at_ckpt) {
-          ++next_ckpt;
-          const bool mature =
-              window.type() == WindowType::kSequence
-                  ? buffer.size() >= static_cast<size_t>(window.extent())
-                  : (ts - first_ts) >= window.extent();
-          if (mature && !buffer.empty()) {
-            EvalCheckpoint(sketches, options, buffer, dim, row_index, ts,
-                           &results);
-          }
+      row_index += got;
+      const double ts = block_ts[got - 1];
+      if (next_ckpt < ckpt_indices.size() &&
+          row_index - 1 == ckpt_indices[next_ckpt]) {
+        ++next_ckpt;
+        const bool mature =
+            window.type() == WindowType::kSequence
+                ? buffer.size() >= static_cast<size_t>(window.extent())
+                : (ts - first_ts) >= window.extent();
+        if (mature && !buffer.empty()) {
+          EvalCheckpoint(sketches, options, buffer, dim, row_index - 1, ts,
+                         &results);
         }
       }
-      ++row_index;
     }
-    flush_block();
   } else {
     while (auto row = stream->Next()) {
       if (!have_first) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -22,15 +23,26 @@ double OffDiagonalNormSq(const Matrix& a) {
 }  // namespace
 
 SymmetricEigen JacobiEigen(const Matrix& s, const JacobiOptions& options) {
+  SymmetricEigenScratch scratch;
+  JacobiEigen(s, &scratch, options);
+  return std::move(scratch.result);
+}
+
+const SymmetricEigen& JacobiEigen(const Matrix& s,
+                                  SymmetricEigenScratch* scratch,
+                                  const JacobiOptions& options) {
   SWSKETCH_CHECK_EQ(s.rows(), s.cols());
   const size_t n = s.rows();
 
   // Work on the symmetrized copy.
-  Matrix a(n, n);
+  Matrix& a = scratch->work;
+  a.ResetShape(n, n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) a(i, j) = 0.5 * (s(i, j) + s(j, i));
   }
-  Matrix v = Matrix::Identity(n);
+  Matrix& v = scratch->accum;
+  v.ResetShape(n, n);
+  for (size_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
   const double total_norm = std::sqrt(a.FrobeniusNormSq());
   const double stop = options.tol * std::max(total_norm, 1e-300);
@@ -80,16 +92,18 @@ SymmetricEigen JacobiEigen(const Matrix& s, const JacobiOptions& options) {
   }
 
   // Extract and sort descending.
-  std::vector<size_t> order(n);
+  std::vector<size_t>& order = scratch->order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
-  std::vector<double> diag(n);
+  std::vector<double>& diag = scratch->diag;
+  diag.assign(n, 0.0);
   for (size_t i = 0; i < n; ++i) diag[i] = a(i, i);
   std::sort(order.begin(), order.end(),
             [&](size_t x, size_t y) { return diag[x] > diag[y]; });
 
-  SymmetricEigen out;
-  out.eigenvalues.resize(n);
-  out.eigenvectors = Matrix(n, n);
+  SymmetricEigen& out = scratch->result;
+  out.eigenvalues.assign(n, 0.0);
+  out.eigenvectors.ResetShape(n, n);
   for (size_t c = 0; c < n; ++c) {
     out.eigenvalues[c] = diag[order[c]];
     for (size_t r = 0; r < n; ++r) {

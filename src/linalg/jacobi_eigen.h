@@ -19,6 +19,20 @@ struct SymmetricEigen {
   Matrix eigenvectors;              // n x n, column i pairs eigenvalues[i].
 };
 
+/// Reusable workspace for the symmetric eigensolvers. A scratch cycled
+/// through solves of the same (or smaller) size never allocates after the
+/// first call: every member is reshaped in place via ResetShape / assign.
+/// Not thread-safe — one scratch per concurrent solver.
+struct SymmetricEigenScratch {
+  Matrix work;                // Symmetrized copy, rotated in place.
+  Matrix accum;               // Jacobi eigenvector accumulator V.
+  std::vector<double> diag;   // Tridiagonal diagonal / Jacobi diagonal.
+  std::vector<double> off;    // Tridiagonal off-diagonal.
+  std::vector<double> hcol;   // Householder column staging (tridiag).
+  std::vector<size_t> order;  // Descending-eigenvalue permutation.
+  SymmetricEigen result;      // Output storage, reused across solves.
+};
+
 /// Options controlling the sweep loop.
 struct JacobiOptions {
   int max_sweeps = 64;
@@ -31,6 +45,14 @@ struct JacobiOptions {
 /// enforced by averaging S and S^T before iterating, so tiny asymmetries
 /// from accumulated floating point error are tolerated.
 SymmetricEigen JacobiEigen(const Matrix& s, const JacobiOptions& options = {});
+
+/// Scratch-accepting variant: solves into scratch->result and returns a
+/// reference to it (valid until the scratch is reused). Allocation-free
+/// once the scratch has seen a problem of size >= s.rows(). `s` must not
+/// alias any scratch member.
+const SymmetricEigen& JacobiEigen(const Matrix& s,
+                                  SymmetricEigenScratch* scratch,
+                                  const JacobiOptions& options = {});
 
 }  // namespace swsketch
 

@@ -201,6 +201,15 @@ void Matrix::AppendRowScaled(std::span<const double> row, double scale) {
 
 void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
+void Matrix::ResetShape(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // assign() reuses the existing allocation when capacity suffices, so a
+  // scratch matrix cycled through the same (or smaller) shapes never
+  // touches the heap again.
+  data_.assign(rows * cols, 0.0);
+}
+
 void Matrix::TruncateRows(size_t k) {
   SWSKETCH_CHECK_LE(k, rows_);
   rows_ = k;
@@ -222,8 +231,21 @@ Matrix Matrix::Multiply(const Matrix& other) const {
 }
 
 Matrix Matrix::MultiplyRows(const Matrix& other, size_t other_row_begin) const {
+  Matrix out;
+  MultiplyRowsInto(other, other_row_begin, &out);
+  return out;
+}
+
+void Matrix::MultiplyInto(const Matrix& other, Matrix* out) const {
+  SWSKETCH_CHECK_EQ(cols_, other.rows_);
+  MultiplyRowsInto(other, 0, out);
+}
+
+void Matrix::MultiplyRowsInto(const Matrix& other, size_t other_row_begin,
+                              Matrix* out_ptr) const {
   SWSKETCH_CHECK_LE(other_row_begin + cols_, other.rows_);
-  Matrix out(rows_, other.cols_);
+  Matrix& out = *out_ptr;
+  out.ResetShape(rows_, other.cols_);
   const size_t n = other.cols_;
   // Output rows are processed in blocks of 8 with the k-group loop hoisted
   // outside the block, so each loaded 4-row group of `other` is reused for
@@ -269,12 +291,18 @@ Matrix Matrix::MultiplyRows(const Matrix& other, size_t other_row_begin) const {
   } else {
     multiply_rows(0, rows_);
   }
-  return out;
 }
 
 Matrix Matrix::Gram() const {
-  Matrix g(cols_, cols_);
-  if (rows_ == 0 || cols_ == 0) return g;
+  Matrix g;
+  GramInto(&g);
+  return g;
+}
+
+void Matrix::GramInto(Matrix* out) const {
+  Matrix& g = *out;
+  g.ResetShape(cols_, cols_);
+  if (rows_ == 0 || cols_ == 0) return;
   // Cost of the upper triangle is rows * d * (d + 1) / 2 madds; fan column
   // bands out to the pool when it dwarfs the task overhead. Leading bands
   // cover longer upper-triangle rows, so bands shrink towards the top to
@@ -309,14 +337,87 @@ Matrix Matrix::Gram() const {
     AccumulateGramUpperBand(*this, &g, 0, cols_);
   }
   g.MirrorUpperToLower();
-  return g;
 }
 
 Matrix Matrix::GramOuter() const {
-  Matrix g(rows_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
+  Matrix g;
+  GramOuterInto(&g);
+  return g;
+}
+
+void Matrix::GramOuterInto(Matrix* out) const {
+  Matrix& g = *out;
+  g.ResetShape(rows_, rows_);
+  // 4x4 register tile: sixteen independent dot-product chains share every
+  // row load, hiding the FP-add latency that serializes a single chain.
+  // Each entry is still one scalar sum in ascending k, so the tile shape
+  // does not change any output bit. Diagonal tiles also fill a few
+  // below-diagonal entries; the final mirror overwrites them with the
+  // (identical) upper values.
+  size_t i = 0;
+  for (; i + 3 < rows_; i += 4) {
+    const double* a0 = RowPtr(i);
+    const double* a1 = RowPtr(i + 1);
+    const double* a2 = RowPtr(i + 2);
+    const double* a3 = RowPtr(i + 3);
+    size_t j = i;
+    for (; j + 3 < rows_; j += 4) {
+      const double* b0 = RowPtr(j);
+      const double* b1 = RowPtr(j + 1);
+      const double* b2 = RowPtr(j + 2);
+      const double* b3 = RowPtr(j + 3);
+      double s00 = 0.0, s01 = 0.0, s02 = 0.0, s03 = 0.0;
+      double s10 = 0.0, s11 = 0.0, s12 = 0.0, s13 = 0.0;
+      double s20 = 0.0, s21 = 0.0, s22 = 0.0, s23 = 0.0;
+      double s30 = 0.0, s31 = 0.0, s32 = 0.0, s33 = 0.0;
+      for (size_t k = 0; k < cols_; ++k) {
+        const double x0 = a0[k], x1 = a1[k], x2 = a2[k], x3 = a3[k];
+        const double y0 = b0[k], y1 = b1[k], y2 = b2[k], y3 = b3[k];
+        s00 += x0 * y0;
+        s01 += x0 * y1;
+        s02 += x0 * y2;
+        s03 += x0 * y3;
+        s10 += x1 * y0;
+        s11 += x1 * y1;
+        s12 += x1 * y2;
+        s13 += x1 * y3;
+        s20 += x2 * y0;
+        s21 += x2 * y1;
+        s22 += x2 * y2;
+        s23 += x2 * y3;
+        s30 += x3 * y0;
+        s31 += x3 * y1;
+        s32 += x3 * y2;
+        s33 += x3 * y3;
+      }
+      double* g0 = g.RowPtr(i) + j;
+      double* g1 = g.RowPtr(i + 1) + j;
+      double* g2 = g.RowPtr(i + 2) + j;
+      double* g3 = g.RowPtr(i + 3) + j;
+      g0[0] = s00, g0[1] = s01, g0[2] = s02, g0[3] = s03;
+      g1[0] = s10, g1[1] = s11, g1[2] = s12, g1[3] = s13;
+      g2[0] = s20, g2[1] = s21, g2[2] = s22, g2[3] = s23;
+      g3[0] = s30, g3[1] = s31, g3[2] = s32, g3[3] = s33;
+    }
+    for (; j < rows_; ++j) {
+      const double* b = RowPtr(j);
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (size_t k = 0; k < cols_; ++k) {
+        const double bk = b[k];
+        s0 += a0[k] * bk;
+        s1 += a1[k] * bk;
+        s2 += a2[k] * bk;
+        s3 += a3[k] * bk;
+      }
+      g(i, j) = s0;
+      g(i + 1, j) = s1;
+      g(i + 2, j) = s2;
+      g(i + 3, j) = s3;
+    }
+  }
+  for (; i < rows_; ++i) {
     const double* a = RowPtr(i);
-    // Four simultaneous dot products share each a[k] load.
+    // Remaining rows: four simultaneous dots share each a[k] load.
     size_t j = i;
     for (; j + 3 < rows_; j += 4) {
       const double* b0 = RowPtr(j);
@@ -344,7 +445,6 @@ Matrix Matrix::GramOuter() const {
     }
   }
   g.MirrorUpperToLower();
-  return g;
 }
 
 void Matrix::AddOuterProduct(std::span<const double> v, double scale) {

@@ -63,6 +63,13 @@ class Matrix {
   /// Sets every entry to zero, keeping the shape.
   void SetZero();
 
+  /// Reshapes to rows x cols and zeroes every entry, reusing the existing
+  /// allocation whenever it is large enough. The scratch-accepting kernels
+  /// (GramInto / GramOuterInto / MultiplyRowsInto) call this on their
+  /// output so a matrix recycled across calls never reallocates once it
+  /// has seen its largest shape.
+  void ResetShape(size_t rows, size_t cols);
+
   /// Keeps only the first k rows.
   void TruncateRows(size_t k);
 
@@ -81,6 +88,15 @@ class Matrix {
   /// other_row_begin + cols() <= other.rows().
   Matrix MultiplyRows(const Matrix& other, size_t other_row_begin) const;
 
+  /// Scratch-accepting Multiply: writes this * other into *out (reshaped
+  /// and zeroed via ResetShape, so steady-state reuse is allocation-free).
+  /// `out` must not alias this or `other`.
+  void MultiplyInto(const Matrix& other, Matrix* out) const;
+
+  /// Scratch-accepting MultiplyRows; same aliasing rule as MultiplyInto.
+  void MultiplyRowsInto(const Matrix& other, size_t other_row_begin,
+                        Matrix* out) const;
+
   /// A^T * A, a cols x cols symmetric PSD matrix. Cache-blocked over the
   /// upper triangle with 4-row accumulation, mirrored once at the end;
   /// column bands go to the shared thread pool above a flop threshold.
@@ -88,9 +104,17 @@ class Matrix {
   /// is produced by exactly one task with a fixed accumulation order.
   Matrix Gram() const;
 
+  /// Scratch-accepting Gram: writes A^T A into *out (reshaped and zeroed,
+  /// allocation-free on reuse). `out` must not alias this.
+  void GramInto(Matrix* out) const;
+
   /// A * A^T, a rows x rows symmetric PSD matrix (4-way column-unrolled
   /// dot products).
   Matrix GramOuter() const;
+
+  /// Scratch-accepting GramOuter: writes A A^T into *out (reshaped and
+  /// zeroed, allocation-free on reuse). `out` must not alias this.
+  void GramOuterInto(Matrix* out) const;
 
   /// M += scale * v v^T for a square matrix with cols() == v.size().
   void AddOuterProduct(std::span<const double> v, double scale = 1.0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
@@ -10,11 +11,19 @@
 namespace swsketch {
 namespace {
 
-// Householder reduction of symmetric a (n x n, modified in place to hold
-// the accumulated orthogonal transform) to tridiagonal form: diagonal in
-// d, sub-diagonal in e[1..n-1] (EISPACK tred2).
-void Tred2(Matrix* a_ptr, std::vector<double>* d_ptr,
-           std::vector<double>* e_ptr) {
+// Householder reduction of symmetric a (n x n, clobbered) to tridiagonal
+// form: diagonal in d, sub-diagonal in e[1..n-1] (EISPACK tred2). Unlike
+// classic tred2, the accumulated orthogonal transform is built in a
+// separate matrix `q` stored TRANSPOSED (basis vectors as rows): the
+// accumulation inner loops then run over contiguous rows of q instead of
+// stride-n columns of a, which makes the O(n^3) accumulation cache-
+// resident. Per element the multiplicands, expressions and accumulation
+// order match the in-place column form exactly, so the result is
+// bit-identical to it. `hcol` stages the current Householder column
+// contiguously.
+void Tred2Transposed(Matrix* a_ptr, std::vector<double>* d_ptr,
+                     std::vector<double>* e_ptr, Matrix* q_ptr,
+                     std::vector<double>* hcol_ptr) {
   Matrix& a = *a_ptr;
   std::vector<double>& d = *d_ptr;
   std::vector<double>& e = *e_ptr;
@@ -64,31 +73,46 @@ void Tred2(Matrix* a_ptr, std::vector<double>* d_ptr,
   }
   d[0] = 0.0;
   e[0] = 0.0;
-  // Accumulate transformation.
+  // Accumulate the transformation into q (transposed layout). Row j of q
+  // is column j of the classic in-place accumulator; the border entries
+  // outside the active window are the same implicit identity/zero that
+  // the in-place form maintains by zeroing row/column i.
+  Matrix& q = *q_ptr;
+  q.ResetShape(n, n);
+  std::vector<double>& hcol = *hcol_ptr;
+  hcol.assign(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    const size_t l = i;  // Columns [0, i).
+    const size_t l = i;  // Active window [0, i).
     if (d[i] != 0.0) {
+      // Column i of a above the diagonal holds the scaled Householder
+      // vector v / h from reduction step i; stage it contiguously.
+      for (size_t k = 0; k < l; ++k) hcol[k] = a(k, i);
+      const double* __restrict__ ai = a.RowPtr(i);
+      const double* __restrict__ hc = hcol.data();
       for (size_t j = 0; j < l; ++j) {
+        double* __restrict__ qj = q.RowPtr(j);
         double g = 0.0;
-        for (size_t k = 0; k < l; ++k) g += a(i, k) * a(k, j);
-        for (size_t k = 0; k < l; ++k) a(k, j) -= g * a(k, i);
+        for (size_t k = 0; k < l; ++k) g += ai[k] * qj[k];
+        for (size_t k = 0; k < l; ++k) qj[k] -= g * hc[k];
       }
     }
     d[i] = a(i, i);
-    a(i, i) = 1.0;
-    for (size_t j = 0; j < l; ++j) {
-      a(j, i) = 0.0;
-      a(i, j) = 0.0;
-    }
+    q(i, i) = 1.0;
   }
 }
 
 double SignLike(double a, double b) { return b >= 0.0 ? std::fabs(a) : -std::fabs(a); }
 
-// Implicit-shift QL on the tridiagonal (d, e), rotating the columns of z
-// (EISPACK tql2). Returns false if an eigenvalue fails to converge.
-bool Tql2(std::vector<double>* d_ptr, std::vector<double>* e_ptr,
-          Matrix* z_ptr) {
+// Implicit-shift QL on the tridiagonal (d, e) — EISPACK tql2, except that
+// `z` holds the accumulated transform TRANSPOSED (basis vectors as rows):
+// each Givens rotation then updates two contiguous rows instead of two
+// stride-n columns, which is what makes the O(n^3) rotation stream cache-
+// resident and auto-vectorizable. The per-element arithmetic (expressions
+// and evaluation order) is identical to the column form, so eigenvectors
+// are bit-identical to the untransposed implementation. Returns false if
+// an eigenvalue fails to converge.
+bool Tql2Transposed(std::vector<double>* d_ptr, std::vector<double>* e_ptr,
+                    Matrix* z_ptr) {
   std::vector<double>& d = *d_ptr;
   std::vector<double>& e = *e_ptr;
   Matrix& z = *z_ptr;
@@ -128,10 +152,12 @@ bool Tql2(std::vector<double>* d_ptr, std::vector<double>* e_ptr,
           p = s * r;
           d[i + 1] = g + p;
           g = c * r - b;
+          double* __restrict__ zi = z.RowPtr(i);
+          double* __restrict__ zi1 = z.RowPtr(i + 1);
           for (size_t k = 0; k < n; ++k) {
-            f = z(k, i + 1);
-            z(k, i + 1) = s * z(k, i) + c * f;
-            z(k, i) = c * z(k, i) - s * f;
+            f = zi1[k];
+            zi1[k] = s * zi[k] + c * f;
+            zi[k] = c * zi[k] - s * f;
           }
         }
         if (r == 0.0 && m - l > 1) continue;
@@ -147,49 +173,75 @@ bool Tql2(std::vector<double>* d_ptr, std::vector<double>* e_ptr,
 }  // namespace
 
 SymmetricEigen TridiagEigen(const Matrix& s) {
+  SymmetricEigenScratch scratch;
+  TridiagEigen(s, &scratch);
+  return std::move(scratch.result);
+}
+
+const SymmetricEigen& TridiagEigen(const Matrix& s,
+                                   SymmetricEigenScratch* scratch) {
   SWSKETCH_CHECK_EQ(s.rows(), s.cols());
   const size_t n = s.rows();
-  SymmetricEigen out;
+  SymmetricEigen& out = scratch->result;
   if (n == 0) {
-    out.eigenvectors = Matrix();
+    out.eigenvalues.clear();
+    out.eigenvectors.ResetShape(0, 0);
     return out;
   }
   if (n == 1) {
-    out.eigenvalues = {s(0, 0)};
-    out.eigenvectors = Matrix::Identity(1);
+    out.eigenvalues.assign(1, s(0, 0));
+    out.eigenvectors.ResetShape(1, 1);
+    out.eigenvectors(0, 0) = 1.0;
     return out;
   }
 
   // Symmetrize into the workspace.
-  Matrix a(n, n);
+  Matrix& a = scratch->work;
+  a.ResetShape(n, n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) a(i, j) = 0.5 * (s(i, j) + s(j, i));
   }
-  std::vector<double> d, e;
-  Tred2(&a, &d, &e);
-  if (!Tql2(&d, &e, &a)) {
-    // Extremely rare non-convergence: fall back to the robust solver.
-    return JacobiEigen(s);
+  std::vector<double>& d = scratch->diag;
+  std::vector<double>& e = scratch->off;
+  // Both the Householder accumulation and the QL rotations work on the
+  // transform in transposed (row-basis) layout for contiguous access; the
+  // arithmetic is element-for-element identical to the classic column
+  // form, so eigenpairs are bit-identical to it.
+  Matrix& q = scratch->accum;
+  Tred2Transposed(&a, &d, &e, &q, &scratch->hcol);
+  if (!Tql2Transposed(&d, &e, &q)) {
+    // Extremely rare non-convergence: fall back to the robust solver
+    // (restarts from `s`, so overwriting the scratch is safe).
+    return JacobiEigen(s, scratch);
   }
 
-  std::vector<size_t> order(n);
+  std::vector<size_t>& order = scratch->order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
             [&](size_t x, size_t y) { return d[x] > d[y]; });
-  SymmetricEigen out2;
-  out2.eigenvalues.resize(n);
-  out2.eigenvectors = Matrix(n, n);
+  out.eigenvalues.assign(n, 0.0);
+  out.eigenvectors.ResetShape(n, n);
   for (size_t c = 0; c < n; ++c) {
-    out2.eigenvalues[c] = d[order[c]];
+    out.eigenvalues[c] = d[order[c]];
+    // Row order[c] of the transposed accumulator is eigenvector column c.
+    const double* zc = q.RowPtr(order[c]);
     for (size_t r = 0; r < n; ++r) {
-      out2.eigenvectors(r, c) = a(r, order[c]);
+      out.eigenvectors(r, c) = zc[r];
     }
   }
-  return out2;
+  return out;
 }
 
 SymmetricEigen SymmetricEigenSolve(const Matrix& s, size_t jacobi_cutoff) {
   return s.rows() <= jacobi_cutoff ? JacobiEigen(s) : TridiagEigen(s);
+}
+
+const SymmetricEigen& SymmetricEigenSolve(const Matrix& s,
+                                          SymmetricEigenScratch* scratch,
+                                          size_t jacobi_cutoff) {
+  return s.rows() <= jacobi_cutoff ? JacobiEigen(s, scratch)
+                                   : TridiagEigen(s, scratch);
 }
 
 }  // namespace swsketch

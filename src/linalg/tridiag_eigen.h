@@ -17,9 +17,23 @@ namespace swsketch {
 /// columns.
 SymmetricEigen TridiagEigen(const Matrix& s);
 
+/// Scratch-accepting variant: solves into scratch->result and returns a
+/// reference to it (valid until the scratch is reused). Allocation-free
+/// once the scratch has seen a problem of size >= s.rows(). `s` must not
+/// alias any scratch member.
+const SymmetricEigen& TridiagEigen(const Matrix& s,
+                                   SymmetricEigenScratch* scratch);
+
 /// Dispatching solver: Jacobi below `jacobi_cutoff` rows (more accurate on
 /// tiny systems, no allocation overhead), tridiagonal QL above.
 SymmetricEigen SymmetricEigenSolve(const Matrix& s, size_t jacobi_cutoff = 32);
+
+/// Scratch-accepting dispatching solver (see the TridiagEigen overload for
+/// the reuse/aliasing contract). This is the entry point of the FD shrink
+/// hot path: a recycled scratch makes the whole eigensolve heap-free.
+const SymmetricEigen& SymmetricEigenSolve(const Matrix& s,
+                                          SymmetricEigenScratch* scratch,
+                                          size_t jacobi_cutoff = 32);
 
 }  // namespace swsketch
 

@@ -2,12 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "linalg/svd.h"
+#include "linalg/tridiag_eigen.h"
 #include "linalg/vector_ops.h"
 #include "util/logging.h"
 
 namespace swsketch {
+
+// Everything the Gram-eigen shrink touches between calls. Recycled across
+// shrinks (and across FD instances, when shared) so the steady state does
+// no heap allocation: each member is reshaped in place via ResetShape /
+// assign, which reuse capacity once the largest problem size has been seen.
+struct FdShrinkScratch {
+  Matrix gram;                  // Small-side Gram: n x n (wide) or d x d.
+  SymmetricEigenScratch eigen;  // Symmetric eigensolver workspace.
+  Matrix lhs;                   // Retained eigenvectors transposed, k x n.
+  Matrix product;               // W^T B staging, k x d.
+  std::vector<double> row_tmp;  // Tall-route eigenvector column staging.
+};
 
 FrequentDirections::FrequentDirections(size_t dim, Options options)
     : dim_(dim), options_(options) {
@@ -25,6 +40,20 @@ FrequentDirections::FrequentDirections(size_t dim, Options options)
   b_.ReserveRows(capacity_);
 }
 
+std::shared_ptr<FdShrinkScratch> FrequentDirections::MakeShrinkScratch() {
+  return std::make_shared<FdShrinkScratch>();
+}
+
+void FrequentDirections::ShareShrinkScratch(
+    std::shared_ptr<FdShrinkScratch> scratch) {
+  scratch_ = std::move(scratch);
+}
+
+FdShrinkScratch* FrequentDirections::shrink_scratch() {
+  if (!scratch_) scratch_ = MakeShrinkScratch();
+  return scratch_.get();
+}
+
 void FrequentDirections::Append(std::span<const double> row, uint64_t) {
   SWSKETCH_CHECK_EQ(row.size(), dim_);
   if (b_.rows() == capacity_) ShrinkWithRank(shrink_rank_);
@@ -39,9 +68,10 @@ void FrequentDirections::AppendBatch(const Matrix& m, size_t begin, size_t end,
   const size_t count = end - begin;
   if (count == 0) return;
   if (count == 1 || capacity_ < dim_) {
-    // Shrinking an n x d buffer costs O(min(n, d)^3); below d rows that is
-    // cubic in n, so batching rows before the shrink makes each SVD more
-    // expensive than the per-row schedule saves. Replay the serial path.
+    // Shrinking an n x d buffer costs O(min(n, d)^2 (n + d)); below d rows
+    // that is cubic in n, so batching rows before the shrink makes each
+    // shrink more expensive than the per-row schedule saves. Replay the
+    // serial path.
     for (size_t i = begin; i < end; ++i) Append(m.Row(i), first_id + (i - begin));
     return;
   }
@@ -68,14 +98,33 @@ void FrequentDirections::AppendSparse(const SparseVector& row, uint64_t) {
 }
 
 void FrequentDirections::AppendMatrix(const Matrix& m) {
-  for (size_t i = 0; i < m.rows(); ++i) Append(m.Row(i), 0);
+  // Feed AppendBatch in capacity-sized chunks: the narrow regime replays
+  // per-row appends exactly, and the tall regime pays one shrink per chunk
+  // while the buffer never transiently exceeds 2 * capacity rows (an
+  // unchunked batch would stage the whole matrix before its one shrink).
+  const size_t chunk = std::max<size_t>(capacity_, 1);
+  for (size_t b = 0; b < m.rows(); b += chunk) {
+    AppendBatch(m, b, std::min(m.rows(), b + chunk), 0);
+  }
 }
 
 void FrequentDirections::ShrinkNow() { ShrinkWithRank(shrink_rank_); }
 
 void FrequentDirections::ShrinkWithRank(size_t rank) {
   if (b_.rows() == 0) return;
-  RebuildFromSvd(rank, capacity_);
+  Rebuild(rank, capacity_);
+}
+
+void FrequentDirections::Rebuild(size_t rank, size_t max_rows) {
+  switch (options_.shrink_backend) {
+    case FdShrinkBackend::kGramEigen:
+      RebuildFromGramEigen(rank, max_rows);
+      return;
+    case FdShrinkBackend::kThinSvd:
+      RebuildFromSvd(rank, max_rows);
+      return;
+  }
+  SWSKETCH_CHECK(false);
 }
 
 void FrequentDirections::RebuildFromSvd(size_t rank, size_t max_rows) {
@@ -102,6 +151,92 @@ void FrequentDirections::RebuildFromSvd(size_t rank, size_t max_rows) {
   }
 }
 
+void FrequentDirections::RebuildFromGramEigen(size_t rank, size_t max_rows) {
+  FdShrinkScratch& s = *shrink_scratch();
+  ++shrink_count_;
+  const size_t n = b_.rows();
+  const size_t d = dim_;
+  // Same numerical-rank cutoff as ThinSvd, so both backends retain the
+  // same directions on rank-deficient buffers.
+  const double rank_tol = SvdOptions{}.rank_tol;
+
+  if (n <= d) {
+    // Wide buffer (the streaming steady state): G = B B^T is n x n with
+    // n <= capacity << d. An eigenpair (lambda_i, w_i) of G gives
+    // sigma_i = sqrt(lambda_i) and right-singular direction
+    // v_i^T = (w_i^T B) / ||w_i^T B||, so the shrunk row is
+    // sqrt(sigma_i^2 - lambda) * (w_i^T B) / ||w_i^T B|| — ThinSvd's wide
+    // route without ever materializing U or V. All k products w_i^T B are
+    // computed as one k x n by n x d multiply, which the shared pool
+    // partitions by rows when large enough.
+    b_.GramOuterInto(&s.gram);
+    const SymmetricEigen& eig = SymmetricEigenSolve(s.gram, &s.eigen);
+    const double lmax =
+        std::max(eig.eigenvalues.empty() ? 0.0 : eig.eigenvalues[0], 0.0);
+    const double cutoff = rank_tol * std::max(std::sqrt(lmax), 1e-300);
+    size_t r = 0;
+    for (double l : eig.eigenvalues) {
+      if (l > 0.0 && std::sqrt(l) > cutoff) ++r;
+    }
+    double lambda = 0.0;
+    if (rank <= r) {
+      const double sigma = std::sqrt(eig.eigenvalues[rank - 1]);
+      lambda = sigma * sigma;
+    }
+    // Survivor count: eigenvalues are descending, so the retained rows are
+    // the prefix with sigma_i^2 > lambda, capped at max_rows.
+    size_t k = 0;
+    while (k < r && k < max_rows) {
+      const double sigma = std::sqrt(eig.eigenvalues[k]);
+      if (sigma * sigma - lambda <= 0.0) break;
+      ++k;
+    }
+    s.lhs.ResetShape(k, n);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < n; ++j) s.lhs(i, j) = eig.eigenvectors(j, i);
+    }
+    s.lhs.MultiplyRowsInto(b_, 0, &s.product);  // Row i = w_i^T B.
+    b_.TruncateRows(0);
+    for (size_t i = 0; i < k; ++i) {
+      const double sigma = std::sqrt(eig.eigenvalues[i]);
+      const double s2 = sigma * sigma - lambda;
+      const double norm = std::sqrt(NormSq(s.product.Row(i)));
+      if (norm == 0.0) continue;  // Unreachable past the rank cutoff.
+      b_.AppendRowScaled(s.product.Row(i), std::sqrt(s2) / norm);
+    }
+    if (lambda > 0.0) shed_mass_ += lambda;
+    return;
+  }
+
+  // Tall buffer (capacity > dim, e.g. merges at small d): G = B^T B is
+  // d x d and the retained rows are the eigenvectors themselves scaled by
+  // sqrt(sigma_i^2 - lambda) — ThinSvd's tall route, minus U.
+  b_.GramInto(&s.gram);
+  const SymmetricEigen& eig = SymmetricEigenSolve(s.gram, &s.eigen);
+  const double lmax =
+      std::max(eig.eigenvalues.empty() ? 0.0 : eig.eigenvalues[0], 0.0);
+  const double cutoff = rank_tol * std::max(std::sqrt(lmax), 1e-300);
+  size_t r = 0;
+  for (double l : eig.eigenvalues) {
+    if (l > 0.0 && std::sqrt(l) > cutoff) ++r;
+  }
+  double lambda = 0.0;
+  if (rank <= r) {
+    const double sigma = std::sqrt(eig.eigenvalues[rank - 1]);
+    lambda = sigma * sigma;
+  }
+  b_.TruncateRows(0);
+  s.row_tmp.resize(d);
+  for (size_t i = 0; i < r && b_.rows() < max_rows; ++i) {
+    const double sigma = std::sqrt(eig.eigenvalues[i]);
+    const double s2 = sigma * sigma - lambda;
+    if (s2 <= 0.0) break;  // Eigenvalues are descending.
+    for (size_t j = 0; j < d; ++j) s.row_tmp[j] = eig.eigenvectors(j, i);
+    b_.AppendRowScaled(s.row_tmp, std::sqrt(s2));
+  }
+  if (lambda > 0.0) shed_mass_ += lambda;
+}
+
 void FrequentDirections::MergeWith(const FrequentDirections& other) {
   SWSKETCH_CHECK_EQ(dim_, other.dim_);
   SWSKETCH_CHECK_EQ(options_.ell, other.options_.ell);
@@ -116,7 +251,7 @@ void FrequentDirections::MergeWith(const FrequentDirections& other) {
   input_mass_ += other.input_mass_;
   shed_mass_ += other.shed_mass_;
 
-  if (b_.rows() > options_.ell) RebuildFromSvd(options_.ell + 1, options_.ell);
+  if (b_.rows() > options_.ell) Rebuild(options_.ell + 1, options_.ell);
 }
 
 namespace {

@@ -1,10 +1,18 @@
 // Frequent Directions (Liberty, KDD'13): the deterministic streaming matrix
 // sketch the paper builds LM-FD and DI-FD on. Maintains B with at most
-// `ell` rows; when full, an SVD-based shrink zeroes the smallest directions
-// so that ||A^T A - B^T B|| <= shed_mass, where each shrink subtracting
-// lambda removes at least shrink_rank * lambda of Frobenius mass, giving
+// `ell` rows; when full, a shrink zeroes the smallest directions so that
+// ||A^T A - B^T B|| <= shed_mass, where each shrink subtracting lambda
+// removes at least shrink_rank * lambda of Frobenius mass, giving
 // shed_mass <= ||A||_F^2 / shrink_rank (= 2 ||A||_F^2 / ell at the paper's
 // default shrink position ell/2).
+//
+// The shrink never needs the singular vectors of B — only the shrunk
+// spectrum re-expressed in B's row space. The default backend therefore
+// eigendecomposes the small-side Gram (B B^T when B is wide, n x n with
+// n <= buffer_factor * ell << d) and rebuilds B' = D W^T B directly:
+// O(n^2 d) for the Gram and the product plus O(n^3) for the eigensolve,
+// with no U/V recovery and, via a reusable FdShrinkScratch, no heap
+// allocation in steady state.
 //
 // Amortized shrinking (Desai, Ghashami, Phillips, "Improved Practical
 // Matrix Sketching with Guarantees"): with buffer_factor f > 1 the sketch
@@ -22,6 +30,7 @@
 #define SWSKETCH_SKETCH_FREQUENT_DIRECTIONS_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -33,6 +42,26 @@
 #include "util/status.h"
 
 namespace swsketch {
+
+/// Which decomposition backs the FD shrink.
+enum class FdShrinkBackend : uint8_t {
+  /// Gram-eigen shrink (default): eigendecompose the small-side Gram of
+  /// the buffer (B B^T, n x n with n <= buffer_factor * ell << d) and
+  /// rebuild B' = D W^T B directly, where D = diag(sqrt(max(sigma^2 -
+  /// lambda, 0)) / sigma). Never recovers U or V and never touches a d x d
+  /// system; with a recycled scratch the whole shrink is heap-free.
+  kGramEigen = 0,
+  /// Legacy full ThinSvd(B) shrink, kept as the ablation reference
+  /// (bench/ablate_fd_shrink). Same shrunk spectrum, materializes U and V.
+  kThinSvd = 1,
+};
+
+/// Reusable workspace of the Gram-eigen shrink (Gram buffer, eigensolver
+/// scratch, W^T B staging). Opaque: defined in frequent_directions.cc.
+/// One scratch may be shared by every FD instance driven from a single
+/// thread of execution — LM-FD and DI-FD share one across their per-block
+/// sketches — but must never be used from two threads at once.
+struct FdShrinkScratch;
 
 /// Deterministic Frequent Directions sketch.
 class FrequentDirections : public MatrixSketch {
@@ -48,6 +77,9 @@ class FrequentDirections : public MatrixSketch {
     /// shrinking (>= 1; 1 disables buffering). Approximation() and
     /// RowsStored() then transiently report up to that many rows.
     double buffer_factor = 1.0;
+    /// Shrink decomposition. Not serialized: a deserialized sketch uses
+    /// the default backend (the buffer contents are backend-agnostic).
+    FdShrinkBackend shrink_backend = FdShrinkBackend::kGramEigen;
   };
 
   FrequentDirections(size_t dim, Options options);
@@ -71,7 +103,9 @@ class FrequentDirections : public MatrixSketch {
   /// cost is unchanged).
   void AppendSparse(const SparseVector& row, uint64_t id = 0);
 
-  /// Appends every row of `m`.
+  /// Appends every row of `m`, routed through AppendBatch in
+  /// buffer-capacity-sized chunks so transient memory stays O(capacity)
+  /// while the tall regime still gets its deferred-shrink schedule.
   void AppendMatrix(const Matrix& m);
 
   Matrix Approximation() const override { return b_; }
@@ -103,8 +137,19 @@ class FrequentDirections : public MatrixSketch {
   /// Forces a shrink now (exposed for tests).
   void ShrinkNow();
 
+  /// Builds a fresh shrink workspace. Intended for composite sketches
+  /// (LM-FD, DI-FD) that drive many FD instances from one thread and want
+  /// them to share a single arena via ShareShrinkScratch.
+  static std::shared_ptr<FdShrinkScratch> MakeShrinkScratch();
+
+  /// Replaces this sketch's shrink workspace with `scratch` (shared, not
+  /// copied). The sketch otherwise creates its own lazily on first shrink.
+  /// Sharing is safe only while all sharers run on one thread at a time.
+  void ShareShrinkScratch(std::shared_ptr<FdShrinkScratch> scratch);
+
   /// Checkpoint/resume: full sketch state (format version 2; version-1
-  /// payloads from before amortized buffering are not readable).
+  /// payloads from before amortized buffering are not readable). The shrink
+  /// backend and scratch are runtime configuration and are not serialized.
   void Serialize(ByteWriter* writer) const;
   static Result<FrequentDirections> Deserialize(ByteReader* reader);
 
@@ -113,9 +158,20 @@ class FrequentDirections : public MatrixSketch {
   // values beyond the actual rank mean lambda = 0), rewriting b_ in place.
   void ShrinkWithRank(size_t rank);
 
-  // SVDs b_ and rebuilds it in place from the shrunk spectrum, keeping at
-  // most max_rows rows.
+  // Rebuilds b_ in place from the shrunk spectrum, keeping at most max_rows
+  // rows. Dispatches on options_.shrink_backend.
+  void Rebuild(size_t rank, size_t max_rows);
+
+  // Legacy backend: full ThinSvd of b_, rebuild from sigma/V.
   void RebuildFromSvd(size_t rank, size_t max_rows);
+
+  // Default backend: small-side Gram eigendecomposition, B' = D W^T B.
+  // Numerically matches RebuildFromSvd to ~ulp on the wide (rows <= dim)
+  // route: ThinSvd takes the same Gram-eigen path internally there.
+  void RebuildFromGramEigen(size_t rank, size_t max_rows);
+
+  // Lazily creates scratch_ and returns it.
+  FdShrinkScratch* shrink_scratch();
 
   size_t dim_;
   Options options_;
@@ -123,6 +179,7 @@ class FrequentDirections : public MatrixSketch {
   size_t capacity_;     // Resolved buffer rows: max(ell, buffer_factor*ell).
   Matrix b_;            // Exactly the occupied rows (<= capacity_) x dim.
   std::vector<double> sparse_scratch_;  // Dense staging for AppendSparse.
+  std::shared_ptr<FdShrinkScratch> scratch_;  // Lazy; shareable across FDs.
   size_t shrink_count_ = 0;
   double shed_mass_ = 0.0;
   double input_mass_ = 0.0;

@@ -6,7 +6,9 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "linalg/matrix.h"
 #include "linalg/sparse_vector.h"
 #include "stream/row.h"
 
@@ -28,6 +30,27 @@ class RowStream {
     auto row = Next();
     if (!row.has_value()) return std::nullopt;
     return std::make_pair(SparseVector::FromDense(row->values), row->ts);
+  }
+
+  /// Pulls up to `max_rows` rows into `rows` (reshaped to count x dim,
+  /// reusing its allocation) and their timestamps into `ts`. Returns the
+  /// number of rows pulled; 0 means the stream is exhausted. This is the
+  /// entry point of the batched ingest path: loaders that can parse
+  /// straight into the block (e.g. CSV) override it so real datasets get
+  /// the same batching benefits as synthetic generators. The default
+  /// drains Next().
+  virtual size_t NextBatch(size_t max_rows, Matrix* rows,
+                           std::vector<double>* ts) {
+    rows->ResetShape(0, dim());
+    rows->ReserveRows(max_rows);
+    ts->clear();
+    while (ts->size() < max_rows) {
+      auto row = Next();
+      if (!row.has_value()) break;
+      rows->AppendRow(row->view());
+      ts->push_back(row->ts);
+    }
+    return ts->size();
   }
 
   /// Row dimensionality d.

@@ -193,6 +193,99 @@ TEST(FrequentDirectionsTest, ShrinkNowCompactsBuffer) {
   EXPECT_LT(fd.RowsStored(), 6u + 1u);
 }
 
+TEST(FrequentDirectionsTest, GramEigenMatchesThinSvdWideRoute) {
+  // The Gram-eigen shrink reproduces the ThinSvd shrink's arithmetic on
+  // the wide (rows <= dim) route: same Gram, same eigensolver, same
+  // normalization — only the U/V recovery is skipped. Drive both backends
+  // through hundreds of shrinks and compare the surviving buffers.
+  const size_t d = 64, n = 2000;
+  Matrix a = RandomMatrix(n, d, 31);
+  FrequentDirections gram_eigen(
+      d, FrequentDirections::Options{
+             .ell = 16, .shrink_backend = FdShrinkBackend::kGramEigen});
+  FrequentDirections thinsvd(
+      d, FrequentDirections::Options{
+             .ell = 16, .shrink_backend = FdShrinkBackend::kThinSvd});
+  for (size_t i = 0; i < n; ++i) {
+    gram_eigen.Append(a.Row(i), i);
+    thinsvd.Append(a.Row(i), i);
+  }
+  EXPECT_EQ(gram_eigen.shrink_count(), thinsvd.shrink_count());
+  EXPECT_NEAR(gram_eigen.shed_mass(), thinsvd.shed_mass(),
+              1e-9 * thinsvd.shed_mass());
+  const double err_ge = AbsCovErr(a, gram_eigen.Approximation());
+  const double err_ts = AbsCovErr(a, thinsvd.Approximation());
+  EXPECT_NEAR(err_ge, err_ts, 1e-9 * std::max(err_ts, 1.0));
+  EXPECT_LT(gram_eigen.Approximation().MaxAbsDiff(thinsvd.Approximation()),
+            1e-7);
+}
+
+TEST(FrequentDirectionsTest, GramEigenMatchesThinSvdTallRoute) {
+  // capacity > dim forces the tall (Gram = B^T B) route in both backends.
+  const size_t d = 8, n = 400;
+  Matrix a = RandomMatrix(n, d, 37);
+  FrequentDirections gram_eigen(
+      d, FrequentDirections::Options{
+             .ell = 12, .shrink_backend = FdShrinkBackend::kGramEigen});
+  FrequentDirections thinsvd(
+      d, FrequentDirections::Options{
+             .ell = 12, .shrink_backend = FdShrinkBackend::kThinSvd});
+  for (size_t i = 0; i < n; ++i) {
+    gram_eigen.Append(a.Row(i), i);
+    thinsvd.Append(a.Row(i), i);
+  }
+  EXPECT_EQ(gram_eigen.shrink_count(), thinsvd.shrink_count());
+  const double err_ge = AbsCovErr(a, gram_eigen.Approximation());
+  const double err_ts = AbsCovErr(a, thinsvd.Approximation());
+  EXPECT_NEAR(err_ge, err_ts, 1e-9 * std::max(err_ts, 1.0));
+  EXPECT_LT(gram_eigen.Approximation().MaxAbsDiff(thinsvd.Approximation()),
+            1e-7);
+}
+
+TEST(FrequentDirectionsTest, GramEigenExactOnLowRankStream) {
+  // Adversarial low-rank input: every row lies in a rank-3 subspace. With
+  // ell > 2 * 3 the shrink position sigma_{ell/2} is always past the
+  // numerical rank, so lambda = 0 on every shrink: the Gram-eigen backend
+  // must shed nothing and keep the covariance exact.
+  const size_t d = 40, rank = 3, n = 500;
+  Matrix basis = RandomMatrix(rank, d, 41);
+  Rng rng(43);
+  Matrix a(0, d);
+  a.ReserveRows(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(d, 0.0);
+    for (size_t k = 0; k < rank; ++k) {
+      const double c = rng.Gaussian();
+      for (size_t j = 0; j < d; ++j) row[j] += c * basis(k, j);
+    }
+    a.AppendRow(row);
+  }
+  FrequentDirections fd(d, FrequentDirections::Options{.ell = 16});
+  fd.AppendMatrix(a);
+  EXPECT_GT(fd.shrink_count(), 0u);
+  EXPECT_EQ(fd.shed_mass(), 0.0);
+  const double scale = a.FrobeniusNormSq();
+  EXPECT_NEAR(AbsCovErr(a, fd.Approximation()), 0.0, 1e-9 * scale);
+}
+
+TEST(FrequentDirectionsTest, BufferedGramEigenKeepsShedMassBound) {
+  // The amortized buffer must not weaken the guarantee under the
+  // Gram-eigen backend: shed_mass <= ||A||_F^2 / shrink_rank and the
+  // covariance error stays within shed_mass, in the narrow regime where
+  // buffered shrinks replay per-row appends.
+  const size_t d = 24;
+  FrequentDirections fd(
+      d, FrequentDirections::Options{.ell = 8, .buffer_factor = 2.0});
+  Matrix a = RandomMatrix(500, d, 47);
+  for (size_t i = 0; i < a.rows(); ++i) fd.Append(a.Row(i), i);
+  EXPECT_GT(fd.shrink_count(), 0u);
+  EXPECT_LE(fd.shed_mass(),
+            fd.input_mass() / static_cast<double>(fd.shrink_rank()) *
+                (1.0 + 1e-9));
+  const double err = AbsCovErr(a, fd.Approximation());
+  EXPECT_LE(err, fd.shed_mass() * (1.0 + 1e-9) + 1e-9);
+}
+
 TEST(FrequentDirectionsTest, RejectsBadConfig) {
   EXPECT_DEATH(FrequentDirections(4, 1), "");
   EXPECT_DEATH(FrequentDirections(
