@@ -9,6 +9,12 @@
 //     default; cells land in BENCH_ablate_fd_shrink.json for
 //     scripts/bench_diff.py.
 //
+//  3. Eigen route x ell: the Gram-eigen shrink with the symmetric
+//     eigensolver forced to cyclic Jacobi (eigen_jacobi_cutoff = SIZE_MAX)
+//     versus tridiag QL (cutoff = 0), swept over ell in {16, 32, 48, 64}.
+//     Places the ell ~ 32 Jacobi/tridiag cutoff empirically (the ROADMAP
+//     "revisit the cutoff" item); findings in EXPERIMENTS.md.
+//
 //   ./ablate_fd_shrink [--ell=64] [--d=256] [--rows=20000] [--json=1]
 #include <fstream>
 #include <iostream>
@@ -156,7 +162,44 @@ int main(int argc, char** argv) {
   grid_table.Print(std::cout);
   std::cout << "\nThe gram-eigen backend should dominate thinsvd at every "
                "factor (no U/V\nrecovery); the factor column picks the "
-               "--fd_buffer default.\n";
+               "--fd_buffer default.\n\n";
+
+  PrintBanner(std::cout, "Ablation: eigen route x ell (Jacobi/tridiag cutoff)");
+  Table route_table({"route", "ell", "cova_err", "update_ns_per_row",
+                     "shrinks"});
+  const struct {
+    size_t cutoff;
+    const char* name;
+  } kRoutes[] = {{static_cast<size_t>(-1), "jacobi"}, {0, "tridiag"}};
+  for (const auto& route : kRoutes) {
+    for (size_t l : {size_t{16}, size_t{32}, size_t{48}, size_t{64}}) {
+      FrequentDirections fd(
+          d, FrequentDirections::Options{.ell = l,
+                                         .eigen_jacobi_cutoff = route.cutoff});
+      Timer timer;
+      for (size_t i = 0; i < rows; ++i) fd.Append(a.Row(i), i);
+      const double ns_per_row = static_cast<double>(timer.ElapsedNanos()) /
+                                static_cast<double>(rows);
+      const double err = CovarianceError(gram, frob_sq, fd.Approximation());
+      route_table.AddRow({std::string(route.name),
+                          Table::Int(static_cast<long long>(l)),
+                          Table::Num(err), Table::Num(ns_per_row),
+                          Table::Int(static_cast<long long>(fd.shrink_count()))});
+      GridCell cell;
+      cell.algorithm = std::string("fd-eigen-") + route.name;
+      cell.ell = l;
+      cell.cova_err = err;
+      cell.update_ns = ns_per_row;
+      cell.max_rows_stored = l;
+      cell.rows_processed = rows;
+      cell.shrink_count = fd.shrink_count();
+      cells.push_back(cell);
+    }
+  }
+  route_table.Print(std::cout);
+  std::cout << "\nThe per-ell winner places SymmetricEigenSolve's "
+               "jacobi_cutoff: the\ndispatcher should switch routes where "
+               "the two update_ns columns cross.\n";
   if (flags.GetBool("json", true)) {
     WriteCellsJson("BENCH_ablate_fd_shrink.json", rows, d, cells);
   }

@@ -202,6 +202,7 @@ std::vector<SweepPoint> RunSweep(const Workload& workload,
     hopt.best_k = options.with_best ? ell : 0;
     hopt.batch_rows = options.batch_rows;
     hopt.parallel_ingest = options.parallel_ingest;
+    hopt.query_every = options.query_every;
     auto results = RunMany(stream.get(), ptrs, hopt);
 
     for (size_t i = 0; i < results.size(); ++i) {
@@ -390,6 +391,8 @@ void RunSequenceFigure(Metric metric, const Flags& flags,
   options.batch_rows =
       static_cast<size_t>(std::max<long long>(1, flags.GetInt("batch", 1)));
   options.parallel_ingest = flags.GetBool("parallel_ingest", false);
+  options.query_every = static_cast<size_t>(
+      std::max<long long>(0, flags.GetInt("query_every", 0)));
 
   const std::string only = flags.GetString("dataset", "all");
   std::vector<Workload> workloads;
@@ -422,6 +425,8 @@ void RunTimeFigure(Metric metric, const Flags& flags,
   options.batch_rows =
       static_cast<size_t>(std::max<long long>(1, flags.GetInt("batch", 1)));
   options.parallel_ingest = flags.GetBool("parallel_ingest", false);
+  options.query_every = static_cast<size_t>(
+      std::max<long long>(0, flags.GetInt("query_every", 0)));
 
   const std::string only = flags.GetString("dataset", "all");
   std::vector<Workload> workloads;

@@ -83,6 +83,11 @@ struct SweepOptions {
   /// Ingest each block with one pool task per sketch
   /// (HarnessOptions::parallel_ingest); needs batch_rows > 1.
   bool parallel_ingest = false;
+  /// Issue an untimed Query() per sketch every N ingested rows
+  /// (HarnessOptions::query_every; bench flag --query_every, 0 = off).
+  /// Stresses the query cache on figure runs without changing any
+  /// reported column.
+  size_t query_every = 0;
 };
 
 /// Runs every algorithm at every ell over the workload. One stream pass

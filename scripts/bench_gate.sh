@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
-# Perf regression gate for the sketch-update hot path.
+# Perf regression gate for the sketch-update and query-serving hot paths.
 #
-# Builds the release preset, runs the micro_sketch append benchmarks,
-# converts the result to BENCH cells and diffs them against the committed
-# baseline in bench/baselines/. Exits nonzero when any update_ns cell
-# regresses by more than the bench_diff threshold (default 10%), so it
-# can run as a pre-merge check:
+# Builds the release preset, runs the micro_sketch append benchmarks and
+# the micro_query query-serving benchmark, converts the results to BENCH
+# cells and diffs them against the committed baselines in bench/baselines/.
+# Exits nonzero when any update_ns cell regresses by more than the
+# bench_diff threshold (default 10%), so it can run as a pre-merge check:
 #
 #     scripts/bench_gate.sh [extra bench_diff.py args, e.g. --threshold 0.15]
 #
-# To refresh the baseline after an intentional perf change:
+# The micro_query baseline keeps only the warm-query latency cells: cold
+# latency depends on the block structure the ingest happened to leave and
+# multi-reader QPS depends on the host's core count, so neither gates.
+#
+# To refresh the baselines after an intentional perf change:
 #
 #     scripts/bench_gate.sh --update-baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=bench/baselines/BENCH_micro_sketch.json
+SKETCH_BASELINE=bench/baselines/BENCH_micro_sketch.json
+QUERY_BASELINE=bench/baselines/BENCH_micro_query.json
 FILTER='BM_FrequentDirectionsAppend|BM_RandomProjectionAppend|BM_HashSketchAppend'
 MIN_TIME=2
 
@@ -30,7 +35,8 @@ for arg in "$@"; do
 done
 
 cmake --preset release >/dev/null
-cmake --build build-release -j"$(nproc)" --target micro_sketch >/dev/null
+cmake --build build-release -j"$(nproc)" --target micro_sketch micro_query \
+  >/dev/null
 
 ./build-release/bench/micro_sketch \
   --benchmark_filter="${FILTER}" \
@@ -39,11 +45,31 @@ cmake --build build-release -j"$(nproc)" --target micro_sketch >/dev/null
   python3 scripts/microbench_to_cells.py --figure micro_sketch \
     -o BENCH_micro_sketch.json
 
+# micro_query emits the cells format directly; run from the repo root so
+# BENCH_micro_query.json lands next to the other run artifacts.
+./build-release/bench/micro_query --iters=3000 --duration_ms=200 >/dev/null
+
+filter_warm_cells() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["cells"] = [c for c in doc["cells"] if c["algorithm"].startswith("warm-")]
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+EOF
+}
+
 if [[ "$update_baseline" == 1 ]]; then
-  cp BENCH_micro_sketch.json "$BASELINE"
-  echo "baseline refreshed: $BASELINE"
+  cp BENCH_micro_sketch.json "$SKETCH_BASELINE"
+  filter_warm_cells BENCH_micro_query.json "$QUERY_BASELINE"
+  echo "baselines refreshed: $SKETCH_BASELINE $QUERY_BASELINE"
   exit 0
 fi
 
-python3 scripts/bench_diff.py "$BASELINE" BENCH_micro_sketch.json \
-  ${diff_args[@]+"${diff_args[@]}"}
+status=0
+python3 scripts/bench_diff.py "$SKETCH_BASELINE" BENCH_micro_sketch.json \
+  ${diff_args[@]+"${diff_args[@]}"} || status=1
+python3 scripts/bench_diff.py "$QUERY_BASELINE" BENCH_micro_query.json \
+  ${diff_args[@]+"${diff_args[@]}"} || status=1
+exit $status

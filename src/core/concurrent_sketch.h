@@ -1,11 +1,36 @@
 // Thread-safe decorator for sliding-window sketches: one writer thread
-// ingesting the stream, any number of reader threads querying. All methods
-// are serialized by one mutex — sketch updates are microseconds, so a
-// single lock is the right tradeoff; use one sketch per stream partition
-// (see distributed/) when the ingest rate needs sharding.
+// ingesting the stream, any number of reader threads querying.
+//
+// Two modes:
+//  - kSnapshot (default): the writer holds a mutex across mutations and,
+//    after each one, publishes an immutable QuerySnapshot (approximation +
+//    metadata) by swapping a shared_ptr slot. Readers never take the
+//    ingest mutex — Query()/RowsStored()/Snapshot() copy the slot under a
+//    dedicated pointer mutex held for a refcount bump only, so readers
+//    block neither the writer's ingest nor each other's recompute. (A
+//    std::atomic<shared_ptr> slot would make the copy lock-free, but
+//    libstdc++'s _Sp_atomic trips ThreadSanitizer on this toolchain; the
+//    pointer mutex is held for ~ns and costs nothing at bench scale.)
+//    A snapshot
+//    reflects the state as of the writer's last mutation; between
+//    mutations a time window's wall-clock slide is visible only after the
+//    next Update/AdvanceTo, which is exactly the staleness a cached query
+//    result already has.
+//  - kMutex: every method serializes behind one mutex and queries recompute
+//    on the inner sketch — the pre-snapshot behaviour, kept as the
+//    comparison baseline (bench/micro_query) and for workloads where
+//    per-update publication costs more than reader blocking.
+//
+// Identity accessors (dim/name/window) are captured at construction: the
+// inner sketch never changes them after construction, and caching removes
+// the old unguarded read of inner_ racing the writer.
+//
+// Use one sketch per stream partition (see distributed/) when the ingest
+// rate itself needs sharding.
 #ifndef SWSKETCH_CORE_CONCURRENT_SKETCH_H_
 #define SWSKETCH_CORE_CONCURRENT_SKETCH_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,46 +41,123 @@
 
 namespace swsketch {
 
-/// Mutex-guarded SlidingWindowSketch wrapper.
+/// Thread-safe SlidingWindowSketch wrapper (snapshot or mutex mode).
 class ConcurrentSketch : public SlidingWindowSketch {
  public:
-  explicit ConcurrentSketch(std::unique_ptr<SlidingWindowSketch> inner)
-      : inner_(std::move(inner)) {
+  enum class Mode : uint8_t {
+    kSnapshot = 0,  // Lock-free readers via published snapshots (default).
+    kMutex = 1,     // Single-mutex serialization (comparison baseline).
+  };
+
+  /// Immutable view of the sketch published by the writer. update_count
+  /// says how many Update/UpdateSparse/UpdateBatch *rows* produced it, so
+  /// a validation thread can replay the stream to the same point.
+  struct QuerySnapshot {
+    Matrix approximation;    // inner->Query() at publication time.
+    size_t rows_stored = 0;  // inner->RowsStored() at publication time.
+    uint64_t update_count = 0;
+    double last_ts = 0.0;  // Timestamp of the latest ingested row/advance.
+  };
+
+  explicit ConcurrentSketch(std::unique_ptr<SlidingWindowSketch> inner,
+                            Mode mode = Mode::kSnapshot)
+      : inner_(std::move(inner)), mode_(mode) {
     SWSKETCH_CHECK(inner_ != nullptr);
+    dim_ = inner_->dim();
+    window_ = inner_->window();
+    name_ = inner_->name() + (mode_ == Mode::kSnapshot ? "+snap" : "+lock");
+    if (mode_ == Mode::kSnapshot) Publish();
   }
 
   void Update(std::span<const double> row, double ts) override {
     std::lock_guard<std::mutex> lock(mu_);
     inner_->Update(row, ts);
+    ++update_count_;
+    last_ts_ = ts;
+    if (mode_ == Mode::kSnapshot) Publish();
   }
 
   void UpdateSparse(const SparseVector& row, double ts) override {
     std::lock_guard<std::mutex> lock(mu_);
     inner_->UpdateSparse(row, ts);
+    ++update_count_;
+    last_ts_ = ts;
+    if (mode_ == Mode::kSnapshot) Publish();
+  }
+
+  void UpdateBatch(const Matrix& rows, std::span<const double> ts) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->UpdateBatch(rows, ts);
+    update_count_ += rows.rows();
+    if (!ts.empty()) last_ts_ = ts.back();
+    if (mode_ == Mode::kSnapshot) Publish();  // One snapshot per batch.
   }
 
   void AdvanceTo(double now) override {
     std::lock_guard<std::mutex> lock(mu_);
     inner_->AdvanceTo(now);
+    last_ts_ = now;
+    if (mode_ == Mode::kSnapshot) Publish();
   }
 
   Matrix Query() override {
+    if (mode_ == Mode::kSnapshot) return Snapshot()->approximation;
     std::lock_guard<std::mutex> lock(mu_);
     return inner_->Query();
   }
 
   size_t RowsStored() const override {
+    if (mode_ == Mode::kSnapshot) return Snapshot()->rows_stored;
     std::lock_guard<std::mutex> lock(mu_);
     return inner_->RowsStored();
   }
 
-  size_t dim() const override { return inner_->dim(); }
-  std::string name() const override { return inner_->name() + "+lock"; }
-  const WindowSpec& window() const override { return inner_->window(); }
+  /// Loads the current snapshot: a shared_ptr copy under the pointer
+  /// mutex, never blocked by ingest (snapshot mode only; dies in mutex
+  /// mode, which has no published state).
+  std::shared_ptr<const QuerySnapshot> Snapshot() const {
+    SWSKETCH_CHECK(mode_ == Mode::kSnapshot);
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    return snapshot_;
+  }
+
+  Status SerializeTo(ByteWriter* writer) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->SerializeTo(writer);
+  }
+
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return name_; }
+  const WindowSpec& window() const override { return window_; }
+  Mode mode() const { return mode_; }
 
  private:
-  mutable std::mutex mu_;
+  // Builds and publishes a fresh snapshot. Caller holds mu_ (or is the
+  // constructor). The snapshot is fully built before snap_mu_ is taken,
+  // so readers only ever wait out a pointer assignment.
+  void Publish() {
+    auto snap = std::make_shared<QuerySnapshot>();
+    snap->approximation = inner_->Query();
+    snap->rows_stored = inner_->RowsStored();
+    snap->update_count = update_count_;
+    snap->last_ts = last_ts_;
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snapshot_ = std::move(snap);
+  }
+
+  mutable std::mutex mu_;  // Writer-side mutex (all methods in kMutex mode).
   std::unique_ptr<SlidingWindowSketch> inner_;
+  Mode mode_;
+  mutable std::mutex snap_mu_;  // Guards only the snapshot_ slot swap/copy.
+  std::shared_ptr<const QuerySnapshot> snapshot_;
+  uint64_t update_count_ = 0;  // Rows ingested; guarded by mu_.
+  double last_ts_ = 0.0;       // Guarded by mu_.
+
+  // Immutable identity, captured at construction so readers never touch
+  // inner_ unguarded.
+  size_t dim_ = 0;
+  std::string name_;
+  WindowSpec window_ = WindowSpec::Sequence(1);
 };
 
 }  // namespace swsketch

@@ -19,6 +19,16 @@
 // proportionally more accurate sketches — the ell_{1/(2^i L)} schedule of
 // Theorem 7.1 in its practical form.
 //
+// Query serving: the closed-block structure changes only at structural
+// events (level-1 close, expiry, deserialize), tracked by a version
+// counter. The stacked approximation of the dyadic cover is cached keyed
+// on (version, j0) — under a fixed structure the cover is a pure function
+// of the first in-window level-1 block — and the final result is
+// additionally keyed on next_id_, which pins the level-1 active sketch
+// contents. A warm query is a single matrix copy; the cold cover assembly
+// computes per-block approximations on the shared ThreadPool (reads only,
+// stacked in deterministic cover order, byte-identical to serial).
+//
 // SketchT requirements: Append(span<const double>, uint64_t id),
 // Approximation() -> Matrix, RowsStored(). Mergeability is NOT required.
 #ifndef SWSKETCH_CORE_DYADIC_INTERVAL_H_
@@ -40,6 +50,7 @@
 #include "sketch/hash_sketch.h"
 #include "sketch/random_projection.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -149,6 +160,7 @@ class DyadicInterval : public SlidingWindowSketch {
         level1_mass_ = 0.0;
         level1_rows_ = 0;
         ++closed_l1_;
+        ++structure_version_;
         for (size_t li = 0; li < options_.levels; ++li) {
           const uint64_t span = 1ULL << li;
           if (closed_l1_ % span != 0) break;
@@ -195,6 +207,7 @@ class DyadicInterval : public SlidingWindowSketch {
       level1_mass_ = 0.0;
       level1_rows_ = 0;
       ++closed_l1_;
+      ++structure_version_;
       // Algorithm 7.1 lines 7-11: close the active block at every level
       // whose dyadic boundary aligns with the new level-1 count.
       for (size_t li = 0; li < options_.levels; ++li) {
@@ -229,29 +242,48 @@ class DyadicInterval : public SlidingWindowSketch {
       }
     }
 
-    Matrix b(0, dim_);
-    // Greedy maximal-dyadic cover of [j0, closed_l1_): at position p, take
-    // the largest aligned block that fits — at most 2 per level overall.
-    uint64_t p = j0;
-    while (p < closed_l1_) {
-      size_t li = options_.levels - 1;
-      while (li > 0) {
-        const uint64_t span = 1ULL << li;
-        if (p % span == 0 && p + span <= closed_l1_) break;
-        --li;
-      }
-      const uint64_t span = 1ULL << li;
-      const Block* blk = FindBlock(li, p);
-      SWSKETCH_CHECK(blk != nullptr);
-      b = b.VStack(blk->sketch.Approximation());
-      p += span;
+    // Final-result cache: same structure, same cover anchor, same active
+    // rows (next_id_ pins the level-1 active sketch) — return the copy.
+    if (result_valid_ && result_version_ == structure_version_ &&
+        result_j0_ == j0 && result_next_id_ == next_id_) {
+      return cached_result_;
     }
+
+    // Cover cache: under a fixed version the greedy cover is a pure
+    // function of j0 (closed_l1_ only changes with the version).
+    if (!closed_valid_ || closed_version_ != structure_version_ ||
+        closed_j0_ != j0) {
+      cached_closed_ = AssembleCover(j0);
+      closed_valid_ = true;
+      closed_version_ = structure_version_;
+      closed_j0_ = j0;
+    }
+
     // The level-1 active sketch covers the most recent rows.
+    Matrix b = cached_closed_;
     if (actives_[0].started) {
       b = b.VStack(actives_[0].sketch.Approximation());
     }
-    return b;
+    cached_result_ = std::move(b);
+    result_valid_ = true;
+    result_version_ = structure_version_;
+    result_j0_ = j0;
+    result_next_id_ = next_id_;
+    return cached_result_;
   }
+
+  /// Drops the cached cover and cached result so the next Query() takes
+  /// the cold path (bench/test hook; behaviour is unchanged).
+  void InvalidateQueryCache() {
+    closed_valid_ = false;
+    result_valid_ = false;
+    cached_closed_ = Matrix(0, dim_);
+    cached_result_ = Matrix(0, dim_);
+  }
+
+  /// Structure version: bumped on every level-1 close (which closes all
+  /// aligned levels), on block expiry, and on reload (test hook).
+  uint64_t structure_version() const { return structure_version_; }
 
   size_t RowsStored() const override {
     size_t n = 0;
@@ -345,6 +377,10 @@ class DyadicInterval : public SlidingWindowSketch {
         level.push_back(Block(sketch.take(), begin, end, st, et));
       }
     }
+    // Cache state is never serialized: a reloaded sketch starts cold with
+    // a fresh structure version.
+    ++structure_version_;
+    InvalidateQueryCache();
     return Status::OK();
   }
 
@@ -409,11 +445,48 @@ class DyadicInterval : public SlidingWindowSketch {
     return nullptr;
   }
 
+  // Greedy maximal-dyadic cover of [j0, closed_l1_): at position p, take
+  // the largest aligned block that fits — at most 2 per level overall.
+  // Per-block approximations are computed on the thread pool (const reads
+  // of disjoint sketches) and stacked in cover order, so the bytes match
+  // the serial VStack chain exactly.
+  Matrix AssembleCover(uint64_t j0) {
+    cover_scratch_.clear();
+    uint64_t p = j0;
+    while (p < closed_l1_) {
+      size_t li = options_.levels - 1;
+      while (li > 0) {
+        const uint64_t span = 1ULL << li;
+        if (p % span == 0 && p + span <= closed_l1_) break;
+        --li;
+      }
+      const uint64_t span = 1ULL << li;
+      const Block* blk = FindBlock(li, p);
+      SWSKETCH_CHECK(blk != nullptr);
+      cover_scratch_.push_back(blk);
+      p += span;
+    }
+    std::vector<Matrix> parts(cover_scratch_.size());
+    ParallelFor(
+        cover_scratch_.size(),
+        [&](size_t i) { parts[i] = cover_scratch_[i]->sketch.Approximation(); },
+        {.grain = 1});
+    size_t total = 0;
+    for (const Matrix& m : parts) total += m.rows();
+    Matrix b(0, dim_);
+    b.ReserveRows(total);
+    for (const Matrix& m : parts) {
+      for (size_t r = 0; r < m.rows(); ++r) b.AppendRow(m.Row(r));
+    }
+    return b;
+  }
+
   void Expire(double now) {
     const double start = window_.Start(now);
     for (auto& level : levels_) {
       while (!level.empty() && level.front().end_ts < start) {
         level.pop_front();
+        ++structure_version_;
       }
     }
   }
@@ -433,6 +506,19 @@ class DyadicInterval : public SlidingWindowSketch {
 
   std::vector<Active> actives_;              // One active block per level.
   std::vector<std::deque<Block>> levels_;    // Closed blocks, oldest first.
+
+  // Query-cache state (never serialized; see DESIGN.md "Query path").
+  uint64_t structure_version_ = 0;
+  std::vector<const Block*> cover_scratch_;  // Rebuilt on cover assembly.
+  Matrix cached_closed_{0, 0};  // Stacked cover; guarded by closed_valid_.
+  bool closed_valid_ = false;
+  uint64_t closed_version_ = 0;
+  uint64_t closed_j0_ = 0;
+  Matrix cached_result_{0, 0};  // Guarded by result_valid_.
+  bool result_valid_ = false;
+  uint64_t result_version_ = 0;
+  uint64_t result_j0_ = 0;
+  uint64_t result_next_id_ = 0;
 };
 
 /// DI-FD (Section 7.3): Frequent Directions per block, sizes halving from

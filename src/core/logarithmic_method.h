@@ -19,6 +19,18 @@
 // the raw rows of the active block; the straddling (expiring) block is
 // excluded, contributing the epsilon/2 expiry error of Theorem 6.1.
 //
+// Query serving: the block structure changes only at structural events
+// (block close, level merge, expiry, deserialize), tracked by a version
+// counter. The merged sketch of the in-window closed blocks is cached and
+// keyed on (version, live-block count) — under a fixed structure the live
+// set only shrinks as the window slides, so the count pins the set — and
+// the final approximation is additionally keyed on the active-block row
+// identity. A warm query is therefore an O(ell d) copy instead of an
+// O(#blocks) merge chain, bit-identical to the cold path. The cold merge
+// itself runs as a deterministic pairwise reduction tree whose pairing
+// depends only on the leaf count, so executing tree levels on the shared
+// ThreadPool is byte-identical to the serial schedule.
+//
 // SketchT requirements: constructible via the factory callable,
 // Append(span<const double>, uint64_t id), MergeWith(const SketchT&),
 // Approximation() -> Matrix, RowsStored().
@@ -29,7 +41,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -39,6 +53,7 @@
 #include "sketch/random_projection.h"
 #include "stream/row.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -117,26 +132,65 @@ class LogarithmicMethod : public SlidingWindowSketch {
   Matrix Query() override {
     Expire(now_);
     const double start = window_.Start(now_);
-    // Empty window: report an empty approximation rather than a
-    // fixed-shape zero sketch (hashing blocks have static shape).
-    bool any_live = !active_.rows.empty();
-    for (const auto& level : levels_) {
-      for (const Block& blk : level) any_live = any_live || blk.start >= start;
-    }
-    if (!any_live) return Matrix(0, dim_);
-    // Algorithm 6.2: merge every fully-live block into one sketch. The
-    // straddling block (start < window start <= end) is excluded.
-    SketchT acc = factory_();
+    // Live closed blocks in merge order (highest level first, oldest block
+    // first within a level). The straddling block (start < window start
+    // <= end) is excluded (Algorithm 6.2).
+    live_scratch_.clear();
     for (auto level = levels_.rbegin(); level != levels_.rend(); ++level) {
       for (const Block& blk : *level) {
-        if (blk.start >= start) acc.MergeWith(blk.sketch);
+        if (blk.start >= start) live_scratch_.push_back(&blk);
       }
     }
+    // Empty window: report an empty approximation rather than a
+    // fixed-shape zero sketch (hashing blocks have static shape).
+    if (live_scratch_.empty() && active_.rows.empty()) return Matrix(0, dim_);
+
+    // Final-result cache: nothing changed since the last query (same
+    // structure, same live set, same active rows) — return the copy.
+    if (result_valid_ && result_version_ == structure_version_ &&
+        result_live_count_ == live_scratch_.size() &&
+        result_next_id_ == next_id_ &&
+        result_active_rows_ == active_.rows.size()) {
+      return cached_result_;
+    }
+
+    // Merged-blocks cache: under a fixed structure version the live set
+    // only shrinks as the window slides, so (version, count) pins it.
+    if (!cached_blocks_ || blocks_version_ != structure_version_ ||
+        blocks_live_count_ != live_scratch_.size()) {
+      cached_blocks_.emplace(MergeLiveBlocks());
+      blocks_version_ = structure_version_;
+      blocks_live_count_ = live_scratch_.size();
+    }
+
+    // Warm path: copy the merged closed blocks and replay the active rows
+    // — exactly the computation the cold path performs after its merge, so
+    // the result is byte-identical to an uncached query.
+    SketchT acc = *cached_blocks_;
     for (const RawRow& rr : active_.rows) {
       acc.Append(rr.row->view(), rr.id);
     }
-    return acc.Approximation();
+    cached_result_ = acc.Approximation();
+    result_valid_ = true;
+    result_version_ = structure_version_;
+    result_live_count_ = live_scratch_.size();
+    result_next_id_ = next_id_;
+    result_active_rows_ = active_.rows.size();
+    return cached_result_;
   }
+
+  /// Drops the cached merged blocks and cached result so the next Query()
+  /// takes the cold path (bench/test hook; behaviour is unchanged).
+  void InvalidateQueryCache() {
+    cached_blocks_.reset();
+    result_valid_ = false;
+    cached_result_ = Matrix(0, dim_);
+  }
+
+  /// Structure version: bumped whenever a block closes, merges up a level,
+  /// expires, or the state is reloaded. Queries between equal versions hit
+  /// the merge cache (test hook).
+  uint64_t structure_version() const { return structure_version_; }
 
   size_t RowsStored() const override {
     size_t n = active_.rows.size();
@@ -228,6 +282,10 @@ class LogarithmicMethod : public SlidingWindowSketch {
         level.push_back(Block{sketch.take(), start, end, mass});
       }
     }
+    // Cache state is never serialized: a reloaded sketch starts cold with
+    // a fresh structure version.
+    ++structure_version_;
+    InvalidateQueryCache();
     return Status::OK();
   }
 
@@ -283,6 +341,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
     if (levels_.empty()) levels_.emplace_back();
     levels_[0].push_back(std::move(blk));
     active_ = ActiveBlock{};
+    ++structure_version_;
   }
 
   // Algorithm 6.1 lines 9-13 with the generalized mergeability rule.
@@ -304,7 +363,53 @@ class LogarithmicMethod : public SlidingWindowSketch {
         }
         // Otherwise: promote `oldest` unmerged (oversized-row rule).
         up.push_back(std::move(oldest));
+        ++structure_version_;
       }
+    }
+  }
+
+  // Deterministic pairwise reduction of the live blocks collected in
+  // live_scratch_. The pairing depends only on the leaf count, and every
+  // pair merge at a tree level is independent, so running a level's merges
+  // on the thread pool produces bytes identical to the serial schedule.
+  // FD accumulators detach from the shared shrink arena first: the arena
+  // contents never influence results, but concurrent pair merges must not
+  // share one workspace.
+  SketchT MergeLiveBlocks() {
+    const size_t m = live_scratch_.size();
+    if (m == 0) return factory_();
+    std::vector<std::optional<SketchT>> nodes((m + 1) / 2);
+    ParallelFor(
+        nodes.size(),
+        [&](size_t p) {
+          SketchT acc = live_scratch_[2 * p]->sketch;
+          DetachScratch(&acc);
+          if (2 * p + 1 < m) acc.MergeWith(live_scratch_[2 * p + 1]->sketch);
+          nodes[p].emplace(std::move(acc));
+        },
+        {.grain = 1});
+    size_t width = nodes.size();
+    while (width > 1) {
+      const size_t next = (width + 1) / 2;
+      ParallelFor(
+          next,
+          [&](size_t p) {
+            if (2 * p + 1 < width) {
+              nodes[2 * p]->MergeWith(*nodes[2 * p + 1]);
+            }
+          },
+          {.grain = 1});
+      // Compact serially: tasks above read nodes[2p + 1], which is exactly
+      // the slot a concurrent compaction of pair p' = 2p + 1 would move.
+      for (size_t p = 1; p < next; ++p) nodes[p] = std::move(nodes[2 * p]);
+      width = next;
+    }
+    return std::move(*nodes[0]);
+  }
+
+  static void DetachScratch(SketchT* sketch) {
+    if constexpr (std::is_same_v<SketchT, FrequentDirections>) {
+      sketch->ShareShrinkScratch(FrequentDirections::MakeShrinkScratch());
     }
   }
 
@@ -314,7 +419,10 @@ class LogarithmicMethod : public SlidingWindowSketch {
     // levels. Walk from the top level down.
     while (!levels_.empty()) {
       auto& top = levels_.back();
-      while (!top.empty() && top.front().end < start) top.pop_front();
+      while (!top.empty() && top.front().end < start) {
+        top.pop_front();
+        ++structure_version_;
+      }
       if (top.empty()) {
         levels_.pop_back();
         continue;
@@ -324,7 +432,10 @@ class LogarithmicMethod : public SlidingWindowSketch {
     // Lower levels can only contain newer blocks, but guard against the
     // rare case where promotion left an expired block below the top.
     for (auto& level : levels_) {
-      while (!level.empty() && level.front().end < start) level.pop_front();
+      while (!level.empty() && level.front().end < start) {
+        level.pop_front();
+        ++structure_version_;
+      }
     }
     // Raw rows of the active block expire individually (a time window can
     // outlive a slow-filling active block).
@@ -351,6 +462,19 @@ class LogarithmicMethod : public SlidingWindowSketch {
   ActiveBlock active_;
   uint64_t next_id_ = 0;
   double now_ = 0.0;
+
+  // Query-cache state (never serialized; see DESIGN.md "Query path").
+  uint64_t structure_version_ = 0;
+  std::vector<const Block*> live_scratch_;  // Rebuilt by every Query().
+  std::optional<SketchT> cached_blocks_;    // Merged live closed blocks.
+  uint64_t blocks_version_ = 0;
+  size_t blocks_live_count_ = 0;
+  Matrix cached_result_{0, 0};  // Guarded by result_valid_.
+  bool result_valid_ = false;
+  uint64_t result_version_ = 0;
+  size_t result_live_count_ = 0;
+  uint64_t result_next_id_ = 0;
+  size_t result_active_rows_ = 0;
 };
 
 /// LM-FD: the paper's recommended general-purpose sliding-window sketch

@@ -86,6 +86,21 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
   size_t next_ckpt = 0;
   const size_t dim = stream->dim();
 
+  // --query_every support: fire an untimed Query() on every sketch each
+  // time `query_every` rows have gone in. Queries only touch cache state,
+  // so checkpoint records are identical with this on or off.
+  size_t rows_until_query = options.query_every;
+  const auto maybe_query = [&](size_t ingested) {
+    if (options.query_every == 0) return;
+    if (ingested >= rows_until_query) {
+      for (SlidingWindowSketch* s : sketches) (void)s->Query();
+      rows_until_query = options.query_every -
+                         (ingested - rows_until_query) % options.query_every;
+    } else {
+      rows_until_query -= ingested;
+    }
+  };
+
   if (options.batch_rows > 1) {
     // Batched ingest: pull blocks straight from the stream via NextBatch
     // (loaders like CSV parse directly into the block) and hand each sketch
@@ -131,6 +146,7 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
             std::max(results[s].max_rows_stored, sketches[s]->RowsStored());
       }
       row_index += got;
+      maybe_query(got);
       const double ts = block_ts[got - 1];
       if (next_ckpt < ckpt_indices.size() &&
           row_index - 1 == ckpt_indices[next_ckpt]) {
@@ -161,6 +177,7 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
         }
       }
       buffer.Add(*row);
+      maybe_query(1);
 
       for (size_t s = 0; s < sketches.size(); ++s) {
         results[s].max_rows_stored =

@@ -50,6 +50,14 @@ struct HarnessOptions {
   /// Pool for checkpoint evaluation and parallel ingest; nullptr =
   /// ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+  /// Issue an (untimed, discarded) Query() on every sketch each time this
+  /// many rows have been ingested (0 disables). Stresses the query-serving
+  /// cache during figure runs: queries never mutate logical sketch state,
+  /// so every checkpoint record is unchanged whether this is on or off —
+  /// the differential tests and the fig3/fig5 error columns pin that.
+  /// With batched ingest the query fires at the first block boundary at or
+  /// after each multiple.
+  size_t query_every = 0;
 };
 
 /// Per-checkpoint measurement.

@@ -170,7 +170,8 @@ void FrequentDirections::RebuildFromGramEigen(size_t rank, size_t max_rows) {
     // computed as one k x n by n x d multiply, which the shared pool
     // partitions by rows when large enough.
     b_.GramOuterInto(&s.gram);
-    const SymmetricEigen& eig = SymmetricEigenSolve(s.gram, &s.eigen);
+    const SymmetricEigen& eig =
+        SymmetricEigenSolve(s.gram, &s.eigen, options_.eigen_jacobi_cutoff);
     const double lmax =
         std::max(eig.eigenvalues.empty() ? 0.0 : eig.eigenvalues[0], 0.0);
     const double cutoff = rank_tol * std::max(std::sqrt(lmax), 1e-300);
@@ -212,7 +213,8 @@ void FrequentDirections::RebuildFromGramEigen(size_t rank, size_t max_rows) {
   // d x d and the retained rows are the eigenvectors themselves scaled by
   // sqrt(sigma_i^2 - lambda) — ThinSvd's tall route, minus U.
   b_.GramInto(&s.gram);
-  const SymmetricEigen& eig = SymmetricEigenSolve(s.gram, &s.eigen);
+  const SymmetricEigen& eig =
+      SymmetricEigenSolve(s.gram, &s.eigen, options_.eigen_jacobi_cutoff);
   const double lmax =
       std::max(eig.eigenvalues.empty() ? 0.0 : eig.eigenvalues[0], 0.0);
   const double cutoff = rank_tol * std::max(std::sqrt(lmax), 1e-300);

@@ -80,6 +80,12 @@ class FrequentDirections : public MatrixSketch {
     /// Shrink decomposition. Not serialized: a deserialized sketch uses
     /// the default backend (the buffer contents are backend-agnostic).
     FdShrinkBackend shrink_backend = FdShrinkBackend::kGramEigen;
+    /// Gram-eigen route selection: symmetric eigensolves on systems with
+    /// fewer rows than this use cyclic Jacobi, larger ones tridiag QL
+    /// (SymmetricEigenSolve's default cutoff). Runtime tuning only — like
+    /// shrink_backend it is not serialized; bench/ablate_fd_shrink sweeps
+    /// it to place the cutoff (0 forces tridiag, SIZE_MAX forces Jacobi).
+    size_t eigen_jacobi_cutoff = 32;
   };
 
   FrequentDirections(size_t dim, Options options);

@@ -1,0 +1,176 @@
+// Concurrent query-serving stress test (DESIGN.md §8): one ingest thread
+// streams a fig3-sized workload through a ConcurrentSketch in snapshot
+// mode while four reader threads spin on Snapshot()/Query()/RowsStored().
+// Readers record a bounded sample of distinct snapshots; afterwards each
+// sampled snapshot must be byte-identical to a single-threaded replay of
+// exactly snapshot->update_count rows. Run under the `tsan` preset
+// (cmake --preset tsan) to check the publication protocol is race-free.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_sketch.h"
+#include "core/logarithmic_method.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+constexpr size_t kRows = 10000;   // fig3 smoke scale.
+constexpr size_t kDim = 32;
+constexpr uint64_t kWindow = 2000;
+constexpr size_t kReaders = 4;
+constexpr size_t kSamplesPerReader = 4;
+
+Matrix MakeRows(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) rows(i, j) = rng.Gaussian();
+  }
+  return rows;
+}
+
+LmFd MakeInnerValue(size_t d) {
+  LmFd::Options opt;
+  opt.ell = 16;
+  opt.block_capacity = 16.0 * static_cast<double>(d);
+  return LmFd(d, WindowSpec::Sequence(kWindow), opt);
+}
+
+std::unique_ptr<SlidingWindowSketch> MakeInner(size_t d) {
+  return std::make_unique<LmFd>(MakeInnerValue(d));
+}
+
+TEST(ConcurrentQueryTest, SnapshotsMatchSerialReplay) {
+  const Matrix rows = MakeRows(kRows, kDim, 21);
+  ConcurrentSketch sketch(MakeInner(kDim), ConcurrentSketch::Mode::kSnapshot);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> total_queries{0};
+
+  // Each reader keeps the first snapshot it sees past each of its evenly
+  // spaced update-count thresholds; staggering the thresholds per reader
+  // spreads the samples across the whole stream.
+  struct Sample {
+    uint64_t update_count = 0;
+    size_t rows_stored = 0;
+    Matrix approximation{0, 0};
+  };
+  std::vector<std::vector<Sample>> samples(kReaders);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      auto& mine = samples[r];
+      uint64_t local_queries = 0;
+      size_t next = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = sketch.Snapshot();
+        ASSERT_NE(snap, nullptr);
+        const uint64_t threshold =
+            (next + 1) * (kRows / (kSamplesPerReader + 1)) + r * 131;
+        if (next < kSamplesPerReader && snap->update_count >= threshold) {
+          mine.push_back(Sample{snap->update_count, snap->rows_stored,
+                                snap->approximation});
+          ++next;
+        }
+        // Exercise the snapshot read paths alongside raw Snapshot().
+        Matrix q = sketch.Query();
+        ASSERT_EQ(q.cols(), kDim);
+        (void)sketch.RowsStored();
+        ++local_queries;
+        // Spinning readers starve the writer on few-core CI machines;
+        // yielding keeps ingest moving without changing what's exercised.
+        std::this_thread::yield();
+      }
+      total_queries.fetch_add(local_queries);
+    });
+  }
+
+  for (size_t i = 0; i < kRows; ++i) {
+    sketch.Update(rows.Row(i), static_cast<double>(i));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_GT(total_queries.load(), 0u);
+
+  // Verify every sampled snapshot against a fresh serial replay of the
+  // same prefix. update_count == k means rows [0, k) were ingested.
+  size_t verified = 0;
+  for (const auto& reader_samples : samples) {
+    for (const Sample& s : reader_samples) {
+      ASSERT_LE(s.update_count, kRows);
+      LmFd replay = MakeInnerValue(kDim);
+      for (uint64_t i = 0; i < s.update_count; ++i) {
+        replay.Update(rows.Row(i), static_cast<double>(i));
+      }
+      EXPECT_EQ(replay.RowsStored(), s.rows_stored)
+          << "update_count " << s.update_count;
+      const Matrix expect = replay.Query();
+      ASSERT_EQ(expect.rows(), s.approximation.rows())
+          << "update_count " << s.update_count;
+      EXPECT_EQ(expect.MaxAbsDiff(s.approximation), 0.0)
+          << "update_count " << s.update_count;
+      ++verified;
+    }
+  }
+  // Every reader should have crossed all of its thresholds well before
+  // ingest finished; require most of the planned samples.
+  EXPECT_GE(verified, kReaders * kSamplesPerReader / 2);
+
+  // The final published snapshot covers the entire stream.
+  auto final_snap = sketch.Snapshot();
+  ASSERT_NE(final_snap, nullptr);
+  EXPECT_EQ(final_snap->update_count, kRows);
+  LmFd full = MakeInnerValue(kDim);
+  for (size_t i = 0; i < kRows; ++i) {
+    full.Update(rows.Row(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(full.Query().MaxAbsDiff(final_snap->approximation), 0.0);
+}
+
+TEST(ConcurrentQueryTest, MutexModeStressStaysConsistent) {
+  // Smaller stream: mutex-mode readers recompute under the writer's lock,
+  // so each query is orders of magnitude slower than a snapshot read.
+  const size_t n = 2000;
+  const Matrix rows = MakeRows(n, kDim, 22);
+  ConcurrentSketch sketch(MakeInner(kDim), ConcurrentSketch::Mode::kMutex);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> total_queries{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      uint64_t local = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        Matrix q = sketch.Query();
+        ASSERT_EQ(q.cols(), kDim);
+        ASSERT_LE(sketch.RowsStored(), n);
+        ++local;
+        std::this_thread::yield();
+      }
+      total_queries.fetch_add(local);
+    });
+  }
+  for (size_t i = 0; i < n; ++i) {
+    sketch.Update(rows.Row(i), static_cast<double>(i));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_GT(total_queries.load(), 0u);
+
+  LmFd full = MakeInnerValue(kDim);
+  for (size_t i = 0; i < n; ++i) {
+    full.Update(rows.Row(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(full.Query().MaxAbsDiff(sketch.Query()), 0.0);
+}
+
+}  // namespace
+}  // namespace swsketch

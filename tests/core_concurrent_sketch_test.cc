@@ -26,24 +26,52 @@ std::unique_ptr<SlidingWindowSketch> MakeInner() {
 }
 
 TEST(ConcurrentSketchTest, DelegatesAndDecoratesName) {
-  ConcurrentSketch sketch(MakeInner());
-  EXPECT_EQ(sketch.dim(), 8u);
-  EXPECT_EQ(sketch.name(), "LM-FD+lock");
-  EXPECT_EQ(sketch.window().type(), WindowType::kSequence);
+  ConcurrentSketch snap(MakeInner());
+  EXPECT_EQ(snap.dim(), 8u);
+  EXPECT_EQ(snap.name(), "LM-FD+snap");
+  EXPECT_EQ(snap.window().type(), WindowType::kSequence);
+  EXPECT_EQ(snap.mode(), ConcurrentSketch::Mode::kSnapshot);
+
+  ConcurrentSketch locked(MakeInner(), ConcurrentSketch::Mode::kMutex);
+  EXPECT_EQ(locked.name(), "LM-FD+lock");
+  EXPECT_EQ(locked.mode(), ConcurrentSketch::Mode::kMutex);
 }
 
 TEST(ConcurrentSketchTest, MatchesUnwrappedBehaviour) {
-  ConcurrentSketch wrapped(MakeInner());
-  auto plain = MakeInner();
-  Rng rng(1);
-  for (int i = 0; i < 800; ++i) {
+  for (auto mode : {ConcurrentSketch::Mode::kSnapshot,
+                    ConcurrentSketch::Mode::kMutex}) {
+    ConcurrentSketch wrapped(MakeInner(), mode);
+    auto plain = MakeInner();
+    Rng rng(1);
+    for (int i = 0; i < 800; ++i) {
+      std::vector<double> row(8);
+      for (auto& v : row) v = rng.Gaussian();
+      wrapped.Update(row, i);
+      plain->Update(row, i);
+    }
+    EXPECT_TRUE(wrapped.Query().ApproxEquals(plain->Query(), 0.0));
+    EXPECT_EQ(wrapped.RowsStored(), plain->RowsStored());
+  }
+}
+
+TEST(ConcurrentSketchTest, SnapshotCarriesMetadata) {
+  ConcurrentSketch sketch(MakeInner());
+  auto empty = sketch.Snapshot();
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->update_count, 0u);
+  EXPECT_EQ(empty->approximation.rows(), 0u);
+
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
     std::vector<double> row(8);
     for (auto& v : row) v = rng.Gaussian();
-    wrapped.Update(row, i);
-    plain->Update(row, i);
+    sketch.Update(row, i);
   }
-  EXPECT_TRUE(wrapped.Query().ApproxEquals(plain->Query(), 0.0));
-  EXPECT_EQ(wrapped.RowsStored(), plain->RowsStored());
+  auto snap = sketch.Snapshot();
+  EXPECT_EQ(snap->update_count, 50u);
+  EXPECT_EQ(snap->last_ts, 49.0);
+  EXPECT_EQ(snap->rows_stored, sketch.RowsStored());
+  EXPECT_TRUE(snap->approximation.ApproxEquals(sketch.Query(), 0.0));
 }
 
 TEST(ConcurrentSketchTest, ConcurrentReadersWithWriter) {
