@@ -16,6 +16,7 @@
 #include "data/wiki.h"
 #include "eval/report.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace swsketch {
 namespace bench {
@@ -372,6 +373,27 @@ std::vector<size_t> SweepSizes(const Flags& flags) {
              : std::vector<size_t>{8, 16, 32, 64};
 }
 
+void MaybeWriteMetrics(const Flags& flags) {
+  if (!flags.Has("metrics_out")) return;
+  const std::string path = flags.GetString("metrics_out", "");
+  if (path.empty()) return;
+  const MetricsRegistry& registry = MetricsRegistry::Global();
+  std::ofstream json_out(path);
+  if (!json_out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  json_out << registry.Export(MetricsRegistry::ExportFormat::kJson);
+  const std::string prom_path = path + ".prom";
+  std::ofstream prom_out(prom_path);
+  if (!prom_out) {
+    std::cerr << "warning: cannot write " << prom_path << "\n";
+    return;
+  }
+  prom_out << registry.Export(MetricsRegistry::ExportFormat::kPrometheus);
+  std::cout << "(wrote " << path << " and " << prom_path << ")\n";
+}
+
 void RunSequenceFigure(Metric metric, const Flags& flags,
                        const std::string& figure_name) {
   SetCsvOutput(flags.GetBool("csv", false));
@@ -407,6 +429,7 @@ void RunSequenceFigure(Metric metric, const Flags& flags,
                     workloads[i].name,
                 workloads[i], points, metric);
   }
+  MaybeWriteMetrics(flags);
 }
 
 void RunTimeFigure(Metric metric, const Flags& flags,
@@ -440,6 +463,7 @@ void RunTimeFigure(Metric metric, const Flags& flags,
                     workloads[i].name,
                 workloads[i], points, metric);
   }
+  MaybeWriteMetrics(flags);
 }
 
 }  // namespace bench

@@ -129,6 +129,12 @@ void RunTimeFigure(Metric metric, const Flags& flags,
 /// overridable with --ells=a,b,c.
 std::vector<size_t> SweepSizes(const Flags& flags);
 
+/// --metrics_out=FILE support: dumps the global MetricsRegistry as JSON to
+/// FILE and as Prometheus text to FILE + ".prom". No-op without the flag.
+/// Called automatically at the end of RunSequenceFigure / RunTimeFigure;
+/// exposed for drivers with their own main loop.
+void MaybeWriteMetrics(const Flags& flags);
+
 }  // namespace bench
 }  // namespace swsketch
 

@@ -21,7 +21,12 @@ cd "$(dirname "$0")/.."
 
 SKETCH_BASELINE=bench/baselines/BENCH_micro_sketch.json
 QUERY_BASELINE=bench/baselines/BENCH_micro_query.json
+METRICS_BASELINE=bench/baselines/BENCH_micro_metrics.json
 FILTER='BM_FrequentDirectionsAppend|BM_RandomProjectionAppend|BM_HashSketchAppend'
+# Per-event metrics costs (counter add, histogram record, scoped timer).
+# The contended-counter and registry-lookup cells depend on core count /
+# scheduler mood, so only the single-thread cached-handle paths gate.
+METRICS_FILTER='BM_CounterAdd$|BM_GaugeSet|BM_HistogramRecord|BM_ScopedTimer'
 MIN_TIME=2
 
 update_baseline=0
@@ -35,8 +40,8 @@ for arg in "$@"; do
 done
 
 cmake --preset release >/dev/null
-cmake --build build-release -j"$(nproc)" --target micro_sketch micro_query \
-  >/dev/null
+cmake --build build-release -j"$(nproc)" \
+  --target micro_sketch micro_query micro_metrics >/dev/null
 
 ./build-release/bench/micro_sketch \
   --benchmark_filter="${FILTER}" \
@@ -44,6 +49,13 @@ cmake --build build-release -j"$(nproc)" --target micro_sketch micro_query \
   --benchmark_format=json 2>/dev/null |
   python3 scripts/microbench_to_cells.py --figure micro_sketch \
     -o BENCH_micro_sketch.json
+
+./build-release/bench/micro_metrics \
+  --benchmark_filter="${METRICS_FILTER}" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json 2>/dev/null |
+  python3 scripts/microbench_to_cells.py --figure micro_metrics \
+    -o BENCH_micro_metrics.json
 
 # micro_query emits the cells format directly; run from the repo root so
 # BENCH_micro_query.json lands next to the other run artifacts.
@@ -62,8 +74,9 @@ EOF
 
 if [[ "$update_baseline" == 1 ]]; then
   cp BENCH_micro_sketch.json "$SKETCH_BASELINE"
+  cp BENCH_micro_metrics.json "$METRICS_BASELINE"
   filter_warm_cells BENCH_micro_query.json "$QUERY_BASELINE"
-  echo "baselines refreshed: $SKETCH_BASELINE $QUERY_BASELINE"
+  echo "baselines refreshed: $SKETCH_BASELINE $METRICS_BASELINE $QUERY_BASELINE"
   exit 0
 fi
 
@@ -72,4 +85,9 @@ python3 scripts/bench_diff.py "$SKETCH_BASELINE" BENCH_micro_sketch.json \
   ${diff_args[@]+"${diff_args[@]}"} || status=1
 python3 scripts/bench_diff.py "$QUERY_BASELINE" BENCH_micro_query.json \
   ${diff_args[@]+"${diff_args[@]}"} || status=1
+# Metrics cells sit in the single-digit-ns range where timer granularity
+# alone can swing a run several percent, so they gate at a looser 50%:
+# still catches "someone put a lock on the counter path" regressions.
+python3 scripts/bench_diff.py "$METRICS_BASELINE" BENCH_micro_metrics.json \
+  --threshold 0.5 || status=1
 exit $status

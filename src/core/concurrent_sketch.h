@@ -38,6 +38,7 @@
 
 #include "core/sliding_window_sketch.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace swsketch {
 
@@ -66,11 +67,15 @@ class ConcurrentSketch : public SlidingWindowSketch {
     dim_ = inner_->dim();
     window_ = inner_->window();
     name_ = inner_->name() + (mode_ == Mode::kSnapshot ? "+snap" : "+lock");
-    if (mode_ == Mode::kSnapshot) Publish();
+    if (mode_ == Mode::kSnapshot) {
+      Metrics().snapshot_ctors->Add();
+      Publish();
+    }
   }
 
   void Update(std::span<const double> row, double ts) override {
     std::lock_guard<std::mutex> lock(mu_);
+    Metrics().mutations->Add();
     inner_->Update(row, ts);
     ++update_count_;
     last_ts_ = ts;
@@ -79,6 +84,7 @@ class ConcurrentSketch : public SlidingWindowSketch {
 
   void UpdateSparse(const SparseVector& row, double ts) override {
     std::lock_guard<std::mutex> lock(mu_);
+    Metrics().mutations->Add();
     inner_->UpdateSparse(row, ts);
     ++update_count_;
     last_ts_ = ts;
@@ -87,6 +93,7 @@ class ConcurrentSketch : public SlidingWindowSketch {
 
   void UpdateBatch(const Matrix& rows, std::span<const double> ts) override {
     std::lock_guard<std::mutex> lock(mu_);
+    Metrics().mutations->Add();
     inner_->UpdateBatch(rows, ts);
     update_count_ += rows.rows();
     if (!ts.empty()) last_ts_ = ts.back();
@@ -95,6 +102,7 @@ class ConcurrentSketch : public SlidingWindowSketch {
 
   void AdvanceTo(double now) override {
     std::lock_guard<std::mutex> lock(mu_);
+    Metrics().mutations->Add();
     inner_->AdvanceTo(now);
     last_ts_ = now;
     if (mode_ == Mode::kSnapshot) Publish();
@@ -117,6 +125,7 @@ class ConcurrentSketch : public SlidingWindowSketch {
   /// mode, which has no published state).
   std::shared_ptr<const QuerySnapshot> Snapshot() const {
     SWSKETCH_CHECK(mode_ == Mode::kSnapshot);
+    Metrics().reader_copies->Add();
     std::lock_guard<std::mutex> lock(snap_mu_);
     return snapshot_;
   }
@@ -135,7 +144,29 @@ class ConcurrentSketch : public SlidingWindowSketch {
   // Builds and publishes a fresh snapshot. Caller holds mu_ (or is the
   // constructor). The snapshot is fully built before snap_mu_ is taken,
   // so readers only ever wait out a pointer assignment.
+  // Handles into the global registry under the fixed "concurrent." prefix
+  // (shared by all instances; modes are distinguished by the invariant
+  // snapshots_published == mutations + snapshot_ctors, which holds while
+  // only snapshot-mode instances mutate).
+  struct MetricSet {
+    Counter* snapshot_ctors;
+    Counter* mutations;
+    Counter* snapshots_published;
+    Counter* reader_copies;
+  };
+  static const MetricSet& Metrics() {
+    static const MetricSet m = [] {
+      MetricScope scope("concurrent");
+      return MetricSet{scope.counter("snapshot_ctors"),
+                       scope.counter("mutations"),
+                       scope.counter("snapshots_published"),
+                       scope.counter("reader_copies")};
+    }();
+    return m;
+  }
+
   void Publish() {
+    Metrics().snapshots_published->Add();
     auto snap = std::make_shared<QuerySnapshot>();
     snap->approximation = inner_->Query();
     snap->rows_stored = inner_->RowsStored();

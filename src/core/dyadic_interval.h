@@ -50,6 +50,7 @@
 #include "sketch/hash_sketch.h"
 #include "sketch/random_projection.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -79,7 +80,8 @@ class DyadicInterval : public SlidingWindowSketch {
         window_(WindowSpec::Sequence(options.window_size)),
         options_(options),
         factory_(std::move(factory)),
-        name_(std::move(name)) {
+        name_(std::move(name)),
+        metrics_(MetricScope(MetricScope::Slug(name_))) {
     SWSKETCH_CHECK_GE(options_.levels, 1u);
     SWSKETCH_CHECK_GT(options_.max_norm_sq, 0.0);
     const double total = static_cast<double>(options_.window_size) *
@@ -89,6 +91,19 @@ class DyadicInterval : public SlidingWindowSketch {
     levels_.resize(options_.levels);
     for (size_t i = 0; i < options_.levels; ++i) {
       actives_.push_back(Active{factory_(i + 1), 0.0, 0.0, false});
+    }
+  }
+
+  // Move-only, for the same block-ledger reason as LogarithmicMethod: the
+  // destructor settles live_blocks for whatever this instance still holds,
+  // and the defaulted move leaves the source's levels_ empty.
+  DyadicInterval(DyadicInterval&&) = default;
+
+  ~DyadicInterval() override {
+    const size_t n = NumBlocks();
+    if (n != 0) {
+      metrics_.blocks_discarded->Add(n);
+      metrics_.live_blocks->Add(-static_cast<int64_t>(n));
     }
   }
 
@@ -153,6 +168,7 @@ class DyadicInterval : public SlidingWindowSketch {
         a.end_ts = ts[i];
       }
       ++next_id_;
+      metrics_.rows_ingested->Add();
       level1_mass_ += w;
       ++level1_rows_;
       if (level1_mass_ > level1_capacity_ || level1_rows_ >= row_cap) {
@@ -161,6 +177,7 @@ class DyadicInterval : public SlidingWindowSketch {
         level1_rows_ = 0;
         ++closed_l1_;
         ++structure_version_;
+        metrics_.l1_closes->Add();
         for (size_t li = 0; li < options_.levels; ++li) {
           const uint64_t span = 1ULL << li;
           if (closed_l1_ % span != 0) break;
@@ -169,6 +186,8 @@ class DyadicInterval : public SlidingWindowSketch {
                                       actives_[li].start_ts,
                                       actives_[li].end_ts));
           actives_[li] = Active{factory_(li + 1), 0.0, 0.0, false};
+          metrics_.blocks_closed->Add();
+          metrics_.live_blocks->Add(1);
         }
       }
     }
@@ -194,6 +213,7 @@ class DyadicInterval : public SlidingWindowSketch {
       a.end_ts = ts;
     }
     ++next_id_;
+    metrics_.rows_ingested->Add();
     level1_mass_ += w;
     ++level1_rows_;
 
@@ -208,6 +228,7 @@ class DyadicInterval : public SlidingWindowSketch {
       level1_rows_ = 0;
       ++closed_l1_;
       ++structure_version_;
+      metrics_.l1_closes->Add();
       // Algorithm 7.1 lines 7-11: close the active block at every level
       // whose dyadic boundary aligns with the new level-1 count.
       for (size_t li = 0; li < options_.levels; ++li) {
@@ -218,6 +239,8 @@ class DyadicInterval : public SlidingWindowSketch {
                                     actives_[li].start_ts,
                                     actives_[li].end_ts));
         actives_[li] = Active{factory_(li + 1), 0.0, 0.0, false};
+        metrics_.blocks_closed->Add();
+        metrics_.live_blocks->Add(1);
       }
     }
   }
@@ -230,6 +253,7 @@ class DyadicInterval : public SlidingWindowSketch {
   }
 
   Matrix Query() override {
+    metrics_.queries->Add();
     Expire(now_);
     const double start = window_.Start(now_);
 
@@ -246,17 +270,22 @@ class DyadicInterval : public SlidingWindowSketch {
     // rows (next_id_ pins the level-1 active sketch) — return the copy.
     if (result_valid_ && result_version_ == structure_version_ &&
         result_j0_ == j0 && result_next_id_ == next_id_) {
+      metrics_.query_cache_hits->Add();
       return cached_result_;
     }
+    metrics_.query_cache_misses->Add();
 
     // Cover cache: under a fixed version the greedy cover is a pure
     // function of j0 (closed_l1_ only changes with the version).
     if (!closed_valid_ || closed_version_ != structure_version_ ||
         closed_j0_ != j0) {
+      metrics_.cover_cache_misses->Add();
       cached_closed_ = AssembleCover(j0);
       closed_valid_ = true;
       closed_version_ = structure_version_;
       closed_j0_ = j0;
+    } else {
+      metrics_.cover_cache_hits->Add();
     }
 
     // The level-1 active sketch covers the most recent rows.
@@ -338,6 +367,13 @@ class DyadicInterval : public SlidingWindowSketch {
 
   /// Loads framework state into a freshly-constructed matching object.
   Status DeserializeCore(ByteReader* reader) {
+    // Blocks held before the load are overwritten: settle them in the
+    // ledger as discarded so the live_blocks gauge stays exact.
+    const size_t overwritten = NumBlocks();
+    if (overwritten != 0) {
+      metrics_.blocks_discarded->Add(overwritten);
+      metrics_.live_blocks->Add(-static_cast<int64_t>(overwritten));
+    }
     uint64_t num_actives = 0, num_levels = 0;
     if (!reader->Get(&level1_capacity_) || !reader->Get(&level1_mass_) ||
         !reader->Get(&level1_rows_) || !reader->Get(&closed_l1_) ||
@@ -381,6 +417,12 @@ class DyadicInterval : public SlidingWindowSketch {
     // a fresh structure version.
     ++structure_version_;
     InvalidateQueryCache();
+    metrics_.reloads->Add();
+    const size_t loaded = NumBlocks();
+    if (loaded != 0) {
+      metrics_.blocks_loaded->Add(loaded);
+      metrics_.live_blocks->Add(loaded);
+    }
     return Status::OK();
   }
 
@@ -401,6 +443,41 @@ class DyadicInterval : public SlidingWindowSketch {
   }
 
  private:
+  // Handles into the global registry under this sketch's name slug
+  // ("di_fd.", "di_rp.", ...), resolved once at construction. DI never
+  // merges, so the block ledger is
+  //   blocks_closed + blocks_loaded
+  //     == blocks_expired + blocks_discarded + live_blocks.
+  struct MetricSet {
+    explicit MetricSet(const MetricScope& scope)
+        : rows_ingested(scope.counter("rows_ingested")),
+          l1_closes(scope.counter("l1_closes")),
+          blocks_closed(scope.counter("blocks_closed")),
+          blocks_expired(scope.counter("blocks_expired")),
+          blocks_loaded(scope.counter("blocks_loaded")),
+          blocks_discarded(scope.counter("blocks_discarded")),
+          queries(scope.counter("queries")),
+          query_cache_hits(scope.counter("query_cache_hits")),
+          query_cache_misses(scope.counter("query_cache_misses")),
+          cover_cache_hits(scope.counter("cover_cache_hits")),
+          cover_cache_misses(scope.counter("cover_cache_misses")),
+          reloads(scope.counter("reloads")),
+          live_blocks(scope.gauge("live_blocks")) {}
+    Counter* rows_ingested;
+    Counter* l1_closes;
+    Counter* blocks_closed;
+    Counter* blocks_expired;
+    Counter* blocks_loaded;
+    Counter* blocks_discarded;
+    Counter* queries;
+    Counter* query_cache_hits;
+    Counter* query_cache_misses;
+    Counter* cover_cache_hits;
+    Counter* cover_cache_misses;
+    Counter* reloads;
+    Gauge* live_blocks;
+  };
+
   struct Active {
     SketchT sketch;
     double start_ts = 0.0;
@@ -487,6 +564,8 @@ class DyadicInterval : public SlidingWindowSketch {
       while (!level.empty() && level.front().end_ts < start) {
         level.pop_front();
         ++structure_version_;
+        metrics_.blocks_expired->Add();
+        metrics_.live_blocks->Add(-1);
       }
     }
   }
@@ -496,6 +575,7 @@ class DyadicInterval : public SlidingWindowSketch {
   DyadicIntervalOptions options_;
   LevelSketchFactory factory_;
   std::string name_;
+  MetricSet metrics_;  // Initialized after name_ (declaration order).
 
   double level1_capacity_ = 0.0;
   double level1_mass_ = 0.0;

@@ -53,6 +53,7 @@
 #include "sketch/random_projection.h"
 #include "stream/row.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -81,9 +82,25 @@ class LogarithmicMethod : public SlidingWindowSketch {
         window_(window),
         options_(options),
         factory_(std::move(factory)),
-        name_(std::move(name)) {
+        name_(std::move(name)),
+        metrics_(MetricScope(MetricScope::Slug(name_))) {
     SWSKETCH_CHECK_GT(options_.block_capacity, 0.0);
     SWSKETCH_CHECK_GE(options_.blocks_per_level, 2u);
+  }
+
+  // Move-only: the destructor settles the live_blocks gauge for whatever
+  // this instance still holds, and the defaulted move leaves the source's
+  // levels_ empty (vector move-construction guarantee) so each closed
+  // block is settled exactly once. Copies would double-settle; they are
+  // implicitly deleted by the declared move constructor.
+  LogarithmicMethod(LogarithmicMethod&&) = default;
+
+  ~LogarithmicMethod() override {
+    const size_t n = NumBlocks();
+    if (n != 0) {
+      metrics_.blocks_discarded->Add(n);
+      metrics_.live_blocks->Add(-static_cast<int64_t>(n));
+    }
   }
 
   void Update(std::span<const double> row, double ts) override {
@@ -94,6 +111,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
 
     const double w = NormSq(row);
     if (w <= 0.0) return;
+    metrics_.rows_ingested->Add();
 
     // Algorithm 6.1 lines 4-6: insert into the active block.
     if (active_.rows.empty()) active_.start = ts;
@@ -130,6 +148,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
   }
 
   Matrix Query() override {
+    metrics_.queries->Add();
     Expire(now_);
     const double start = window_.Start(now_);
     // Live closed blocks in merge order (highest level first, oldest block
@@ -142,8 +161,12 @@ class LogarithmicMethod : public SlidingWindowSketch {
       }
     }
     // Empty window: report an empty approximation rather than a
-    // fixed-shape zero sketch (hashing blocks have static shape).
-    if (live_scratch_.empty() && active_.rows.empty()) return Matrix(0, dim_);
+    // fixed-shape zero sketch (hashing blocks have static shape). Counted
+    // as a cache miss so hits + misses == queries stays exact.
+    if (live_scratch_.empty() && active_.rows.empty()) {
+      metrics_.query_cache_misses->Add();
+      return Matrix(0, dim_);
+    }
 
     // Final-result cache: nothing changed since the last query (same
     // structure, same live set, same active rows) — return the copy.
@@ -151,16 +174,21 @@ class LogarithmicMethod : public SlidingWindowSketch {
         result_live_count_ == live_scratch_.size() &&
         result_next_id_ == next_id_ &&
         result_active_rows_ == active_.rows.size()) {
+      metrics_.query_cache_hits->Add();
       return cached_result_;
     }
+    metrics_.query_cache_misses->Add();
 
     // Merged-blocks cache: under a fixed structure version the live set
     // only shrinks as the window slides, so (version, count) pins it.
     if (!cached_blocks_ || blocks_version_ != structure_version_ ||
         blocks_live_count_ != live_scratch_.size()) {
+      metrics_.merge_cache_misses->Add();
       cached_blocks_.emplace(MergeLiveBlocks());
       blocks_version_ = structure_version_;
       blocks_live_count_ = live_scratch_.size();
+    } else {
+      metrics_.merge_cache_hits->Add();
     }
 
     // Warm path: copy the merged closed blocks and replay the active rows
@@ -244,6 +272,13 @@ class LogarithmicMethod : public SlidingWindowSketch {
   /// Loads the framework state into a freshly-constructed object whose
   /// configuration already matches the serialized one.
   Status DeserializeCore(ByteReader* reader) {
+    // Blocks held before the load are overwritten: settle them in the
+    // ledger as discarded so the live_blocks gauge stays exact.
+    const size_t overwritten = NumBlocks();
+    if (overwritten != 0) {
+      metrics_.blocks_discarded->Add(overwritten);
+      metrics_.live_blocks->Add(-static_cast<int64_t>(overwritten));
+    }
     uint64_t raw_rows = 0, num_levels = 0;
     if (!reader->Get(&now_) || !reader->Get(&next_id_) ||
         !reader->Get(&active_.start) || !reader->Get(&active_.end) ||
@@ -286,6 +321,12 @@ class LogarithmicMethod : public SlidingWindowSketch {
     // a fresh structure version.
     ++structure_version_;
     InvalidateQueryCache();
+    metrics_.reloads->Add();
+    const size_t loaded = NumBlocks();
+    if (loaded != 0) {
+      metrics_.blocks_loaded->Add(loaded);
+      metrics_.live_blocks->Add(loaded);
+    }
     return Status::OK();
   }
 
@@ -309,6 +350,50 @@ class LogarithmicMethod : public SlidingWindowSketch {
   }
 
  private:
+  // Handles into the global registry under this sketch's name slug
+  // ("lm_fd.", "lm_hash.", ...). Resolved once at construction; instances
+  // with the same name share the same counters. The block-count ledger is
+  //   blocks_closed + blocks_loaded
+  //     == level_merges + blocks_expired + blocks_discarded + live_blocks
+  // (a merge turns two blocks into one, a discard is destruction or
+  // overwrite-by-load), which degenerates to the textbook
+  // closed - expired == live when nothing merges or reloads.
+  struct MetricSet {
+    explicit MetricSet(const MetricScope& scope)
+        : rows_ingested(scope.counter("rows_ingested")),
+          blocks_closed(scope.counter("blocks_closed")),
+          level_merges(scope.counter("level_merges")),
+          block_promotions(scope.counter("block_promotions")),
+          blocks_expired(scope.counter("blocks_expired")),
+          blocks_loaded(scope.counter("blocks_loaded")),
+          blocks_discarded(scope.counter("blocks_discarded")),
+          active_rows_expired(scope.counter("active_rows_expired")),
+          queries(scope.counter("queries")),
+          query_cache_hits(scope.counter("query_cache_hits")),
+          query_cache_misses(scope.counter("query_cache_misses")),
+          merge_cache_hits(scope.counter("merge_cache_hits")),
+          merge_cache_misses(scope.counter("merge_cache_misses")),
+          cold_merges(scope.counter("cold_merges")),
+          reloads(scope.counter("reloads")),
+          live_blocks(scope.gauge("live_blocks")) {}
+    Counter* rows_ingested;
+    Counter* blocks_closed;
+    Counter* level_merges;
+    Counter* block_promotions;
+    Counter* blocks_expired;
+    Counter* blocks_loaded;
+    Counter* blocks_discarded;
+    Counter* active_rows_expired;
+    Counter* queries;
+    Counter* query_cache_hits;
+    Counter* query_cache_misses;
+    Counter* merge_cache_hits;
+    Counter* merge_cache_misses;
+    Counter* cold_merges;
+    Counter* reloads;
+    Gauge* live_blocks;
+  };
+
   struct RawRow {
     SharedRow row;
     uint64_t id;
@@ -342,6 +427,8 @@ class LogarithmicMethod : public SlidingWindowSketch {
     levels_[0].push_back(std::move(blk));
     active_ = ActiveBlock{};
     ++structure_version_;
+    metrics_.blocks_closed->Add();
+    metrics_.live_blocks->Add(1);
   }
 
   // Algorithm 6.1 lines 9-13 with the generalized mergeability rule.
@@ -360,8 +447,12 @@ class LogarithmicMethod : public SlidingWindowSketch {
           oldest.end = second.end;
           oldest.mass += second.mass;
           levels_[li].pop_front();
+          metrics_.level_merges->Add();
+          metrics_.live_blocks->Add(-1);
+        } else {
+          // Promote `oldest` unmerged (oversized-row rule).
+          metrics_.block_promotions->Add();
         }
-        // Otherwise: promote `oldest` unmerged (oversized-row rule).
         up.push_back(std::move(oldest));
         ++structure_version_;
       }
@@ -376,6 +467,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
   // contents never influence results, but concurrent pair merges must not
   // share one workspace.
   SketchT MergeLiveBlocks() {
+    metrics_.cold_merges->Add();
     const size_t m = live_scratch_.size();
     if (m == 0) return factory_();
     std::vector<std::optional<SketchT>> nodes((m + 1) / 2);
@@ -422,6 +514,8 @@ class LogarithmicMethod : public SlidingWindowSketch {
       while (!top.empty() && top.front().end < start) {
         top.pop_front();
         ++structure_version_;
+        metrics_.blocks_expired->Add();
+        metrics_.live_blocks->Add(-1);
       }
       if (top.empty()) {
         levels_.pop_back();
@@ -435,6 +529,8 @@ class LogarithmicMethod : public SlidingWindowSketch {
       while (!level.empty() && level.front().end < start) {
         level.pop_front();
         ++structure_version_;
+        metrics_.blocks_expired->Add();
+        metrics_.live_blocks->Add(-1);
       }
     }
     // Raw rows of the active block expire individually (a time window can
@@ -442,6 +538,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
     while (!active_.rows.empty() && active_.rows.front().row->ts < start) {
       active_.mass -= active_.rows.front().row->NormSq();
       active_.rows.pop_front();
+      metrics_.active_rows_expired->Add();
     }
     if (active_.rows.empty()) {
       active_.mass = 0.0;
@@ -455,6 +552,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
   LogarithmicMethodOptions options_;
   SketchFactory factory_;
   std::string name_;
+  MetricSet metrics_;  // Initialized after name_ (declaration order).
 
   // levels_[0] = level 1 (newest blocks); back = level L (oldest).
   // Within a level: front = oldest block.

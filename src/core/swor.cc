@@ -6,8 +6,38 @@
 
 #include "sketch/priority_sampler.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace swsketch {
+
+namespace {
+
+// Handles per query mode ("swor." / "swor_all.", matching the name()
+// slug), resolved once per process.
+struct SworMetrics {
+  Counter* rows_ingested;
+  Counter* priority_draws;
+  Counter* replacements;
+  Counter* front_expiries;
+  Counter* queries;
+
+  explicit SworMetrics(const std::string& prefix) {
+    MetricScope scope(prefix);
+    rows_ingested = scope.counter("rows_ingested");
+    priority_draws = scope.counter("priority_draws");
+    replacements = scope.counter("replacements");
+    front_expiries = scope.counter("front_expiries");
+    queries = scope.counter("queries");
+  }
+
+  static const SworMetrics& Get(bool all_mode) {
+    static const SworMetrics top("swor");
+    static const SworMetrics all("swor_all");
+    return all_mode ? all : top;
+  }
+};
+
+}  // namespace
 
 SworSketch::SworSketch(size_t dim, WindowSpec window, Options options)
     : dim_(dim),
@@ -31,9 +61,14 @@ void SworSketch::Update(std::span<const double> row, double ts) {
   if (w <= 0.0) return;
   frobenius_.Add(w, ts);
 
+  const SworMetrics& metrics =
+      SworMetrics::Get(options_.query_mode == QueryMode::kAll);
+  metrics.rows_ingested->Add();
+  metrics.priority_draws->Add();
   const double lp = LogPriority(&rng_, w);
   // Algorithm 5.2 lines 4-8: bump the rank of every dominated candidate
   // and evict those pushed past ell. Compaction is done in one pass.
+  const size_t before = queue_.size();
   size_t write = 0;
   for (size_t read = 0; read < queue_.size(); ++read) {
     Candidate& c = queue_[read];
@@ -42,6 +77,7 @@ void SworSketch::Update(std::span<const double> row, double ts) {
     if (write != read) queue_[write] = std::move(c);
     ++write;
   }
+  if (before != write) metrics.replacements->Add(before - write);
   queue_.resize(write);
   queue_.push_back(Candidate{
       MakeSharedRow(std::vector<double>(row.begin(), row.end()), ts), lp, 1});
@@ -61,7 +97,12 @@ void SworSketch::UpdateBatch(const Matrix& rows, std::span<const double> ts) {
     if (w <= 0.0) continue;
     frobenius_.Add(w, ts[r]);
 
+    const SworMetrics& metrics =
+        SworMetrics::Get(options_.query_mode == QueryMode::kAll);
+    metrics.rows_ingested->Add();
+    metrics.priority_draws->Add();
     const double lp = LogPriority(&rng_, w);
+    const size_t before = queue_.size();
     size_t write = 0;
     for (size_t read = 0; read < queue_.size(); ++read) {
       Candidate& c = queue_[read];
@@ -70,6 +111,7 @@ void SworSketch::UpdateBatch(const Matrix& rows, std::span<const double> ts) {
       if (write != read) queue_[write] = std::move(c);
       ++write;
     }
+    if (before != write) metrics.replacements->Add(before - write);
     queue_.resize(write);
     queue_.push_back(Candidate{
         MakeSharedRow(std::vector<double>(row.begin(), row.end()), ts[r]), lp,
@@ -86,13 +128,20 @@ void SworSketch::AdvanceTo(double now) {
 
 void SworSketch::Expire(double now) {
   const double start = window_.Start(now);
+  uint64_t expired = 0;
   while (!queue_.empty() && queue_.front().row->ts < start) {
     queue_.pop_front();
+    ++expired;
+  }
+  if (expired != 0) {
+    SworMetrics::Get(options_.query_mode == QueryMode::kAll)
+        .front_expiries->Add(expired);
   }
   frobenius_.EvictBefore(start);
 }
 
 Matrix SworSketch::Query() {
+  SworMetrics::Get(options_.query_mode == QueryMode::kAll).queries->Add();
   Expire(now_);
   const double start = window_.Start(now_);
   const double frob_sq = frobenius_.Estimate(start);

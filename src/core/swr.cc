@@ -5,8 +5,34 @@
 
 #include "sketch/priority_sampler.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace swsketch {
+
+namespace {
+
+// Handles under the fixed "swr." prefix, resolved once per process.
+struct SwrMetrics {
+  Counter* rows_ingested;
+  Counter* priority_draws;
+  Counter* replacements;
+  Counter* front_expiries;
+  Counter* queries;
+
+  static const SwrMetrics& Get() {
+    static const SwrMetrics m = [] {
+      MetricScope scope("swr");
+      return SwrMetrics{scope.counter("rows_ingested"),
+                        scope.counter("priority_draws"),
+                        scope.counter("replacements"),
+                        scope.counter("front_expiries"),
+                        scope.counter("queries")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 SwrSketch::SwrSketch(size_t dim, WindowSpec window, Options options)
     : dim_(dim),
@@ -32,16 +58,22 @@ void SwrSketch::Update(std::span<const double> row, double ts) {
                          // sequence windows, Section 1).
   frobenius_.Add(w, ts);
 
+  const SwrMetrics& metrics = SwrMetrics::Get();
+  metrics.rows_ingested->Add();
+  metrics.priority_draws->Add(chains_.size());
   const SharedRow shared =
       MakeSharedRow(std::vector<double>(row.begin(), row.end()), ts);
+  uint64_t replaced = 0;
   for (auto& chain : chains_) {
     const double lp = LogPriority(&rng_, w);
     // Algorithm 5.1 lines 4-8: drop dominated candidates from the back.
     while (!chain.empty() && chain.back().log_priority < lp) {
       chain.pop_back();
+      ++replaced;
     }
     chain.push_back(Candidate{shared, lp});
   }
+  if (replaced != 0) metrics.replacements->Add(replaced);
 }
 
 void SwrSketch::UpdateBatch(const Matrix& rows, std::span<const double> ts) {
@@ -61,15 +93,21 @@ void SwrSketch::UpdateBatch(const Matrix& rows, std::span<const double> ts) {
     if (w <= 0.0) continue;
     frobenius_.Add(w, ts[r]);
 
+    const SwrMetrics& metrics = SwrMetrics::Get();
+    metrics.rows_ingested->Add();
+    metrics.priority_draws->Add(chains_.size());
     const SharedRow shared =
         MakeSharedRow(std::vector<double>(row.begin(), row.end()), ts[r]);
+    uint64_t replaced = 0;
     for (auto& chain : chains_) {
       const double lp = LogPriority(&rng_, w);
       while (!chain.empty() && chain.back().log_priority < lp) {
         chain.pop_back();
+        ++replaced;
       }
       chain.push_back(Candidate{shared, lp});
     }
+    if (replaced != 0) metrics.replacements->Add(replaced);
   }
   // Expired candidates form a prefix of each deque (timestamps increase
   // front to back) and a stale front never influences back-side pops, so
@@ -85,15 +123,19 @@ void SwrSketch::AdvanceTo(double now) {
 
 void SwrSketch::Expire(double now) {
   const double start = window_.Start(now);
+  uint64_t expired = 0;
   for (auto& chain : chains_) {
     while (!chain.empty() && chain.front().row->ts < start) {
       chain.pop_front();
+      ++expired;
     }
   }
+  if (expired != 0) SwrMetrics::Get().front_expiries->Add(expired);
   frobenius_.EvictBefore(start);
 }
 
 Matrix SwrSketch::Query() {
+  SwrMetrics::Get().queries->Add();
   Expire(now_);
   const double start = window_.Start(now_);
   const double frob_sq = frobenius_.Estimate(start);

@@ -6,11 +6,30 @@
 #include "eval/cov_err.h"
 #include "stream/window_buffer.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace swsketch {
 
 namespace {
+
+// Handles under the fixed "harness." prefix: stream rows pulled, mature
+// checkpoints evaluated, and checkpoint evaluation latency.
+struct HarnessMetrics {
+  Counter* rows;
+  Counter* checkpoints;
+  Histogram* checkpoint_ns;
+
+  static const HarnessMetrics& Get() {
+    static const HarnessMetrics m = [] {
+      MetricScope scope("harness");
+      return HarnessMetrics{scope.counter("rows"),
+                            scope.counter("checkpoints"),
+                            scope.histogram("checkpoint_ns")};
+    }();
+    return m;
+  }
+};
 
 // Evaluates one mature checkpoint (exact Gram + per-sketch Query/error,
 // optionally on the pool) and appends a Checkpoint per sketch. Shared by
@@ -19,6 +38,8 @@ void EvalCheckpoint(std::span<SlidingWindowSketch* const> sketches,
                     const HarnessOptions& options, const WindowBuffer& buffer,
                     size_t dim, size_t row_index, double ts,
                     std::vector<HarnessResult>* results) {
+  HarnessMetrics::Get().checkpoints->Add();
+  ScopedTimer timer(HarnessMetrics::Get().checkpoint_ns);
   const Matrix gram = buffer.GramMatrix(dim);
   const double frob_sq = buffer.FrobeniusNormSq();
   double best_err = 0.0, zero_err = 0.0;
@@ -202,6 +223,7 @@ std::vector<HarnessResult> RunMany(RowStream* stream,
     }
   }
 
+  HarnessMetrics::Get().rows->Add(row_index);
   for (size_t s = 0; s < sketches.size(); ++s) {
     HarnessResult& r = results[s];
     r.rows_processed = row_index;

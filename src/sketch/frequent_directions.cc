@@ -9,8 +9,48 @@
 #include "linalg/tridiag_eigen.h"
 #include "linalg/vector_ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace swsketch {
+
+namespace {
+
+// Handles resolved once per process; every FD instance shares them (the
+// "fd." prefix is per-backend, not per-sketch — LM/DI attribute per-sketch
+// work at their own layer). Increments are single relaxed atomic adds.
+struct FdMetrics {
+  Counter* appends;
+  Counter* shrinks;
+  Counter* shrink_route_gram_wide;
+  Counter* shrink_route_gram_tall;
+  Counter* shrink_route_thinsvd;
+  Counter* eigen_route_jacobi;
+  Counter* eigen_route_tridiag;
+  Counter* scratch_creates;
+  Counter* scratch_shares;
+  Counter* merges;
+  Histogram* shrink_ns;
+
+  static const FdMetrics& Get() {
+    static const FdMetrics m = [] {
+      MetricScope scope("fd");
+      return FdMetrics{scope.counter("appends"),
+                       scope.counter("shrinks"),
+                       scope.counter("shrink_route_gram_wide"),
+                       scope.counter("shrink_route_gram_tall"),
+                       scope.counter("shrink_route_thinsvd"),
+                       scope.counter("eigen_route_jacobi"),
+                       scope.counter("eigen_route_tridiag"),
+                       scope.counter("scratch_creates"),
+                       scope.counter("scratch_shares"),
+                       scope.counter("merges"),
+                       scope.histogram("shrink_ns")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 // Everything the Gram-eigen shrink touches between calls. Recycled across
 // shrinks (and across FD instances, when shared) so the steady state does
@@ -46,16 +86,21 @@ std::shared_ptr<FdShrinkScratch> FrequentDirections::MakeShrinkScratch() {
 
 void FrequentDirections::ShareShrinkScratch(
     std::shared_ptr<FdShrinkScratch> scratch) {
+  FdMetrics::Get().scratch_shares->Add();
   scratch_ = std::move(scratch);
 }
 
 FdShrinkScratch* FrequentDirections::shrink_scratch() {
-  if (!scratch_) scratch_ = MakeShrinkScratch();
+  if (!scratch_) {
+    FdMetrics::Get().scratch_creates->Add();
+    scratch_ = MakeShrinkScratch();
+  }
   return scratch_.get();
 }
 
 void FrequentDirections::Append(std::span<const double> row, uint64_t) {
   SWSKETCH_CHECK_EQ(row.size(), dim_);
+  FdMetrics::Get().appends->Add();
   if (b_.rows() == capacity_) ShrinkWithRank(shrink_rank_);
   b_.AppendRow(row);
   input_mass_ += NormSq(row);
@@ -79,6 +124,7 @@ void FrequentDirections::AppendBatch(const Matrix& m, size_t begin, size_t end,
   // buffered, so append the whole block and pay one shrink instead of up to
   // `count`. The single shrink still sheds >= shrink_rank * lambda of mass,
   // so shed_mass() stays <= input_mass() / shrink_rank.
+  FdMetrics::Get().appends->Add(count);
   b_.ReserveRows(b_.rows() + count);
   for (size_t i = begin; i < end; ++i) {
     const auto row = m.Row(i);
@@ -90,6 +136,7 @@ void FrequentDirections::AppendBatch(const Matrix& m, size_t begin, size_t end,
 
 void FrequentDirections::AppendSparse(const SparseVector& row, uint64_t) {
   SWSKETCH_CHECK_EQ(row.dim(), dim_);
+  FdMetrics::Get().appends->Add();
   if (b_.rows() == capacity_) ShrinkWithRank(shrink_rank_);
   sparse_scratch_.assign(dim_, 0.0);
   row.AxpyInto(sparse_scratch_);
@@ -116,6 +163,9 @@ void FrequentDirections::ShrinkWithRank(size_t rank) {
 }
 
 void FrequentDirections::Rebuild(size_t rank, size_t max_rows) {
+  const FdMetrics& metrics = FdMetrics::Get();
+  metrics.shrinks->Add();
+  ScopedTimer timer(metrics.shrink_ns);
   switch (options_.shrink_backend) {
     case FdShrinkBackend::kGramEigen:
       RebuildFromGramEigen(rank, max_rows);
@@ -130,6 +180,7 @@ void FrequentDirections::Rebuild(size_t rank, size_t max_rows) {
 void FrequentDirections::RebuildFromSvd(size_t rank, size_t max_rows) {
   // b_ holds exactly the occupied rows, so the SVD runs on it directly —
   // no staging copy, and the survivors are written back in place.
+  FdMetrics::Get().shrink_route_thinsvd->Add();
   const SvdResult svd = ThinSvd(b_);
   ++shrink_count_;
   const size_t r = svd.singular_values.size();
@@ -152,10 +203,18 @@ void FrequentDirections::RebuildFromSvd(size_t rank, size_t max_rows) {
 }
 
 void FrequentDirections::RebuildFromGramEigen(size_t rank, size_t max_rows) {
+  const FdMetrics& metrics = FdMetrics::Get();
   FdShrinkScratch& s = *shrink_scratch();
   ++shrink_count_;
   const size_t n = b_.rows();
   const size_t d = dim_;
+  // Mirror SymmetricEigenSolve's dispatch rule so the route counters say
+  // which eigensolver actually ran on the small-side Gram.
+  (std::min(n, d) <= options_.eigen_jacobi_cutoff ? metrics.eigen_route_jacobi
+                                                  : metrics.eigen_route_tridiag)
+      ->Add();
+  (n <= d ? metrics.shrink_route_gram_wide : metrics.shrink_route_gram_tall)
+      ->Add();
   // Same numerical-rank cutoff as ThinSvd, so both backends retain the
   // same directions on rank-deficient buffers.
   const double rank_tol = SvdOptions{}.rank_tol;
@@ -240,6 +299,7 @@ void FrequentDirections::RebuildFromGramEigen(size_t rank, size_t max_rows) {
 }
 
 void FrequentDirections::MergeWith(const FrequentDirections& other) {
+  FdMetrics::Get().merges->Add();
   SWSKETCH_CHECK_EQ(dim_, other.dim_);
   SWSKETCH_CHECK_EQ(options_.ell, other.options_.ell);
 

@@ -4,8 +4,34 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace swsketch {
+
+namespace {
+
+// Handles under the fixed "window_buffer." prefix. The gauges report the
+// most recently mutated buffer (last-write-wins): the harness runs one
+// exact window per figure, which is the footprint worth watching.
+struct WindowBufferMetrics {
+  Counter* gram_dense;
+  Counter* gram_sparse;
+  Gauge* rows;
+  Gauge* resident_bytes;
+
+  static const WindowBufferMetrics& Get() {
+    static const WindowBufferMetrics m = [] {
+      MetricScope scope("window_buffer");
+      return WindowBufferMetrics{scope.counter("gram_dense"),
+                                 scope.counter("gram_sparse"),
+                                 scope.gauge("rows"),
+                                 scope.gauge("resident_bytes")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 void WindowBuffer::Add(Row row) {
   now_ = row.ts;
@@ -17,6 +43,11 @@ void WindowBuffer::AdvanceTo(double now) {
   now_ = now;
   const double start = spec_.Start(now);
   while (!rows_.empty() && rows_.front().ts < start) rows_.pop_front();
+  const WindowBufferMetrics& metrics = WindowBufferMetrics::Get();
+  const size_t dim = rows_.empty() ? 0 : rows_.front().dim();
+  metrics.rows->Set(static_cast<int64_t>(rows_.size()));
+  metrics.resident_bytes->Set(
+      static_cast<int64_t>(rows_.size() * dim * sizeof(double)));
 }
 
 Matrix WindowBuffer::ToMatrix() const {
@@ -36,7 +67,11 @@ Matrix WindowBuffer::GramMatrix(size_t dim) const {
   const double density =
       static_cast<double>(nnz) /
       (static_cast<double>(rows_.size()) * static_cast<double>(dim));
-  if (density <= kSparseGramDensityThreshold) return SparseGramMatrix(dim);
+  if (density <= kSparseGramDensityThreshold) {
+    WindowBufferMetrics::Get().gram_sparse->Add();
+    return SparseGramMatrix(dim);
+  }
+  WindowBufferMetrics::Get().gram_dense->Add();
   // Materialize the window contiguously and use the blocked (and, for
   // large windows, parallel) Gram kernel: the copy is O(n d) against the
   // O(n d^2) product, and the blocked kernel is several times faster than

@@ -82,17 +82,33 @@ double ExponentialHistogram::OldestSuffixSum() const {
 void ExponentialHistogram::Serialize(ByteWriter* writer) const {
   writer->Put(eps_);
   writer->Put(last_ts_);
-  std::vector<Boundary> flat(boundaries_.begin(), boundaries_.end());
-  writer->PutVector(flat);
+  // Field by field, never the raw struct: Boundary has padding after the
+  // bool, and memcpy'ing it would leak uninitialized bytes into the
+  // payload (caught by the golden-fixture byte-stability tests).
+  writer->Put<uint64_t>(boundaries_.size());
+  for (const Boundary& b : boundaries_) {
+    writer->Put(b.start_ts);
+    writer->Put(b.suffix_sum);
+    writer->Put<uint8_t>(b.adjacent_to_next ? 1 : 0);
+  }
 }
 
 bool ExponentialHistogram::Deserialize(ByteReader* reader) {
-  std::vector<Boundary> flat;
-  if (!reader->Get(&eps_) || !reader->Get(&last_ts_) ||
-      !reader->GetVector(&flat)) {
+  uint64_t n = 0;
+  if (!reader->Get(&eps_) || !reader->Get(&last_ts_) || !reader->Get(&n)) {
     return false;
   }
-  boundaries_.assign(flat.begin(), flat.end());
+  boundaries_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    Boundary b;
+    uint8_t adjacent = 0;
+    if (!reader->Get(&b.start_ts) || !reader->Get(&b.suffix_sum) ||
+        !reader->Get(&adjacent)) {
+      return false;
+    }
+    b.adjacent_to_next = adjacent != 0;
+    boundaries_.push_back(b);
+  }
   return true;
 }
 

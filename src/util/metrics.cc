@@ -1,0 +1,189 @@
+#include "util/metrics.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace swsketch {
+
+size_t Counter::ShardIndex() noexcept {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return idx;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumented objects may record from detached
+  // threads during process teardown.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter(name));
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge(name));
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(name));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.sum = histogram->Sum();
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t c = histogram->BucketCount(i);
+      if (c != 0) data.buckets.emplace_back(i, c);
+      data.count += c;
+    }
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::ostringstream* out) {
+  *out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+std::string ExportJson(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(name, &out);
+    out << ": " << value;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(name, &out);
+    out << ": " << value;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(h.name, &out);
+    out << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"buckets\": {";
+    bool first_bucket = true;
+    for (const auto& [index, count] : h.buckets) {
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      // Keyed by the bucket's lower bound — stable, human-readable, and
+      // recoverable into [lower, upper) with the fixed log2 layout.
+      out << '"' << Histogram::BucketLower(index) << "\": " << count;
+    }
+    out << "}}";
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string prom = PromName(h.name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [index, count] : h.buckets) {
+      cumulative += count;
+      out << prom << "_bucket{le=\"" << Histogram::BucketUpper(index)
+          << "\"} " << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << prom << "_sum " << h.sum << "\n";
+    out << prom << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Export(ExportFormat format) const {
+  const MetricsSnapshot snap = Snapshot();
+  return format == ExportFormat::kJson ? ExportJson(snap)
+                                       : ExportPrometheus(snap);
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
+}
+
+std::string MetricScope::Slug(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  bool pending_sep = false;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !out.empty()) out.push_back('_');
+      pending_sep = false;
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace swsketch

@@ -1,0 +1,277 @@
+// Process-wide deterministic metrics: named counters, gauges and
+// fixed-log-bucket latency histograms, aggregated by a global
+// MetricsRegistry and exportable as JSON or Prometheus text.
+//
+// Design constraints (DESIGN.md section 8 "Observability"):
+//  - Hot-path cost is one relaxed atomic add on a cached handle. Counters
+//    shard across cache-line-padded slots indexed by a per-thread id, so
+//    concurrent writers never contend on one line; Snapshot() sums the
+//    shards, and the sum is exact (adds are never dropped or double
+//    counted, only the aggregation is deferred).
+//  - Bucket layout is deterministic: histogram bucket i holds values in
+//    [2^(i-1), 2^i) (bucket 0 holds zero), computed from the value's bit
+//    width alone — no wall clock, no floating point, no configuration in
+//    the bucket math. Recording the same multiset of values yields the
+//    same buckets under any SWSKETCH_THREADS.
+//  - Handles are registered once by name and never invalidated; sketches
+//    cache Counter* / Gauge* / Histogram* pointers at construction and
+//    the registry outlives every sketch (static storage duration).
+//
+// Metric names are dot-separated: a per-sketch MetricScope prefix
+// ("lm_fd", "di_rp", "swor_all", ...) derived from the sketch name plus a
+// short suffix ("queries", "blocks_closed"). Prometheus export rewrites
+// dots to underscores.
+#ifndef SWSKETCH_UTIL_METRICS_H_
+#define SWSKETCH_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace swsketch {
+
+/// Monotonic event counter with thread-local shard selection. Adds are
+/// relaxed atomics into one of kShards padded slots; Value() sums them.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;  // Power of two (shard mask).
+
+  void Add(uint64_t delta = 1) noexcept {
+    shards_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Exact total across shards (the sum of every Add ever issued).
+  uint64_t Value() const noexcept {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  // Stable per-thread shard: threads get round-robin ids at first use, so
+  // a fixed thread population spreads across shards without hashing.
+  static size_t ShardIndex() noexcept;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+  std::string name_;
+
+  void ResetForTest() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Instantaneous signed value (resident bytes, live blocks). Set and Add
+/// are single relaxed atomics; unlike counters, gauges are expected to go
+/// down (expiry, destruction), so deltas must be balanced by the caller.
+class Gauge {
+ public:
+  void Set(int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  std::atomic<int64_t> value_{0};
+  std::string name_;
+
+  void ResetForTest() noexcept { value_.store(0, std::memory_order_relaxed); }
+};
+
+/// Fixed-layout base-2 log histogram: bucket 0 counts zeros, bucket i >= 1
+/// counts values in [2^(i-1), 2^i). The layout is a pure function of the
+/// value's bit width — identical on every host, run and thread count.
+/// Intended for latencies in nanoseconds (64 buckets cover > 500 years)
+/// but any uint64 works.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  /// Bucket index of `value`: 0 for 0, otherwise min(kBuckets - 1,
+  /// bit_width(value)). Deterministic; no clocks, no floats.
+  static size_t BucketIndex(uint64_t value) noexcept {
+    if (value == 0) return 0;
+    size_t width = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++width;
+    }
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive-exclusive range [lower, upper) covered by bucket i (upper
+  /// is saturated to UINT64_MAX for the last bucket).
+  static uint64_t BucketLower(size_t i) noexcept {
+    return i == 0 ? 0 : (i == 1 ? 1 : uint64_t{1} << (i - 1));
+  }
+  static uint64_t BucketUpper(size_t i) noexcept {
+    return i == 0 ? 1
+                  : (i >= kBuckets - 1 ? ~uint64_t{0} : uint64_t{1} << i);
+  }
+
+  void Record(uint64_t value) noexcept {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t BucketCount(size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const noexcept {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  uint64_t Sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::string name_;
+
+  void ResetForTest() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Records the wall-clock nanoseconds of its scope into a histogram on
+/// destruction. A null histogram makes it a no-op (disabled metric).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(histogram),
+        start_(histogram ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    histogram_->Record(ns < 0 ? 0 : static_cast<uint64_t>(ns));
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time aggregate of every registered metric, sorted by name
+/// (registration storage is an ordered map, so export order is stable).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /// (bucket index, count) for every nonzero bucket, ascending index.
+    std::vector<std::pair<size_t, uint64_t>> buckets;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramData> histograms;
+};
+
+/// Owner of every metric. Handles are created on first lookup and live
+/// for the process lifetime; lookups take a mutex (do them once, at sketch
+/// construction), increments never do.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every sketch reports into.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  enum class ExportFormat { kJson, kPrometheus };
+
+  /// Serializes a snapshot: a single JSON object keyed by metric kind, or
+  /// Prometheus text exposition (dots become underscores, histograms emit
+  /// cumulative `_bucket{le=...}` series plus `_sum` / `_count`).
+  std::string Export(ExportFormat format) const;
+
+  /// Zeroes every value while keeping all handles valid. Tests only —
+  /// callers caching handles are unaffected, but concurrent writers will
+  /// interleave with the reset.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Prefix helper: MetricScope("lm_fd").counter("queries") registers (or
+/// finds) "lm_fd.queries" in the global registry. Slug() derives a prefix
+/// from a sketch name: "LM-FD" -> "lm_fd", "SWOR-ALL" -> "swor_all".
+class MetricScope {
+ public:
+  explicit MetricScope(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  Counter* counter(const std::string& suffix) const {
+    return MetricsRegistry::Global().GetCounter(prefix_ + "." + suffix);
+  }
+  Gauge* gauge(const std::string& suffix) const {
+    return MetricsRegistry::Global().GetGauge(prefix_ + "." + suffix);
+  }
+  Histogram* histogram(const std::string& suffix) const {
+    return MetricsRegistry::Global().GetHistogram(prefix_ + "." + suffix);
+  }
+
+  const std::string& prefix() const { return prefix_; }
+
+  /// Lower-cases and maps every non-alphanumeric run to one underscore.
+  static std::string Slug(const std::string& name);
+
+ private:
+  std::string prefix_;
+};
+
+}  // namespace swsketch
+
+#endif  // SWSKETCH_UTIL_METRICS_H_

@@ -35,6 +35,7 @@ class ByteWriter {
   void PutVector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     Put<uint64_t>(v.size());
+    if (v.empty()) return;  // data() may be null; don't form a null range.
     const auto* p = reinterpret_cast<const uint8_t*>(v.data());
     bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
   }
@@ -84,7 +85,9 @@ class ByteReader {
       return false;
     }
     out->resize(n);
-    std::memcpy(out->data(), bytes_.data() + pos_, n * sizeof(T));
+    if (n != 0) {  // memcpy with a null destination is UB even for size 0.
+      std::memcpy(out->data(), bytes_.data() + pos_, n * sizeof(T));
+    }
     pos_ += n * sizeof(T);
     return true;
   }

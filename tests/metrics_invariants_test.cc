@@ -1,0 +1,363 @@
+// Cross-cutting invariants over the metrics every sketch reports
+// (ISSUE 5): the counters are not decorative — each family obeys a
+// conservation law the implementation must maintain, checked here with
+// before/after deltas against the global registry.
+//
+//   - query caches: hits + misses == queries (LM and DI), and the nested
+//     merge/cover caches account exactly for the miss path;
+//   - block ledgers: closed + loaded == merges + expired + discarded +
+//     live (LM), without the merge term for DI, where `live` is the
+//     live_blocks gauge — and destruction settles the ledger to zero;
+//   - FD shrinks: the amortized schedule is analytic — with full-rank
+//     Gaussian input, shrinks(n) = 1 + floor((n - cap) / (cap - r + 1)),
+//     and the route counters attribute every shrink;
+//   - ConcurrentSketch: snapshots_published == mutations + snapshot_ctors
+//     while only snapshot-mode instances mutate;
+//   - samplers: every priority draw is conserved as a live candidate, a
+//     replacement eviction, or a front expiry;
+//   - window buffer gauges mirror the buffer's actual footprint.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_sketch.h"
+#include "core/dyadic_interval.h"
+#include "core/factory.h"
+#include "core/logarithmic_method.h"
+#include "core/swor.h"
+#include "linalg/matrix.h"
+#include "sketch/frequent_directions.h"
+#include "stream/window_buffer.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace swsketch {
+namespace {
+
+uint64_t C(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name)->Value();
+}
+int64_t G(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name)->Value();
+}
+
+Matrix GaussianRows(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(MetricsInvariantsTest, LmQueryCacheAccountsForEveryQuery) {
+  const size_t d = 12;
+  const Matrix rows = GaussianRows(300, d, 1);
+  const uint64_t q0 = C("lm_fd.queries");
+  const uint64_t h0 = C("lm_fd.query_cache_hits");
+  const uint64_t m0 = C("lm_fd.query_cache_misses");
+  const uint64_t mh0 = C("lm_fd.merge_cache_hits");
+  const uint64_t mm0 = C("lm_fd.merge_cache_misses");
+  {
+    LmFd::Options opt;
+    opt.ell = 8;
+    opt.blocks_per_level = 3;
+    opt.block_capacity = 8.0 * static_cast<double>(d);
+    LmFd lm(d, WindowSpec::Sequence(120), opt);
+    uint64_t issued = 0;
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      lm.Update(rows.Row(i), static_cast<double>(i + 1));
+      if (i % 3 == 0) {
+        (void)lm.Query();
+        (void)lm.Query();  // Guaranteed-warm repeat.
+        issued += 2;
+      }
+    }
+    EXPECT_EQ(C("lm_fd.queries") - q0, issued);
+  }
+  const uint64_t dq = C("lm_fd.queries") - q0;
+  const uint64_t dh = C("lm_fd.query_cache_hits") - h0;
+  const uint64_t dm = C("lm_fd.query_cache_misses") - m0;
+  EXPECT_EQ(dh + dm, dq);
+  EXPECT_GT(dh, 0u);  // The warm repeats must hit.
+  EXPECT_GT(dm, 0u);  // Structural churn must miss.
+  // Every miss on a nonempty window consults the merged-prefix cache
+  // (all queries here happen after the first ingested row).
+  const uint64_t dmh = C("lm_fd.merge_cache_hits") - mh0;
+  const uint64_t dmm = C("lm_fd.merge_cache_misses") - mm0;
+  EXPECT_EQ(dmh + dmm, dm);
+}
+
+TEST(MetricsInvariantsTest, LmBlockLedgerBalancesAndSettlesOnDestruction) {
+  const size_t d = 10;
+  const Matrix rows = GaussianRows(400, d, 2);
+  const uint64_t closed0 = C("lm_fd.blocks_closed");
+  const uint64_t loaded0 = C("lm_fd.blocks_loaded");
+  const uint64_t merges0 = C("lm_fd.level_merges");
+  const uint64_t expired0 = C("lm_fd.blocks_expired");
+  const uint64_t discarded0 = C("lm_fd.blocks_discarded");
+  const int64_t live0 = G("lm_fd.live_blocks");
+
+  const auto ledger_gap = [&]() -> int64_t {
+    const int64_t sources =
+        static_cast<int64_t>(C("lm_fd.blocks_closed") - closed0) +
+        static_cast<int64_t>(C("lm_fd.blocks_loaded") - loaded0);
+    const int64_t sinks =
+        static_cast<int64_t>(C("lm_fd.level_merges") - merges0) +
+        static_cast<int64_t>(C("lm_fd.blocks_expired") - expired0) +
+        static_cast<int64_t>(C("lm_fd.blocks_discarded") - discarded0) +
+        (G("lm_fd.live_blocks") - live0);
+    return sources - sinks;
+  };
+
+  {
+    LmFd::Options opt;
+    opt.ell = 6;
+    opt.blocks_per_level = 2;  // Small levels force merges.
+    opt.block_capacity = 6.0 * static_cast<double>(d);
+    LmFd lm(d, WindowSpec::Sequence(100), opt);
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      lm.Update(rows.Row(i), static_cast<double>(i + 1));
+      if (i % 7 == 0) {
+        EXPECT_EQ(ledger_gap(), 0) << "row " << i;
+      }
+    }
+    EXPECT_EQ(ledger_gap(), 0);
+    EXPECT_GT(C("lm_fd.blocks_closed") - closed0, 0u);
+    EXPECT_GT(C("lm_fd.level_merges") - merges0, 0u);
+    EXPECT_GT(C("lm_fd.blocks_expired") - expired0, 0u);
+    EXPECT_GT(G("lm_fd.live_blocks"), live0);
+  }
+  // Destruction discards the held blocks; the ledger stays balanced and
+  // the live gauge returns to its starting level.
+  EXPECT_EQ(ledger_gap(), 0);
+  EXPECT_EQ(G("lm_fd.live_blocks"), live0);
+}
+
+TEST(MetricsInvariantsTest, LmDeserializeLoadsBlocksIntoTheLedger) {
+  const size_t d = 8;
+  const Matrix rows = GaussianRows(200, d, 3);
+  const uint64_t loaded0 = C("lm_fd.blocks_loaded");
+  const uint64_t reloads0 = C("lm_fd.reloads");
+  const int64_t live0 = G("lm_fd.live_blocks");
+  {
+    LmFd::Options opt;
+    opt.ell = 6;
+    opt.block_capacity = 6.0 * static_cast<double>(d);
+    LmFd lm(d, WindowSpec::Sequence(80), opt);
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      lm.Update(rows.Row(i), static_cast<double>(i + 1));
+    }
+    const size_t held = lm.NumBlocks();
+    ASSERT_GT(held, 0u);
+    ByteWriter w;
+    lm.Serialize(&w);
+    ByteReader r(w.bytes());
+    auto lm2 = LmFd::Deserialize(&r);
+    ASSERT_TRUE(lm2.ok());
+    EXPECT_EQ(C("lm_fd.reloads") - reloads0, 1u);
+    EXPECT_EQ(C("lm_fd.blocks_loaded") - loaded0, held);
+    // Two instances hold `held` blocks each.
+    EXPECT_EQ(G("lm_fd.live_blocks") - live0,
+              static_cast<int64_t>(2 * held));
+  }
+  EXPECT_EQ(G("lm_fd.live_blocks"), live0);
+}
+
+TEST(MetricsInvariantsTest, DiQueryAndCoverCacheAccounting) {
+  const size_t d = 12;
+  const Matrix rows = GaussianRows(300, d, 4);
+  double max_norm_sq = 1.0;
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    double nn = 0.0;
+    for (size_t j = 0; j < d; ++j) nn += rows(i, j) * rows(i, j);
+    max_norm_sq = std::max(max_norm_sq, nn);
+  }
+  const uint64_t q0 = C("di_fd.queries");
+  const uint64_t h0 = C("di_fd.query_cache_hits");
+  const uint64_t m0 = C("di_fd.query_cache_misses");
+  const uint64_t ch0 = C("di_fd.cover_cache_hits");
+  const uint64_t cm0 = C("di_fd.cover_cache_misses");
+  {
+    DiFd::Options opt;
+    opt.levels = 4;
+    opt.window_size = 120;
+    opt.max_norm_sq = max_norm_sq;
+    opt.ell_top = 16;
+    DiFd di(d, opt);
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      di.Update(rows.Row(i), static_cast<double>(i + 1));
+      if (i % 3 == 0) {
+        (void)di.Query();
+        (void)di.Query();
+      }
+    }
+  }
+  const uint64_t dq = C("di_fd.queries") - q0;
+  const uint64_t dh = C("di_fd.query_cache_hits") - h0;
+  const uint64_t dm = C("di_fd.query_cache_misses") - m0;
+  EXPECT_EQ(dh + dm, dq);
+  EXPECT_GT(dh, 0u);
+  EXPECT_GT(dm, 0u);
+  // Every result-cache miss consults the cover cache exactly once.
+  EXPECT_EQ((C("di_fd.cover_cache_hits") - ch0) +
+                (C("di_fd.cover_cache_misses") - cm0),
+            dm);
+}
+
+TEST(MetricsInvariantsTest, DiBlockLedgerBalancesAndSettlesOnDestruction) {
+  const size_t d = 10;
+  const Matrix rows = GaussianRows(350, d, 5);
+  const uint64_t closed0 = C("di_fd.blocks_closed");
+  const uint64_t loaded0 = C("di_fd.blocks_loaded");
+  const uint64_t expired0 = C("di_fd.blocks_expired");
+  const uint64_t discarded0 = C("di_fd.blocks_discarded");
+  const int64_t live0 = G("di_fd.live_blocks");
+
+  const auto ledger_gap = [&]() -> int64_t {
+    const int64_t sources =
+        static_cast<int64_t>(C("di_fd.blocks_closed") - closed0) +
+        static_cast<int64_t>(C("di_fd.blocks_loaded") - loaded0);
+    const int64_t sinks =
+        static_cast<int64_t>(C("di_fd.blocks_expired") - expired0) +
+        static_cast<int64_t>(C("di_fd.blocks_discarded") - discarded0) +
+        (G("di_fd.live_blocks") - live0);
+    return sources - sinks;
+  };
+
+  {
+    DiFd::Options opt;
+    opt.levels = 4;
+    opt.window_size = 100;
+    opt.max_norm_sq = 40.0;
+    opt.ell_top = 8;
+    DiFd di(d, opt);
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      di.Update(rows.Row(i), static_cast<double>(i + 1));
+      if (i % 7 == 0) {
+        EXPECT_EQ(ledger_gap(), 0) << "row " << i;
+      }
+    }
+    EXPECT_EQ(ledger_gap(), 0);
+    EXPECT_GT(C("di_fd.blocks_closed") - closed0, 0u);
+    EXPECT_GT(C("di_fd.blocks_expired") - expired0, 0u);
+  }
+  EXPECT_EQ(ledger_gap(), 0);
+  EXPECT_EQ(G("di_fd.live_blocks"), live0);
+}
+
+TEST(MetricsInvariantsTest, FdShrinksFollowTheAmortizedSchedule) {
+  // Tall regime: capacity (= ell, buffer_factor 1) exceeds dim, so every
+  // shrink takes the gram_tall route, and min(n, d) = d <= the Jacobi
+  // cutoff keeps the eigensolve on the Jacobi path. Gaussian rows are
+  // full rank, so each shrink leaves exactly shrink_rank - 1 rows and the
+  // shrink count is an exact function of n.
+  const size_t d = 16;
+  const size_t ell = 32;
+  const size_t n = 200;
+  const Matrix rows = GaussianRows(n, d, 6);
+  const uint64_t appends0 = C("fd.appends");
+  const uint64_t shrinks0 = C("fd.shrinks");
+  const uint64_t tall0 = C("fd.shrink_route_gram_tall");
+  const uint64_t jacobi0 = C("fd.eigen_route_jacobi");
+
+  FrequentDirections fd(d, ell);
+  ASSERT_GT(fd.buffer_capacity(), d);
+  for (size_t i = 0; i < n; ++i) fd.Append(rows.Row(i), i);
+
+  const size_t cap = fd.buffer_capacity();
+  const size_t cycle = cap - fd.shrink_rank() + 1;
+  const size_t expected = n < cap ? 0 : 1 + (n - cap) / cycle;
+  EXPECT_EQ(fd.shrink_count(), expected);
+  EXPECT_EQ(C("fd.appends") - appends0, n);
+  EXPECT_EQ(C("fd.shrinks") - shrinks0, fd.shrink_count());
+  EXPECT_EQ(C("fd.shrink_route_gram_tall") - tall0, fd.shrink_count());
+  EXPECT_EQ(C("fd.eigen_route_jacobi") - jacobi0, fd.shrink_count());
+}
+
+TEST(MetricsInvariantsTest, ConcurrentSnapshotPerMutation) {
+  // In snapshot mode every mutation republishes, plus the one publish the
+  // constructor issues; no other ConcurrentSketch instance may mutate
+  // while this measurement runs (they share the process-wide counters).
+  const uint64_t pub0 = C("concurrent.snapshots_published");
+  const uint64_t mut0 = C("concurrent.mutations");
+  const uint64_t ctor0 = C("concurrent.snapshot_ctors");
+  const uint64_t readers0 = C("concurrent.reader_copies");
+
+  SketchConfig config;
+  config.algorithm = "lm-fd";
+  config.ell = 8;
+  auto inner = MakeSlidingWindowSketch(8, WindowSpec::Sequence(100), config);
+  ASSERT_TRUE(inner.ok());
+  ConcurrentSketch sketch(inner.take());
+  Rng rng(7);
+  for (int i = 0; i < 150; ++i) {
+    std::vector<double> row(8);
+    for (auto& v : row) v = rng.Gaussian();
+    sketch.Update(row, static_cast<double>(i + 1));
+  }
+  sketch.AdvanceTo(200.0);
+  (void)sketch.Query();
+
+  EXPECT_EQ(C("concurrent.snapshots_published") - pub0,
+            (C("concurrent.mutations") - mut0) +
+                (C("concurrent.snapshot_ctors") - ctor0));
+  EXPECT_EQ(C("concurrent.mutations") - mut0, 151u);  // 150 updates + advance.
+  EXPECT_GT(C("concurrent.reader_copies") - readers0, 0u);
+}
+
+TEST(MetricsInvariantsTest, SworDrawsAreConserved) {
+  // Every priority draw ends up exactly one of: still a live candidate,
+  // evicted by a dominating arrival (replacement), or expired out the
+  // window front.
+  const size_t d = 6;
+  const Matrix rows = GaussianRows(500, d, 8);
+  const uint64_t draws0 = C("swor.priority_draws");
+  const uint64_t repl0 = C("swor.replacements");
+  const uint64_t exp0 = C("swor.front_expiries");
+  const uint64_t rows0 = C("swor.rows_ingested");
+
+  SworSketch::Options opt;
+  opt.ell = 8;
+  opt.seed = 9;
+  SworSketch swor(d, WindowSpec::Sequence(64), opt);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    swor.Update(rows.Row(i), static_cast<double>(i + 1));
+    const uint64_t draws = C("swor.priority_draws") - draws0;
+    const uint64_t gone = (C("swor.replacements") - repl0) +
+                          (C("swor.front_expiries") - exp0);
+    ASSERT_EQ(draws, gone + swor.RowsStored()) << "row " << i;
+  }
+  EXPECT_EQ(C("swor.rows_ingested") - rows0, rows.rows());
+  EXPECT_GT(C("swor.replacements") - repl0, 0u);
+  EXPECT_GT(C("swor.front_expiries") - exp0, 0u);
+}
+
+TEST(MetricsInvariantsTest, WindowBufferGaugesTrackFootprint) {
+  const size_t d = 8;
+  const Matrix rows = GaussianRows(120, d, 10);
+  WindowBuffer buffer(WindowSpec::Sequence(50));
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const auto row = rows.Row(i);
+    buffer.Add(Row(std::vector<double>(row.begin(), row.end()),
+                   static_cast<double>(i + 1)));
+    EXPECT_EQ(G("window_buffer.rows"),
+              static_cast<int64_t>(buffer.size()));
+    EXPECT_EQ(G("window_buffer.resident_bytes"),
+              static_cast<int64_t>(buffer.size() * d * sizeof(double)));
+  }
+  EXPECT_EQ(buffer.size(), 50u);
+
+  // Gram route counters move with the density dispatch: Gaussian windows
+  // are dense.
+  const uint64_t dense0 = C("window_buffer.gram_dense");
+  (void)buffer.GramMatrix(d);
+  EXPECT_EQ(C("window_buffer.gram_dense") - dense0, 1u);
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,281 @@
+// Unit tests for the metrics layer (util/metrics.h): exact sharded
+// counter sums under concurrency, deterministic histogram bucketing
+// independent of the recording thread count, scope/slug naming and the
+// JSON / Prometheus export formats.
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace swsketch {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter_basic");
+  const uint64_t before = c->Value();
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), before + 42);
+}
+
+TEST(CounterTest, ShardedAddsSumExactly) {
+  // Adds from many threads land in per-thread shards; Value() must return
+  // the exact total regardless of how the threads were spread.
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter_sharded");
+  const uint64_t before = c->Value();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), before + kThreads * kAddsPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge_basic");
+  g->Set(100);
+  EXPECT_EQ(g->Value(), 100);
+  g->Add(-150);
+  EXPECT_EQ(g->Value(), -50);
+  g->Set(0);
+  EXPECT_EQ(g->Value(), 0);
+}
+
+TEST(HistogramTest, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsPartitionTheRange) {
+  // Every bucket's [lower, upper) must round-trip through BucketIndex and
+  // adjacent buckets must tile without gaps.
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const uint64_t lo = Histogram::BucketLower(i);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "bucket " << i;
+    if (i + 1 < Histogram::kBuckets) {
+      EXPECT_EQ(Histogram::BucketUpper(i), Histogram::BucketLower(i + 1))
+          << "bucket " << i;
+      EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpper(i) - 1), i)
+          << "bucket " << i;
+    }
+  }
+  EXPECT_EQ(Histogram::BucketUpper(Histogram::kBuckets - 1), ~uint64_t{0});
+}
+
+TEST(HistogramTest, RecordAccumulatesCountAndSum) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.hist_basic");
+  const uint64_t count_before = h->TotalCount();
+  const uint64_t sum_before = h->Sum();
+  h->Record(0);
+  h->Record(1);
+  h->Record(5);
+  h->Record(1000);
+  EXPECT_EQ(h->TotalCount(), count_before + 4);
+  EXPECT_EQ(h->Sum(), sum_before + 1006);
+  EXPECT_GE(h->BucketCount(Histogram::BucketIndex(5)), 1u);
+}
+
+TEST(HistogramTest, BucketsDeterministicAcrossThreadCounts) {
+  // Recording the same multiset of values must produce identical bucket
+  // vectors whether one thread or four do the recording — the invariant
+  // the SWSKETCH_THREADS={1,4} CI configurations rely on.
+  std::vector<uint64_t> values;
+  uint64_t v = 1;
+  for (int i = 0; i < 4096; ++i) {
+    values.push_back(v);
+    v = (v * 2862933555777941757ULL + 3037000493ULL) >> 16;
+  }
+
+  const auto record_with_threads = [&](const std::string& name,
+                                       int num_threads) {
+    Histogram* h = MetricsRegistry::Global().GetHistogram(name);
+    std::vector<std::thread> threads;
+    const size_t per = values.size() / num_threads;
+    for (int t = 0; t < num_threads; ++t) {
+      const size_t begin = t * per;
+      const size_t end = t + 1 == num_threads ? values.size() : begin + per;
+      threads.emplace_back([&, begin, end] {
+        for (size_t i = begin; i < end; ++i) h->Record(values[i]);
+      });
+    }
+    for (auto& t : threads) t.join();
+    return h;
+  };
+
+  Histogram* h1 = record_with_threads("test.hist_threads1", 1);
+  Histogram* h4 = record_with_threads("test.hist_threads4", 4);
+  EXPECT_EQ(h1->TotalCount(), values.size());
+  EXPECT_EQ(h1->Sum(), h4->Sum());
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(h1->BucketCount(i), h4->BucketCount(i)) << "bucket " << i;
+  }
+}
+
+TEST(ScopedTimerTest, RecordsOneSampleAndToleratesNull) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.timer_hist");
+  const uint64_t before = h->TotalCount();
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h->TotalCount(), before + 1);
+  {
+    ScopedTimer noop(nullptr);  // Must not crash.
+  }
+}
+
+TEST(MetricScopeTest, SlugNormalizesSketchNames) {
+  EXPECT_EQ(MetricScope::Slug("LM-FD"), "lm_fd");
+  EXPECT_EQ(MetricScope::Slug("DI-RP"), "di_rp");
+  EXPECT_EQ(MetricScope::Slug("SWOR-ALL"), "swor_all");
+  EXPECT_EQ(MetricScope::Slug("SWR"), "swr");
+  EXPECT_EQ(MetricScope::Slug("already_slugged"), "already_slugged");
+  EXPECT_EQ(MetricScope::Slug("a  b--c"), "a_b_c");
+}
+
+TEST(MetricScopeTest, ScopePrefixesNames) {
+  MetricScope scope("test_scope");
+  Counter* c = scope.counter("events");
+  EXPECT_EQ(c->name(), "test_scope.events");
+  // Same name resolves to the same handle, scoped or not.
+  EXPECT_EQ(c, MetricsRegistry::Global().GetCounter("test_scope.events"));
+  EXPECT_EQ(scope.gauge("level")->name(), "test_scope.level");
+  EXPECT_EQ(scope.histogram("lat_ns")->name(), "test_scope.lat_ns");
+}
+
+TEST(RegistryTest, LookupIsIdempotent) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.idempotent");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.idempotent");
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, SnapshotContainsRegisteredMetrics) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.snap_counter");
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.snap_gauge");
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.snap_hist");
+  c->Add(7);
+  g->Set(-3);
+  h->Record(12);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.snap_counter") {
+      saw_counter = true;
+      EXPECT_GE(value, 7u);
+    }
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test.snap_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(value, -3);
+    }
+  }
+  for (const auto& hd : snap.histograms) {
+    if (hd.name == "test.snap_hist") {
+      saw_hist = true;
+      EXPECT_GE(hd.count, 1u);
+      EXPECT_GE(hd.sum, 12u);
+      EXPECT_FALSE(hd.buckets.empty());
+      // Nonzero buckets ascending by index.
+      for (size_t i = 1; i < hd.buckets.size(); ++i) {
+        EXPECT_LT(hd.buckets[i - 1].first, hd.buckets[i].first);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+
+  // Snapshot sections are sorted by name (ordered-map storage).
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+TEST(RegistryTest, JsonExportContainsMetrics) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.json_counter");
+  c->Add(5);
+  MetricsRegistry::Global().GetHistogram("test.json_hist")->Record(9);
+  const std::string json =
+      MetricsRegistry::Global().Export(MetricsRegistry::ExportFormat::kJson);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  // Balanced braces — cheap structural sanity without a JSON parser.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RegistryTest, PrometheusExportFormat) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.prom_counter");
+  c->Add(3);
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.prom_hist");
+  h->Record(100);
+  const std::string prom = MetricsRegistry::Global().Export(
+      MetricsRegistry::ExportFormat::kPrometheus);
+  // Dots rewritten to underscores; TYPE lines present.
+  EXPECT_NE(prom.find("# TYPE test_prom_counter counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_prom_hist histogram"), std::string::npos);
+  EXPECT_NE(prom.find("test_prom_hist_bucket{le=\""), std::string::npos);
+  EXPECT_NE(prom.find("test_prom_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_prom_hist_sum"), std::string::npos);
+  EXPECT_NE(prom.find("test_prom_hist_count"), std::string::npos);
+  EXPECT_EQ(prom.find('.'), std::string::npos)
+      << "metric names must not contain dots in Prometheus exposition";
+}
+
+TEST(RegistryTest, ResetForTestZeroesButKeepsHandles) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.reset_counter");
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.reset_gauge");
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.reset_hist");
+  c->Add(10);
+  g->Set(10);
+  h->Record(10);
+  MetricsRegistry::Global().ResetForTest();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->TotalCount(), 0u);
+  EXPECT_EQ(h->Sum(), 0u);
+  // Handles stay valid and usable.
+  c->Add(2);
+  EXPECT_EQ(c->Value(), 2u);
+  EXPECT_EQ(c, MetricsRegistry::Global().GetCounter("test.reset_counter"));
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -14,12 +14,21 @@
 #include "core/factory.h"
 #include "core/logarithmic_method.h"
 #include "eval/cov_err.h"
+#include "linalg/matrix.h"
 #include "stream/window_buffer.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/serialize.h"
 
 namespace swsketch {
 namespace {
+
+uint64_t MC(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name)->Value();
+}
+int64_t MG(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name)->Value();
+}
 
 class DifferentialFuzz
     : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
@@ -105,6 +114,181 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("swr", "swor", "swor-all", "lm-fd",
                                          "lm-hash", "di-fd"),
                        ::testing::Values(11u, 22u, 33u, 44u)));
+
+// Randomized op-sequence driver checking the metrics conservation laws
+// (see tests/metrics_invariants_test.cc for the single-path versions)
+// after EVERY operation: ingest (single and batched), query, silent
+// advance / expiry, and checkpoint/restore — where the restored sketch
+// replaces the original, so the block ledger must absorb a load and a
+// discard in the same op.
+void RunLmMetricsFuzz(const WindowSpec& window, uint64_t seed) {
+  const size_t d = 6;
+  Rng rng(seed);
+  const bool time_window = window.type() == WindowType::kTime;
+
+  const uint64_t q0 = MC("lm_fd.queries");
+  const uint64_t h0 = MC("lm_fd.query_cache_hits");
+  const uint64_t m0 = MC("lm_fd.query_cache_misses");
+  const uint64_t mh0 = MC("lm_fd.merge_cache_hits");
+  const uint64_t mm0 = MC("lm_fd.merge_cache_misses");
+  const uint64_t closed0 = MC("lm_fd.blocks_closed");
+  const uint64_t loaded0 = MC("lm_fd.blocks_loaded");
+  const uint64_t merges0 = MC("lm_fd.level_merges");
+  const uint64_t expired0 = MC("lm_fd.blocks_expired");
+  const uint64_t discarded0 = MC("lm_fd.blocks_discarded");
+  const int64_t live0 = MG("lm_fd.live_blocks");
+  uint64_t empty_results = 0;  // Queries that returned an empty matrix.
+
+  const auto check = [&](size_t op) {
+    const uint64_t dq = MC("lm_fd.queries") - q0;
+    const uint64_t dh = MC("lm_fd.query_cache_hits") - h0;
+    const uint64_t dm = MC("lm_fd.query_cache_misses") - m0;
+    ASSERT_EQ(dh + dm, dq) << "op " << op;
+    // Every nonempty-window miss consults the merge cache exactly once;
+    // empty-window queries short-circuit as misses.
+    ASSERT_EQ((MC("lm_fd.merge_cache_hits") - mh0) +
+                  (MC("lm_fd.merge_cache_misses") - mm0) + empty_results,
+              dm)
+        << "op " << op;
+    const int64_t sources =
+        static_cast<int64_t>(MC("lm_fd.blocks_closed") - closed0) +
+        static_cast<int64_t>(MC("lm_fd.blocks_loaded") - loaded0);
+    const int64_t sinks =
+        static_cast<int64_t>(MC("lm_fd.level_merges") - merges0) +
+        static_cast<int64_t>(MC("lm_fd.blocks_expired") - expired0) +
+        static_cast<int64_t>(MC("lm_fd.blocks_discarded") - discarded0) +
+        (MG("lm_fd.live_blocks") - live0);
+    ASSERT_EQ(sources, sinks) << "op " << op;
+  };
+
+  LmFd::Options opt;
+  opt.ell = 6;
+  opt.blocks_per_level = 2;
+  opt.block_capacity = 6.0 * d;
+  auto sketch = std::make_unique<LmFd>(d, window, opt);
+  double t = 0.0;
+  for (size_t op = 0; op < 400; ++op) {
+    const double dice = rng.Uniform01();
+    if (dice < 0.55) {
+      std::vector<double> row(d);
+      for (auto& v : row) v = rng.Gaussian();
+      t += time_window ? rng.Exponential(2.0) : 1.0;
+      sketch->Update(row, t);
+    } else if (dice < 0.70) {
+      const size_t burst = 1 + rng.UniformInt(20);
+      Matrix block(burst, d);
+      std::vector<double> ts(burst);
+      for (size_t b = 0; b < burst; ++b) {
+        for (size_t j = 0; j < d; ++j) block(b, j) = rng.Gaussian();
+        t += time_window ? rng.Exponential(2.0) : 1.0;
+        ts[b] = t;
+      }
+      sketch->UpdateBatch(block, ts);
+    } else if (dice < 0.80) {
+      // Expiry without arrivals (a sequence window only slides on
+      // arrivals, so AdvanceTo(t) is then a no-op — still an op).
+      t += time_window ? rng.Uniform01() * 60.0 : 0.0;
+      sketch->AdvanceTo(t);
+    } else if (dice < 0.95) {
+      const Matrix b = sketch->Query();
+      if (b.rows() == 0) ++empty_results;
+    } else {
+      ByteWriter w;
+      sketch->Serialize(&w);
+      ByteReader r(w.bytes());
+      auto loaded = LmFd::Deserialize(&r);
+      ASSERT_TRUE(loaded.ok()) << "op " << op;
+      sketch = std::make_unique<LmFd>(loaded.take());
+    }
+    check(op);
+  }
+  sketch.reset();
+  check(400);
+  EXPECT_EQ(MG("lm_fd.live_blocks"), live0);
+}
+
+TEST(DifferentialFuzzExtra, LmMetricsInvariantsUnderRandomOpsSequence) {
+  RunLmMetricsFuzz(WindowSpec::Sequence(90), 2024);
+}
+
+TEST(DifferentialFuzzExtra, LmMetricsInvariantsUnderRandomOpsTime) {
+  RunLmMetricsFuzz(WindowSpec::Time(45.0), 2025);
+}
+
+TEST(DifferentialFuzzExtra, DiMetricsInvariantsUnderRandomOps) {
+  const size_t d = 6;
+  Rng rng(77);
+
+  const uint64_t q0 = MC("di_fd.queries");
+  const uint64_t h0 = MC("di_fd.query_cache_hits");
+  const uint64_t m0 = MC("di_fd.query_cache_misses");
+  const uint64_t ch0 = MC("di_fd.cover_cache_hits");
+  const uint64_t cm0 = MC("di_fd.cover_cache_misses");
+  const uint64_t closed0 = MC("di_fd.blocks_closed");
+  const uint64_t loaded0 = MC("di_fd.blocks_loaded");
+  const uint64_t expired0 = MC("di_fd.blocks_expired");
+  const uint64_t discarded0 = MC("di_fd.blocks_discarded");
+  const int64_t live0 = MG("di_fd.live_blocks");
+
+  const auto check = [&](size_t op) {
+    const uint64_t dm = MC("di_fd.query_cache_misses") - m0;
+    ASSERT_EQ((MC("di_fd.query_cache_hits") - h0) + dm,
+              MC("di_fd.queries") - q0)
+        << "op " << op;
+    ASSERT_EQ((MC("di_fd.cover_cache_hits") - ch0) +
+                  (MC("di_fd.cover_cache_misses") - cm0),
+              dm)
+        << "op " << op;
+    const int64_t sources =
+        static_cast<int64_t>(MC("di_fd.blocks_closed") - closed0) +
+        static_cast<int64_t>(MC("di_fd.blocks_loaded") - loaded0);
+    const int64_t sinks =
+        static_cast<int64_t>(MC("di_fd.blocks_expired") - expired0) +
+        static_cast<int64_t>(MC("di_fd.blocks_discarded") - discarded0) +
+        (MG("di_fd.live_blocks") - live0);
+    ASSERT_EQ(sources, sinks) << "op " << op;
+  };
+
+  DiFd::Options opt;
+  opt.levels = 4;
+  opt.window_size = 90;
+  opt.max_norm_sq = 16.0 * d;
+  opt.ell_top = 8;
+  auto sketch = std::make_unique<DiFd>(d, opt);
+  double t = 0.0;
+  for (size_t op = 0; op < 400; ++op) {
+    const double dice = rng.Uniform01();
+    if (dice < 0.60) {
+      std::vector<double> row(d);
+      for (auto& v : row) v = rng.Gaussian();
+      t += 1.0;
+      sketch->Update(row, t);
+    } else if (dice < 0.75) {
+      const size_t burst = 1 + rng.UniformInt(20);
+      Matrix block(burst, d);
+      std::vector<double> ts(burst);
+      for (size_t b = 0; b < burst; ++b) {
+        for (size_t j = 0; j < d; ++j) block(b, j) = rng.Gaussian();
+        t += 1.0;
+        ts[b] = t;
+      }
+      sketch->UpdateBatch(block, ts);
+    } else if (dice < 0.92) {
+      (void)sketch->Query();
+    } else {
+      ByteWriter w;
+      sketch->Serialize(&w);
+      ByteReader r(w.bytes());
+      auto loaded = DiFd::Deserialize(&r);
+      ASSERT_TRUE(loaded.ok()) << "op " << op;
+      sketch = std::make_unique<DiFd>(loaded.take());
+    }
+    check(op);
+  }
+  sketch.reset();
+  check(400);
+  EXPECT_EQ(MG("di_fd.live_blocks"), live0);
+}
 
 TEST(DifferentialFuzzExtra, LmInvariantsUnderRandomOps) {
   // White-box invariant checking through a random op mix.

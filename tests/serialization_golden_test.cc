@@ -1,0 +1,214 @@
+// Golden serialization fixtures: committed byte blobs of serialized
+// LM-FD / DI-FD / SWOR sketches (the v2 FD payload format) plus the exact
+// bytes their post-load Query() must produce. Unlike the round-trip tests
+// (serialization_test.cc), these pin the on-disk format ACROSS PRs: any
+// change that reorders a field, bumps a version, or perturbs a double
+// fails here, so format breaks become a deliberate fixture regeneration
+// instead of a silent incompatibility.
+//
+// To regenerate after an intentional format change:
+//
+//     SWSKETCH_REGEN_GOLDEN=1 ./build/tests/serialization_golden_test
+//
+// which rewrites tests/fixtures/golden_*.bin in the source tree (the
+// fixture dir is baked in via SWSKETCH_FIXTURES_DIR). The generating
+// streams are seeded Rng draws, so fixtures are reproducible wherever
+// libm produces identical doubles (the CI container does).
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dyadic_interval.h"
+#include "core/logarithmic_method.h"
+#include "core/swor.h"
+#include "linalg/matrix.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+#ifndef SWSKETCH_FIXTURES_DIR
+#error "SWSKETCH_FIXTURES_DIR must be defined by the build"
+#endif
+
+namespace swsketch {
+namespace {
+
+bool RegenMode() {
+  const char* env = std::getenv("SWSKETCH_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string FixturePath(const std::string& file) {
+  return std::string(SWSKETCH_FIXTURES_DIR) + "/" + file;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path
+                         << " (regenerate with SWSKETCH_REGEN_GOLDEN=1)";
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Encodes a query result as little-endian (rows, cols, row-major doubles)
+// so "deserialize-then-query is byte-stable" is literal: any ULP drift in
+// the reconstruction pipeline flips fixture bytes.
+std::vector<uint8_t> EncodeMatrix(const Matrix& m) {
+  ByteWriter w;
+  w.Put<uint64_t>(m.rows());
+  w.Put<uint64_t>(m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) w.Put(m(i, j));
+  }
+  return w.bytes();
+}
+
+// Deterministic Gaussian ingest shared by every fixture builder.
+template <typename SketchT>
+void Ingest(SketchT* sketch, size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.Gaussian();
+    sketch->Update(row, static_cast<double>(i + 1));
+  }
+}
+
+// Shared harness: build the live sketch, serialize it, and either (regen)
+// rewrite the fixtures or (normal) assert the blob and the post-load
+// query both match the committed bytes exactly. `deserialize` maps the
+// committed blob back to a sketch; *regenerated is set if fixtures were
+// rewritten (caller should skip).
+template <typename SketchT, typename DeserializeFn>
+void CheckGolden(SketchT* live, const std::string& stem,
+                 DeserializeFn deserialize, bool* regenerated) {
+  *regenerated = false;
+  ByteWriter w;
+  live->Serialize(&w);
+  const std::vector<uint8_t> blob = w.bytes();
+
+  const std::string blob_path = FixturePath(stem + ".sketch.bin");
+  const std::string query_path = FixturePath(stem + ".query.bin");
+
+  if (RegenMode()) {
+    WriteFile(blob_path, blob);
+    ByteReader r(blob);
+    auto loaded = deserialize(&r);
+    EXPECT_TRUE(loaded.ok());
+    WriteFile(query_path, EncodeMatrix(loaded->Query()));
+    *regenerated = true;
+    return;
+  }
+
+  const std::vector<uint8_t> want_blob = ReadFile(blob_path);
+  ASSERT_EQ(blob.size(), want_blob.size())
+      << stem << ": serialized size changed — format drift";
+  EXPECT_EQ(std::memcmp(blob.data(), want_blob.data(), blob.size()), 0)
+      << stem << ": serialized bytes changed — format drift";
+
+  // Load the COMMITTED blob (not the fresh one): this is what a sketch
+  // checkpointed by an older build looks like to the current code.
+  ByteReader r(want_blob);
+  auto loaded = deserialize(&r);
+  ASSERT_TRUE(loaded.ok()) << stem << ": committed blob no longer loads";
+  const std::vector<uint8_t> got_query = EncodeMatrix(loaded->Query());
+  const std::vector<uint8_t> want_query = ReadFile(query_path);
+  ASSERT_EQ(got_query.size(), want_query.size()) << stem;
+  EXPECT_EQ(
+      std::memcmp(got_query.data(), want_query.data(), got_query.size()), 0)
+      << stem << ": deserialize-then-query is no longer byte-stable";
+}
+
+TEST(SerializationGoldenTest, LmFdBlobAndQueryAreByteStable) {
+  const size_t d = 8;
+  LmFd::Options opt;
+  opt.ell = 6;
+  opt.blocks_per_level = 3;
+  opt.block_capacity = 6.0 * static_cast<double>(d);
+  LmFd lm(d, WindowSpec::Sequence(100), opt);
+  Ingest(&lm, 250, d, 41);
+  bool regenerated = false;
+  CheckGolden(&lm, "golden_lm_fd",
+              [](ByteReader* r) { return LmFd::Deserialize(r); },
+              &regenerated);
+  if (regenerated) GTEST_SKIP() << "fixtures regenerated";
+}
+
+TEST(SerializationGoldenTest, DiFdBlobAndQueryAreByteStable) {
+  const size_t d = 8;
+  DiFd::Options opt;
+  opt.levels = 4;
+  opt.window_size = 100;
+  opt.max_norm_sq = 16.0 * static_cast<double>(d);
+  opt.ell_top = 12;
+  DiFd di(d, opt);
+  Ingest(&di, 250, d, 42);
+  bool regenerated = false;
+  CheckGolden(&di, "golden_di_fd",
+              [](ByteReader* r) { return DiFd::Deserialize(r); },
+              &regenerated);
+  if (regenerated) GTEST_SKIP() << "fixtures regenerated";
+}
+
+TEST(SerializationGoldenTest, SworBlobAndQueryAreByteStable) {
+  const size_t d = 8;
+  SworSketch::Options opt;
+  opt.ell = 10;
+  opt.seed = 43;
+  SworSketch swor(d, WindowSpec::Sequence(100), opt);
+  Ingest(&swor, 250, d, 43);
+  bool regenerated = false;
+  CheckGolden(&swor, "golden_swor",
+              [](ByteReader* r) { return SworSketch::Deserialize(r); },
+              &regenerated);
+  if (regenerated) GTEST_SKIP() << "fixtures regenerated";
+}
+
+TEST(SerializationGoldenTest, LoadStartsWithColdCachesAndCountsReload) {
+  // The query/merge caches are runtime state and must not ride along in
+  // the payload: the first Query() on a loaded sketch takes the cold path
+  // (a query_cache_miss), and the load itself is visible as a reload in
+  // the metrics. The bytes it produces still match the warm pre-serialize
+  // result (pinned bitwise by the fixtures above).
+  if (RegenMode()) GTEST_SKIP() << "regen run";
+  const size_t d = 8;
+  LmFd::Options opt;
+  opt.ell = 6;
+  opt.blocks_per_level = 3;
+  opt.block_capacity = 6.0 * static_cast<double>(d);
+  LmFd lm(d, WindowSpec::Sequence(100), opt);
+  Ingest(&lm, 250, d, 41);
+  (void)lm.Query();  // Warm the live sketch's cache.
+
+  auto& reg = MetricsRegistry::Global();
+  const uint64_t reloads0 = reg.GetCounter("lm_fd.reloads")->Value();
+  ByteWriter w;
+  lm.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto loaded = LmFd::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(reg.GetCounter("lm_fd.reloads")->Value(), reloads0 + 1);
+
+  const uint64_t misses0 = reg.GetCounter("lm_fd.query_cache_misses")->Value();
+  const uint64_t hits0 = reg.GetCounter("lm_fd.query_cache_hits")->Value();
+  const Matrix q = loaded->Query();
+  EXPECT_EQ(reg.GetCounter("lm_fd.query_cache_misses")->Value(), misses0 + 1)
+      << "first post-load query must be cold";
+  EXPECT_EQ(reg.GetCounter("lm_fd.query_cache_hits")->Value(), hits0);
+  EXPECT_EQ(q.MaxAbsDiff(lm.Query()), 0.0);
+}
+
+}  // namespace
+}  // namespace swsketch
