@@ -14,6 +14,7 @@
 #include "data/rail.h"
 #include "data/synthetic.h"
 #include "data/wiki.h"
+#include "distributed/sharded_sketch.h"
 #include "eval/report.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -186,9 +187,20 @@ std::vector<SweepPoint> RunSweep(const Workload& workload,
           static_cast<double>(ell) * workload.avg_norm_sq;
       config.fd_buffer_factor = options.fd_buffer_factor;
       config.seed = options.seed;
-      auto r = MakeSlidingWindowSketch(workload.dim, workload.window, config);
-      if (!r.ok()) continue;  // e.g. DI on a time window.
-      sketches.push_back(r.take());
+      if (options.shards > 1) {
+        ShardedSketch::Options sopt;
+        sopt.shards = options.shards;
+        sopt.block_rows = options.shard_block_rows;
+        auto r = ShardedSketch::Make(workload.dim, workload.window, config,
+                                     sopt);
+        if (!r.ok()) continue;  // e.g. DI on a time window.
+        sketches.push_back(r.take());
+      } else {
+        auto r = MakeSlidingWindowSketch(workload.dim, workload.window,
+                                         config);
+        if (!r.ok()) continue;  // e.g. DI on a time window.
+        sketches.push_back(r.take());
+      }
       algos.push_back(algo);
     }
     if (sketches.empty()) return;
@@ -415,6 +427,13 @@ void RunSequenceFigure(Metric metric, const Flags& flags,
   options.parallel_ingest = flags.GetBool("parallel_ingest", false);
   options.query_every = static_cast<size_t>(
       std::max<long long>(0, flags.GetInt("query_every", 0)));
+  options.shards = static_cast<size_t>(
+      std::max<long long>(1, flags.GetInt("shards", 1)));
+  options.shard_block_rows = static_cast<size_t>(
+      std::max<long long>(1, flags.GetInt("shard_block", 256)));
+  // Sharded cells own S writer threads each; concurrent cells on top of
+  // that would oversubscribe every core and skew timings.
+  if (options.shards > 1) options.parallel_cells = false;
 
   const std::string only = flags.GetString("dataset", "all");
   std::vector<Workload> workloads;
@@ -450,6 +469,11 @@ void RunTimeFigure(Metric metric, const Flags& flags,
   options.parallel_ingest = flags.GetBool("parallel_ingest", false);
   options.query_every = static_cast<size_t>(
       std::max<long long>(0, flags.GetInt("query_every", 0)));
+  options.shards = static_cast<size_t>(
+      std::max<long long>(1, flags.GetInt("shards", 1)));
+  options.shard_block_rows = static_cast<size_t>(
+      std::max<long long>(1, flags.GetInt("shard_block", 256)));
+  if (options.shards > 1) options.parallel_cells = false;
 
   const std::string only = flags.GetString("dataset", "all");
   std::vector<Workload> workloads;

@@ -88,6 +88,14 @@ struct SweepOptions {
   /// Stresses the query cache on figure runs without changing any
   /// reported column.
   size_t query_every = 0;
+  /// Wrap every sketch in a ShardedSketch with this many single-writer
+  /// shards (bench flag --shards; 1 = plain unsharded sketches). Each cell
+  /// then runs S writer threads per sketch, so combine with
+  /// parallel_cells = false to avoid oversubscription.
+  size_t shards = 1;
+  /// Rows per sharded hand-off block (--shard_block; ShardedSketch
+  /// Options::block_rows). Only read when shards > 1.
+  size_t shard_block_rows = 256;
 };
 
 /// Runs every algorithm at every ell over the workload. One stream pass

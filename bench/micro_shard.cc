@@ -1,0 +1,220 @@
+// Sharded-ingest microbenchmark (DESIGN.md §8 "Sharded ingest"):
+//
+//  1. Determinism gates (fatal on violation, also pinned by
+//     tests/sharded_sketch_test): for each algorithm the parallel writer
+//     pipeline must answer byte-for-byte what the inline serial execution
+//     of the same sharded pipeline answers, and a single-shard pipeline
+//     must answer byte-for-byte what the plain unsharded sketch answers.
+//
+//  2. Ingest throughput: per-row wall-clock cost of the plain sketch
+//     (`ingest-<alg>-serial`) versus the sharded pipeline at S = 1, 2, 4
+//     writer threads (`ingest-<alg>-s<S>`), per-row Update on the
+//     coordinator thread, Flush() included in the timed region so queued
+//     work cannot hide.
+//
+// Emits BENCH_micro_shard.json in the cells format. scripts/bench_gate.sh
+// diffs only the `-serial` and `-s1` cells against the committed baseline:
+// those measure single-threaded overhead and are stable on any host. The
+// S > 1 scaling cells depend on the host's core count (a 1-core CI box
+// cannot speed up, only break even minus queue overhead) and are reported
+// but not gated.
+//
+//   ./micro_shard [--rows=30000] [--d=64] [--ell=32] [--window=8000]
+//                 [--block=256] [--json=1]
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "distributed/sharded_sketch.h"
+#include "eval/report.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace swsketch;
+
+namespace {
+
+struct Cell {
+  std::string algorithm;  // Cell slug: ingest-<alg>-{serial,s<S>}.
+  size_t ell = 0;
+  double update_ns = 0.0;  // Per-row ingest cost (the gated metric).
+  double rows_per_s = 0.0;
+};
+
+void WriteCellsJson(const std::string& path, size_t rows, size_t d,
+                    const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"figure\": \"micro_shard\",\n"
+      << "  \"metric\": \"update_ns\",\n"
+      << "  \"dataset\": \"SYNTH-gauss\",\n"
+      << "  \"n\": " << rows << ",\n  \"d\": " << d << ",\n"
+      << "  \"window\": \"sequence\",\n  \"cells\": [";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << (i ? "," : "") << "\n    {\"algorithm\": \"" << c.algorithm
+        << "\", \"ell\": " << c.ell << ", \"update_ns\": " << c.update_ns
+        << ", \"rows_per_s\": " << c.rows_per_s << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "(wrote " << path << ")\n";
+}
+
+Matrix MakeRows(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(n, d);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) rows(i, j) = scale * rng.Gaussian();
+  }
+  return rows;
+}
+
+SketchConfig ConfigFor(const std::string& algorithm, size_t ell,
+                       const Matrix& rows) {
+  SketchConfig config;
+  config.algorithm = algorithm;
+  config.ell = ell;
+  config.seed = 17;
+  double max_norm_sq = 0.0;
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < rows.cols(); ++j) s += rows(i, j) * rows(i, j);
+    max_norm_sq = std::max(max_norm_sq, s);
+  }
+  config.max_norm_sq = max_norm_sq;
+  return config;
+}
+
+// Byte-identity gates on a prefix of the stream; exits the process on any
+// violation so the perf numbers can never paper over a broken pipeline.
+void CheckDeterminism(const SketchConfig& config, const Matrix& rows,
+                      uint64_t window, size_t block_rows) {
+  const size_t d = rows.cols();
+  const size_t n = std::min<size_t>(rows.rows(), 4000);
+  const WindowSpec spec = WindowSpec::Sequence(window);
+
+  ShardedSketch::Options popt;
+  popt.shards = 3;
+  popt.block_rows = block_rows;
+  ShardedSketch::Options sopt = popt;
+  sopt.parallel = false;
+  ShardedSketch::Options one;
+  one.shards = 1;
+  one.block_rows = block_rows;
+
+  auto parallel = ShardedSketch::Make(d, spec, config, popt);
+  auto serial = ShardedSketch::Make(d, spec, config, sopt);
+  auto single = ShardedSketch::Make(d, spec, config, one);
+  auto plain = MakeSlidingWindowSketch(d, spec, config);
+  if (!parallel.ok() || !serial.ok() || !single.ok() || !plain.ok()) {
+    std::cerr << "FATAL: construction failed for " << config.algorithm
+              << "\n";
+    std::exit(1);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double ts = static_cast<double>(i);
+    parallel.value()->Update(rows.Row(i), ts);
+    serial.value()->Update(rows.Row(i), ts);
+    single.value()->Update(rows.Row(i), ts);
+    plain.value()->Update(rows.Row(i), ts);
+  }
+  if (!parallel.value()->Query().ApproxEquals(serial.value()->Query(),
+                                              0.0)) {
+    std::cerr << "FATAL: " << config.algorithm
+              << " parallel bytes != serial bytes\n";
+    std::exit(1);
+  }
+  if (!single.value()->Query().ApproxEquals(plain.value()->Query(), 0.0)) {
+    std::cerr << "FATAL: " << config.algorithm
+              << " S=1 bytes != plain sketch bytes\n";
+    std::exit(1);
+  }
+}
+
+// Per-row ns for one full pass, Flush() inside the timed region.
+double TimeIngest(SlidingWindowSketch* sketch, const Matrix& rows) {
+  Timer t;
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    sketch->Update(rows.Row(i), static_cast<double>(i));
+  }
+  sketch->Flush();
+  return static_cast<double>(t.ElapsedNanos()) /
+         static_cast<double>(rows.rows());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows_n = static_cast<size_t>(flags.GetInt("rows", 30000));
+  const size_t d = static_cast<size_t>(flags.GetInt("d", 64));
+  const size_t ell = static_cast<size_t>(flags.GetInt("ell", 32));
+  const uint64_t window =
+      static_cast<uint64_t>(flags.GetInt("window", 8000));
+  const size_t block_rows =
+      static_cast<size_t>(flags.GetInt("block", 256));
+
+  const Matrix rows = MakeRows(rows_n, d, 1);
+  std::vector<Cell> cells;
+
+  PrintBanner(std::cout, "micro_shard: determinism gates");
+  for (const std::string algo : {"lm-fd", "di-fd", "lm-hash"}) {
+    CheckDeterminism(ConfigFor(algo, ell, rows), rows, window, block_rows);
+    std::cout << algo << ": parallel == serial bytes, S=1 == plain bytes\n";
+  }
+
+  PrintBanner(std::cout, "micro_shard: ingest throughput");
+  Table table({"algorithm", "variant", "ns_per_row", "rows_per_s"});
+  for (const std::string algo : {"lm-fd", "di-fd", "lm-hash"}) {
+    const SketchConfig config = ConfigFor(algo, ell, rows);
+    const WindowSpec spec = WindowSpec::Sequence(window);
+    double serial_ns = 0.0, s4_ns = 0.0;
+
+    {
+      auto plain = MakeSlidingWindowSketch(d, spec, config);
+      serial_ns = TimeIngest(plain.value().get(), rows);
+      table.AddRow({algo, "serial", Table::Num(serial_ns),
+                    Table::Num(1e9 / serial_ns)});
+      std::string slug = "ingest-";
+      slug += algo;
+      slug += "-serial";
+      cells.push_back({slug, ell, serial_ns, 1e9 / serial_ns});
+    }
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+      ShardedSketch::Options options;
+      options.shards = shards;
+      options.block_rows = block_rows;
+      auto sharded = ShardedSketch::Make(d, spec, config, options);
+      const double ns = TimeIngest(sharded.value().get(), rows);
+      if (shards == 4) s4_ns = ns;
+      std::string variant = "s";
+      variant += std::to_string(shards);
+      table.AddRow({algo, variant, Table::Num(ns), Table::Num(1e9 / ns)});
+      std::string slug = "ingest-";
+      slug += algo;
+      slug += "-";
+      slug += variant;
+      cells.push_back({slug, ell, ns, 1e9 / ns});
+    }
+    if (s4_ns > 0.0) {
+      std::cout << algo << ": S=4 speedup over serial = "
+                << serial_ns / s4_ns << "x\n";
+    }
+  }
+  table.Print(std::cout);
+
+  if (flags.GetBool("json", true)) {
+    WriteCellsJson("BENCH_micro_shard.json", rows_n, d, cells);
+  }
+  return 0;
+}

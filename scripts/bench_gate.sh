@@ -22,6 +22,7 @@ cd "$(dirname "$0")/.."
 SKETCH_BASELINE=bench/baselines/BENCH_micro_sketch.json
 QUERY_BASELINE=bench/baselines/BENCH_micro_query.json
 METRICS_BASELINE=bench/baselines/BENCH_micro_metrics.json
+SHARD_BASELINE=bench/baselines/BENCH_micro_shard.json
 FILTER='BM_FrequentDirectionsAppend|BM_RandomProjectionAppend|BM_HashSketchAppend'
 # Per-event metrics costs (counter add, histogram record, scoped timer).
 # The contended-counter and registry-lookup cells depend on core count /
@@ -41,7 +42,7 @@ done
 
 cmake --preset release >/dev/null
 cmake --build build-release -j"$(nproc)" \
-  --target micro_sketch micro_query micro_metrics >/dev/null
+  --target micro_sketch micro_query micro_metrics micro_shard >/dev/null
 
 ./build-release/bench/micro_sketch \
   --benchmark_filter="${FILTER}" \
@@ -57,9 +58,10 @@ cmake --build build-release -j"$(nproc)" \
   python3 scripts/microbench_to_cells.py --figure micro_metrics \
     -o BENCH_micro_metrics.json
 
-# micro_query emits the cells format directly; run from the repo root so
-# BENCH_micro_query.json lands next to the other run artifacts.
+# micro_query / micro_shard emit the cells format directly; run from the
+# repo root so the BENCH_*.json artifacts land next to the others.
 ./build-release/bench/micro_query --iters=3000 --duration_ms=200 >/dev/null
+./build-release/bench/micro_shard >/dev/null
 
 filter_warm_cells() {
   python3 - "$1" "$2" <<'EOF'
@@ -72,11 +74,29 @@ with open(sys.argv[2], "w") as fh:
 EOF
 }
 
+# Only the single-threaded cells gate: `-serial` (plain sketch) and `-s1`
+# (one-shard pipeline, i.e. the sharding overhead itself). The S > 1
+# scaling cells are machine-shaped — a 1-core runner cannot speed up — so
+# micro_shard reports them but the baseline excludes them.
+filter_shard_cells() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["cells"] = [c for c in doc["cells"]
+                if c["algorithm"].endswith(("-serial", "-s1"))]
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+EOF
+}
+
 if [[ "$update_baseline" == 1 ]]; then
   cp BENCH_micro_sketch.json "$SKETCH_BASELINE"
   cp BENCH_micro_metrics.json "$METRICS_BASELINE"
   filter_warm_cells BENCH_micro_query.json "$QUERY_BASELINE"
-  echo "baselines refreshed: $SKETCH_BASELINE $METRICS_BASELINE $QUERY_BASELINE"
+  filter_shard_cells BENCH_micro_shard.json "$SHARD_BASELINE"
+  echo "baselines refreshed: $SKETCH_BASELINE $METRICS_BASELINE" \
+       "$QUERY_BASELINE $SHARD_BASELINE"
   exit 0
 fi
 
@@ -90,4 +110,10 @@ python3 scripts/bench_diff.py "$QUERY_BASELINE" BENCH_micro_query.json \
 # still catches "someone put a lock on the counter path" regressions.
 python3 scripts/bench_diff.py "$METRICS_BASELINE" BENCH_micro_metrics.json \
   --threshold 0.5 || status=1
+# Restrict the fresh run to the gated (single-threaded) shard cells before
+# diffing, mirroring what the committed baseline holds.
+filter_shard_cells BENCH_micro_shard.json BENCH_micro_shard.gated.json
+python3 scripts/bench_diff.py "$SHARD_BASELINE" BENCH_micro_shard.gated.json \
+  ${diff_args[@]+"${diff_args[@]}"} || status=1
+rm -f BENCH_micro_shard.gated.json
 exit $status

@@ -138,6 +138,7 @@ class DyadicInterval : public SlidingWindowSketch {
   void UpdateBatch(const Matrix& rows, std::span<const double> ts) override {
     SWSKETCH_CHECK_EQ(rows.rows(), ts.size());
     if (rows.rows() == 0) return;
+    ++mutation_version_;
     SWSKETCH_CHECK_EQ(rows.cols(), dim_);
     size_t rb = 0;                     // Pending (unforwarded) run start.
     uint64_t run_first_id = next_id_;  // Id of the run's first row.
@@ -199,6 +200,7 @@ class DyadicInterval : public SlidingWindowSketch {
   template <typename AppendFn>
   void UpdateImpl(double ts, double w, AppendFn&& append) {
     SWSKETCH_CHECK_GE(ts, now_);
+    ++mutation_version_;
     now_ = ts;
     Expire(ts);
 
@@ -248,6 +250,7 @@ class DyadicInterval : public SlidingWindowSketch {
  public:
   void AdvanceTo(double now) override {
     SWSKETCH_CHECK_GE(now, now_);
+    ++mutation_version_;
     now_ = now;
     Expire(now);
   }
@@ -313,6 +316,11 @@ class DyadicInterval : public SlidingWindowSketch {
   /// Structure version: bumped on every level-1 close (which closes all
   /// aligned levels), on block expiry, and on reload (test hook).
   uint64_t structure_version() const { return structure_version_; }
+
+  /// Unlike structure_version(), this also moves on active-sketch appends
+  /// and window advances (both feed Query directly), so wrappers can key
+  /// result caches on it.
+  uint64_t StateVersion() const override { return mutation_version_; }
 
   size_t RowsStored() const override {
     size_t n = 0;
@@ -416,6 +424,7 @@ class DyadicInterval : public SlidingWindowSketch {
     // Cache state is never serialized: a reloaded sketch starts cold with
     // a fresh structure version.
     ++structure_version_;
+    ++mutation_version_;
     InvalidateQueryCache();
     metrics_.reloads->Add();
     const size_t loaded = NumBlocks();
@@ -589,6 +598,7 @@ class DyadicInterval : public SlidingWindowSketch {
 
   // Query-cache state (never serialized; see DESIGN.md "Query path").
   uint64_t structure_version_ = 0;
+  uint64_t mutation_version_ = 0;  // Every Update/AdvanceTo/reload.
   std::vector<const Block*> cover_scratch_;  // Rebuilt on cover assembly.
   Matrix cached_closed_{0, 0};  // Stacked cover; guarded by closed_valid_.
   bool closed_valid_ = false;

@@ -106,6 +106,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
   void Update(std::span<const double> row, double ts) override {
     SWSKETCH_CHECK_EQ(row.size(), dim_);
     SWSKETCH_CHECK_GE(ts, now_);
+    ++mutation_version_;
     now_ = ts;
     Expire(ts);
 
@@ -143,6 +144,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
 
   void AdvanceTo(double now) override {
     SWSKETCH_CHECK_GE(now, now_);
+    ++mutation_version_;
     now_ = now;
     Expire(now);
   }
@@ -219,6 +221,11 @@ class LogarithmicMethod : public SlidingWindowSketch {
   /// expires, or the state is reloaded. Queries between equal versions hit
   /// the merge cache (test hook).
   uint64_t structure_version() const { return structure_version_; }
+
+  /// Unlike structure_version(), this also moves on active-block appends
+  /// and window advances (both feed Query directly), so wrappers can key
+  /// result caches on it.
+  uint64_t StateVersion() const override { return mutation_version_; }
 
   size_t RowsStored() const override {
     size_t n = active_.rows.size();
@@ -320,6 +327,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
     // Cache state is never serialized: a reloaded sketch starts cold with
     // a fresh structure version.
     ++structure_version_;
+    ++mutation_version_;
     InvalidateQueryCache();
     metrics_.reloads->Add();
     const size_t loaded = NumBlocks();
@@ -563,6 +571,7 @@ class LogarithmicMethod : public SlidingWindowSketch {
 
   // Query-cache state (never serialized; see DESIGN.md "Query path").
   uint64_t structure_version_ = 0;
+  uint64_t mutation_version_ = 0;  // Every Update/AdvanceTo/reload.
   std::vector<const Block*> live_scratch_;  // Rebuilt by every Query().
   std::optional<SketchT> cached_blocks_;    // Merged live closed blocks.
   uint64_t blocks_version_ = 0;

@@ -57,6 +57,20 @@ class SlidingWindowSketch {
   /// (hence non-const).
   virtual Matrix Query() = 0;
 
+  /// Completes any deferred or asynchronous ingest: after Flush() returns,
+  /// Query() and RowsStored() observe every row already passed to Update /
+  /// UpdateBatch. Synchronous sketches are trivially flushed (default
+  /// no-op); the sharded ingest wrapper overrides this to drain its writer
+  /// queues.
+  virtual void Flush() {}
+
+  /// Monotone version of the queryable state: advances whenever a mutation
+  /// (row ingest, window advance, deserialization) may change what Query()
+  /// returns, and holds steady while the sketch is quiescent. Wrappers key
+  /// result caches on it. 0 means "not tracked" — callers must then assume
+  /// every query is cold.
+  virtual uint64_t StateVersion() const { return 0; }
+
   /// Rows currently materialized by the sketch: the paper's "sketch size".
   virtual size_t RowsStored() const = 0;
 

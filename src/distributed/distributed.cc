@@ -3,12 +3,46 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace swsketch {
+namespace {
+
+// Static-scope "distributed." metrics: these entry points are free
+// functions / thin coordinators, so handles are cached once per process
+// instead of per instance.
+Counter* FdMergesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("distributed.fd_merges");
+  return c;
+}
+Counter* QueryStacksCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("distributed.query_stacks");
+  return c;
+}
+Gauge* StackedRowsGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().GetGauge("distributed.stacked_rows");
+  return g;
+}
+Counter* SwrUpdatesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("distributed.swr_updates");
+  return c;
+}
+Counter* SwrQueriesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("distributed.swr_queries");
+  return c;
+}
+
+}  // namespace
 
 FrequentDirections MergeFrequentDirections(
     std::span<const FrequentDirections* const> workers) {
   SWSKETCH_CHECK_GT(workers.size(), 0u);
+  FdMergesCounter()->Add();
   FrequentDirections merged(workers[0]->dim(), workers[0]->ell());
   for (const FrequentDirections* w : workers) {
     merged.MergeWith(*w);
@@ -18,10 +52,12 @@ FrequentDirections MergeFrequentDirections(
 
 Matrix MergeWindowQueries(std::span<SlidingWindowSketch* const> workers) {
   SWSKETCH_CHECK_GT(workers.size(), 0u);
+  QueryStacksCounter()->Add();
   Matrix b(0, workers[0]->dim());
   for (SlidingWindowSketch* w : workers) {
     b = b.VStack(w->Query());
   }
+  StackedRowsGauge()->Set(static_cast<int64_t>(b.rows()));
   return b;
 }
 
@@ -36,8 +72,13 @@ DistributedSwr::DistributedSwr(std::vector<SwrSketch*> workers)
 
 void DistributedSwr::Update(size_t worker_index, std::span<const double> row,
                             double ts) {
+  // The index is caller-controlled routing, not a trusted invariant, and
+  // folding ts into now_ is what lets Query() serve the current window
+  // without an explicit AdvanceTo heartbeat (it advances every worker to
+  // the max timestamp seen, expiring rows the union window has dropped).
   SWSKETCH_CHECK_LT(worker_index, workers_.size());
   now_ = std::max(now_, ts);
+  SwrUpdatesCounter()->Add();
   workers_[worker_index]->Update(row, ts);
 }
 
@@ -47,6 +88,7 @@ void DistributedSwr::AdvanceTo(double now) {
 }
 
 Matrix DistributedSwr::Query() {
+  SwrQueriesCounter()->Add();
   AdvanceTo(now_);
   const size_t ell = workers_[0]->ell();
   const size_t dim = workers_[0]->dim();

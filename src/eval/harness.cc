@@ -55,6 +55,9 @@ void EvalCheckpoint(std::span<SlidingWindowSketch* const> sketches,
   // and serial execution produce bit-identical checkpoints.
   std::vector<Checkpoint> ckpts(sketches.size());
   const auto eval_one = [&](size_t s) {
+    // Asynchronous-ingest sketches (sharded ingest) must observe every
+    // row fed so far before being measured; synchronous sketches no-op.
+    sketches[s]->Flush();
     Checkpoint c;
     c.row_index = row_index;
     c.ts = ts;

@@ -155,6 +155,48 @@ TEST(DistributedSwrTest, HeavyWorkerDominatesSampling) {
   EXPECT_GE(from_heavy, b.rows() - 1);
 }
 
+TEST(DistributedSwrTest, UpdateRejectsOutOfRangeWorkerIndex) {
+  // Routing indices are caller data, not a trusted invariant; an
+  // out-of-range worker must trip the bounds check, not scribble memory.
+  SwrSketch a(4, WindowSpec::Sequence(10), SwrSketch::Options{.ell = 4});
+  std::vector<SwrSketch*> ptrs{&a};
+  DistributedSwr coordinator(ptrs);
+  std::vector<double> row{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DEATH(coordinator.Update(1, row, 0.0), "");
+}
+
+TEST(DistributedSwrTest, TimestampFoldingServesCurrentWindow) {
+  // Update folds every ts into now_, so Query() serves the *current*
+  // union window without an explicit AdvanceTo heartbeat: rows a stale
+  // worker contributed before the window slid past them must be expired
+  // at query time even though that worker saw no further updates.
+  const size_t d = 4, ell = 8;
+  std::vector<std::unique_ptr<SwrSketch>> owned;
+  std::vector<SwrSketch*> ptrs;
+  for (size_t w = 0; w < 2; ++w) {
+    owned.push_back(std::make_unique<SwrSketch>(
+        d, WindowSpec::Time(10.0),
+        SwrSketch::Options{.ell = ell, .exact_frobenius = true,
+                           .seed = 40 + w}));
+    ptrs.push_back(owned.back().get());
+  }
+  DistributedSwr coordinator(ptrs);
+  // Worker 0: coordinate-0 rows at early timestamps only.
+  for (int i = 0; i < 20; ++i) {
+    coordinator.Update(0, std::vector<double>{1.0, 0, 0, 0}, 0.1 * i);
+  }
+  // Worker 1: coordinate-3 rows far past worker 0's window.
+  for (int i = 0; i < 20; ++i) {
+    coordinator.Update(1, std::vector<double>{0, 0, 0, 1.0}, 100.0 + 0.1 * i);
+  }
+  const Matrix b = coordinator.Query();
+  ASSERT_GT(b.rows(), 0u);
+  for (size_t i = 0; i < b.rows(); ++i) {
+    EXPECT_EQ(b(i, 0), 0.0);  // No expired worker-0 row survives.
+    EXPECT_NE(b(i, 3), 0.0);
+  }
+}
+
 TEST(DistributedSwrTest, MismatchedWorkersRejected) {
   SwrSketch a(4, WindowSpec::Sequence(10), SwrSketch::Options{.ell = 4});
   SwrSketch b(4, WindowSpec::Sequence(10), SwrSketch::Options{.ell = 8});
