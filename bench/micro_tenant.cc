@@ -1,0 +1,397 @@
+// Multi-tenant manager microbenchmark (DESIGN.md §8 "Multi-tenant
+// serving"):
+//
+//  1. Determinism gates (fatal on violation, also pinned by
+//     tests/tenant_manager_test): UpdateKeyed over an interleaved
+//     multi-key stream must leave every tenant byte-identical to a
+//     standalone sketch fed only that tenant's rows, and a tenant that is
+//     evicted (spilled to the serialized region) and reloaded must answer
+//     Query byte-identically to a never-evicted twin.
+//
+//  2. Keyed ingest cost at 10k resident tenants: per-row cost of the
+//     naive per-row path (`naive-10k`), the grouped keyed-batch path
+//     (`keyed-10k`), and the single standalone sketch reference
+//     (`standalone`) the 2x multi-tenant overhead target is measured
+//     against.
+//
+//  3. Serving and lifecycle costs: warm per-query lookup (`lookup-warm`),
+//     per-tenant creation via the naive factory loop (`create-naive`)
+//     versus arena + prototype stamping (`create-arena`), 100k-tenant
+//     fill under a fixed budget (`fill-100k`, fatally asserting the
+//     budget held), forced eviction (`evict`) and spill-reload query
+//     (`reload-query`) costs, and the charged resident bytes per tenant
+//     at 1k/10k/100k scale (`resident-bytes-*`, update_ns = bytes).
+//
+// Emits BENCH_micro_tenant.json in the cells format. scripts/bench_gate.sh
+// diffs only the keyed-10k and lookup-warm cells against the committed
+// baseline: per-row keyed ingest and warm lookups are steady-state
+// single-thread costs, stable on any host. Creation bursts, eviction
+// churn and the 100k fill are allocation-heavy and shaped by the host
+// allocator; resident-bytes cells are capacity measurements, not timings.
+// All are reported for the console but excluded from the gate.
+//
+//   ./micro_tenant [--rows=300000] [--tenants=10000] [--d=4] [--ell=8]
+//                  [--window=1024] [--batch=1024] [--json=1]
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "eval/report.h"
+#include "service/tenant_manager.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace swsketch;
+
+namespace {
+
+struct Cell {
+  std::string algorithm;   // Cell slug.
+  size_t ell = 0;
+  double update_ns = 0.0;  // Per-op cost (bytes/tenant for resident-bytes).
+  double rows_per_s = 0.0;
+};
+
+void WriteCellsJson(const std::string& path, size_t rows, size_t d,
+                    const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"figure\": \"micro_tenant\",\n"
+      << "  \"metric\": \"update_ns\",\n"
+      << "  \"dataset\": \"SYNTH-gauss-zipf\",\n"
+      << "  \"n\": " << rows << ",\n  \"d\": " << d << ",\n"
+      << "  \"window\": \"sequence\",\n  \"cells\": [";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << (i ? "," : "") << "\n    {\"algorithm\": \"" << c.algorithm
+        << "\", \"ell\": " << c.ell << ", \"update_ns\": " << c.update_ns
+        << ", \"rows_per_s\": " << c.rows_per_s << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "(wrote " << path << ")\n";
+}
+
+Matrix MakeRows(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(n, d);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) rows(i, j) = scale * rng.Gaussian();
+  }
+  return rows;
+}
+
+// Zipf-ish skew: u^2 concentrates mass on low keys, so group sizes in a
+// keyed batch vary the way real tenant traffic does.
+std::vector<uint64_t> MakeKeys(size_t n, size_t tenants, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    const double u = rng.Uniform01();
+    k = static_cast<uint64_t>(u * u * static_cast<double>(tenants));
+    if (k >= tenants) k = tenants - 1;
+  }
+  return keys;
+}
+
+SketchConfig ConfigFor(size_t ell) {
+  SketchConfig config;
+  config.algorithm = "lm-fd";
+  config.ell = ell;
+  config.seed = 17;
+  return config;
+}
+
+// Byte-identity gates; exits the process on any violation so the perf
+// numbers can never paper over a broken manager.
+void CheckDeterminism(const SketchConfig& config, const Matrix& rows,
+                      uint64_t window) {
+  const size_t d = rows.cols();
+  const size_t n = std::min<size_t>(rows.rows(), 20000);
+  const size_t num_keys = 64;
+  const WindowSpec spec = WindowSpec::Sequence(window);
+  const std::vector<uint64_t> keys = MakeKeys(n, num_keys, 5);
+
+  // Gate 1: UpdateKeyed == per-tenant standalone serial bytes.
+  {
+    auto made = TenantManager::Make(d, spec, config);
+    std::vector<std::unique_ptr<SlidingWindowSketch>> twins;
+    for (size_t k = 0; k < num_keys; ++k) {
+      auto t = MakeSlidingWindowSketch(d, spec, config);
+      if (!t.ok() || !made.ok()) {
+        std::cerr << "FATAL: construction failed\n";
+        std::exit(1);
+      }
+      twins.push_back(t.take());
+    }
+    auto& manager = *made.value();
+    std::vector<KeyedRow> batch;
+    for (size_t i = 0; i < n; ++i) {
+      const double ts = static_cast<double>(i + 1);
+      batch.push_back(KeyedRow{keys[i], ts, rows.Row(i)});
+      twins[keys[i]]->Update(rows.Row(i), ts);
+      if (batch.size() == 512 || i + 1 == n) {
+        if (!manager.UpdateKeyed(batch).ok()) {
+          std::cerr << "FATAL: UpdateKeyed failed\n";
+          std::exit(1);
+        }
+        batch.clear();
+      }
+    }
+    for (size_t k = 0; k < num_keys; ++k) {
+      auto got = manager.Query(k);
+      if (!got.ok() ||
+          !got.value().ApproxEquals(twins[k]->Query(), 0.0)) {
+        std::cerr << "FATAL: keyed bytes != per-tenant standalone bytes "
+                  << "(key " << k << ")\n";
+        std::exit(1);
+      }
+    }
+  }
+
+  // Gate 2: evict -> reload -> query == never-evicted twin bytes.
+  {
+    auto made = TenantManager::Make(d, spec, config);
+    auto twin = MakeSlidingWindowSketch(d, spec, config);
+    if (!made.ok() || !twin.ok()) {
+      std::cerr << "FATAL: construction failed\n";
+      std::exit(1);
+    }
+    auto& manager = *made.value();
+    for (size_t i = 0; i < n; ++i) {
+      const double ts = static_cast<double>(i + 1);
+      (void)manager.Update(0, rows.Row(i), ts);
+      (*twin)->Update(rows.Row(i), ts);
+      if (i % 997 == 499 && !manager.EvictTenant(0).ok()) {
+        std::cerr << "FATAL: EvictTenant failed\n";
+        std::exit(1);
+      }
+    }
+    if (!manager.EvictTenant(0).ok()) {
+      std::cerr << "FATAL: final EvictTenant failed\n";
+      std::exit(1);
+    }
+    auto got = manager.Query(0);
+    if (!got.ok() || !got.value().ApproxEquals((*twin)->Query(), 0.0)) {
+      std::cerr << "FATAL: evict->reload->query bytes != never-evicted "
+                << "twin bytes\n";
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows_n = static_cast<size_t>(flags.GetInt("rows", 300000));
+  const size_t tenants = static_cast<size_t>(flags.GetInt("tenants", 10000));
+  const size_t d = static_cast<size_t>(flags.GetInt("d", 4));
+  const size_t ell = static_cast<size_t>(flags.GetInt("ell", 8));
+  const uint64_t window = static_cast<uint64_t>(flags.GetInt("window", 1024));
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 1024));
+
+  const Matrix rows = MakeRows(rows_n, d, 1);
+  const std::vector<uint64_t> keys = MakeKeys(rows_n, tenants, 2);
+  const SketchConfig config = ConfigFor(ell);
+  const WindowSpec spec = WindowSpec::Sequence(window);
+  std::vector<Cell> cells;
+
+  PrintBanner(std::cout, "micro_tenant: determinism gates");
+  CheckDeterminism(config, rows, window);
+  std::cout << "keyed == per-tenant standalone bytes, "
+            << "evict->reload == never-evicted bytes\n";
+
+  PrintBanner(std::cout, "micro_tenant: keyed ingest at " +
+                             std::to_string(tenants) + " tenants");
+  Table table({"path", "ns_per_row", "rows_per_s"});
+  double standalone_ns = 0.0, naive_ns = 0.0, keyed_ns = 0.0;
+
+  // Reference: one plain sketch eating the whole stream.
+  {
+    auto plain = MakeSlidingWindowSketch(d, spec, config);
+    Timer t;
+    for (size_t i = 0; i < rows_n; ++i) {
+      plain.value()->Update(rows.Row(i), static_cast<double>(i + 1));
+    }
+    standalone_ns = static_cast<double>(t.ElapsedNanos()) /
+                    static_cast<double>(rows_n);
+    table.AddRow({"standalone", Table::Num(standalone_ns),
+                  Table::Num(1e9 / standalone_ns)});
+    cells.push_back({"standalone", ell, standalone_ns,
+                     1e9 / standalone_ns});
+  }
+  // Naive path: per-row Update through the key table.
+  {
+    auto made = TenantManager::Make(d, spec, config);
+    Timer t;
+    for (size_t i = 0; i < rows_n; ++i) {
+      (void)made.value()->Update(keys[i], rows.Row(i),
+                                 static_cast<double>(i + 1));
+    }
+    naive_ns = static_cast<double>(t.ElapsedNanos()) /
+               static_cast<double>(rows_n);
+    const std::string slug = "naive-" + std::to_string(tenants / 1000) + "k";
+    table.AddRow({slug, Table::Num(naive_ns), Table::Num(1e9 / naive_ns)});
+    cells.push_back({slug, ell, naive_ns, 1e9 / naive_ns});
+  }
+  // Keyed batch path (the gated cell).
+  TenantManager* warm_manager = nullptr;
+  std::unique_ptr<TenantManager> keyed_manager;
+  {
+    auto made = TenantManager::Make(d, spec, config);
+    keyed_manager = std::move(made.value());
+    std::vector<KeyedRow> keyed(batch);
+    Timer t;
+    for (size_t b = 0; b < rows_n; b += batch) {
+      const size_t e = std::min(rows_n, b + batch);
+      keyed.resize(e - b);
+      for (size_t i = b; i < e; ++i) {
+        keyed[i - b] = KeyedRow{keys[i], static_cast<double>(i + 1),
+                                rows.Row(i)};
+      }
+      (void)keyed_manager->UpdateKeyed(keyed);
+    }
+    keyed_ns = static_cast<double>(t.ElapsedNanos()) /
+               static_cast<double>(rows_n);
+    const std::string slug = "keyed-" + std::to_string(tenants / 1000) + "k";
+    table.AddRow({slug, Table::Num(keyed_ns), Table::Num(1e9 / keyed_ns)});
+    cells.push_back({slug, ell, keyed_ns, 1e9 / keyed_ns});
+    warm_manager = keyed_manager.get();
+  }
+  table.Print(std::cout);
+  std::cout << "keyed vs standalone overhead: " << keyed_ns / standalone_ns
+            << "x (target <= 2x), naive vs keyed: " << naive_ns / keyed_ns
+            << "x\n";
+
+  PrintBanner(std::cout, "micro_tenant: serving + lifecycle");
+  Table life({"op", "ns_per_op", "ops_per_s"});
+  // Warm lookups: every tenant was just queried once to fill its cache,
+  // then the timed pass measures lookup + cache-hit query.
+  {
+    for (uint64_t k = 0; k < tenants; ++k) (void)warm_manager->Query(k);
+    Timer t;
+    for (uint64_t k = 0; k < tenants; ++k) (void)warm_manager->Query(k);
+    const double ns = static_cast<double>(t.ElapsedNanos()) /
+                      static_cast<double>(tenants);
+    life.AddRow({"lookup-warm", Table::Num(ns), Table::Num(1e9 / ns)});
+    cells.push_back({"lookup-warm", ell, ns, 1e9 / ns});
+  }
+  // Creation: naive factory loop vs arena + prototype stamping.
+  double create_naive_ns = 0.0, create_arena_ns = 0.0;
+  {
+    std::vector<std::unique_ptr<SlidingWindowSketch>> naive;
+    naive.reserve(tenants);
+    Timer t;
+    for (size_t k = 0; k < tenants; ++k) {
+      naive.push_back(MakeSlidingWindowSketch(d, spec, config).take());
+    }
+    create_naive_ns = static_cast<double>(t.ElapsedNanos()) /
+                      static_cast<double>(tenants);
+    life.AddRow({"create-naive", Table::Num(create_naive_ns),
+                 Table::Num(1e9 / create_naive_ns)});
+    cells.push_back({"create-naive", ell, create_naive_ns,
+                     1e9 / create_naive_ns});
+  }
+  {
+    auto made = TenantManager::Make(d, spec, config);
+    Timer t;
+    for (uint64_t k = 0; k < tenants; ++k) {
+      (void)made.value()->CreateTenant(k);
+    }
+    create_arena_ns = static_cast<double>(t.ElapsedNanos()) /
+                      static_cast<double>(tenants);
+    life.AddRow({"create-arena", Table::Num(create_arena_ns),
+                 Table::Num(1e9 / create_arena_ns)});
+    cells.push_back({"create-arena", ell, create_arena_ns,
+                     1e9 / create_arena_ns});
+  }
+  // Forced eviction + spill-reload query over the ingested tenants.
+  {
+    Timer t;
+    for (uint64_t k = 0; k < tenants; ++k) {
+      (void)warm_manager->EvictTenant(k);
+    }
+    const double evict_ns = static_cast<double>(t.ElapsedNanos()) /
+                            static_cast<double>(tenants);
+    life.AddRow({"evict", Table::Num(evict_ns), Table::Num(1e9 / evict_ns)});
+    cells.push_back({"evict", ell, evict_ns, 1e9 / evict_ns});
+
+    Timer r;
+    for (uint64_t k = 0; k < tenants; ++k) (void)warm_manager->Query(k);
+    const double reload_ns = static_cast<double>(r.ElapsedNanos()) /
+                             static_cast<double>(tenants);
+    life.AddRow({"reload-query", Table::Num(reload_ns),
+                 Table::Num(1e9 / reload_ns)});
+    cells.push_back({"reload-query", ell, reload_ns, 1e9 / reload_ns});
+  }
+  // 100k tenants under a fixed budget; the budget must actually hold.
+  {
+    TenantManager::Options options;
+    options.memory_budget_bytes = 64 << 20;
+    auto made = TenantManager::Make(d, spec, config, options);
+    Rng rng(9);
+    std::vector<double> row(d);
+    const size_t big = 100000;
+    Timer t;
+    for (size_t k = 0; k < big; ++k) {
+      for (auto& v : row) v = rng.Gaussian();
+      (void)made.value()->Update(k, row, static_cast<double>(k + 1));
+    }
+    const double fill_ns = static_cast<double>(t.ElapsedNanos()) /
+                           static_cast<double>(big);
+    if (made.value()->resident_bytes() > options.memory_budget_bytes) {
+      std::cerr << "FATAL: resident bytes "
+                << made.value()->resident_bytes() << " exceed the budget "
+                << options.memory_budget_bytes << "\n";
+      std::exit(1);
+    }
+    life.AddRow({"fill-100k", Table::Num(fill_ns),
+                 Table::Num(1e9 / fill_ns)});
+    cells.push_back({"fill-100k", ell, fill_ns, 1e9 / fill_ns});
+    std::cout << "fill-100k: " << made.value()->resident_tenants()
+              << " resident / " << made.value()->spilled_tenants()
+              << " spilled, resident "
+              << made.value()->resident_bytes() / (1 << 20) << " MiB <= "
+              << options.memory_budget_bytes / (1 << 20) << " MiB budget\n";
+  }
+  life.Print(std::cout);
+  std::cout << "arena creation speedup over naive factory: "
+            << create_naive_ns / create_arena_ns << "x (target >= 3x)\n";
+
+  // Charged resident bytes per tenant at 1k/10k/100k scale (no budget, 4
+  // rows each): a capacity cell, not a timing (rows_per_s = 0).
+  for (const size_t scale : {size_t{1000}, size_t{10000}, size_t{100000}}) {
+    auto made = TenantManager::Make(d, spec, config);
+    Rng rng(11);
+    std::vector<double> row(d);
+    for (size_t k = 0; k < scale; ++k) {
+      for (size_t r = 0; r < 4; ++r) {
+        for (auto& v : row) v = rng.Gaussian();
+        (void)made.value()->Update(k, row,
+                                   static_cast<double>(4 * k + r + 1));
+      }
+    }
+    const double per_tenant =
+        static_cast<double>(made.value()->resident_bytes()) /
+        static_cast<double>(scale);
+    const std::string slug =
+        "resident-bytes-" + std::to_string(scale / 1000) + "k";
+    std::cout << slug << ": " << per_tenant << " bytes/tenant\n";
+    cells.push_back({slug, ell, per_tenant, 0.0});
+  }
+
+  if (flags.GetBool("json", true)) {
+    WriteCellsJson("BENCH_micro_tenant.json", rows_n, d, cells);
+  }
+  return 0;
+}

@@ -23,6 +23,7 @@ SKETCH_BASELINE=bench/baselines/BENCH_micro_sketch.json
 QUERY_BASELINE=bench/baselines/BENCH_micro_query.json
 METRICS_BASELINE=bench/baselines/BENCH_micro_metrics.json
 SHARD_BASELINE=bench/baselines/BENCH_micro_shard.json
+TENANT_BASELINE=bench/baselines/BENCH_micro_tenant.json
 FILTER='BM_FrequentDirectionsAppend|BM_RandomProjectionAppend|BM_HashSketchAppend'
 # Per-event metrics costs (counter add, histogram record, scoped timer).
 # The contended-counter and registry-lookup cells depend on core count /
@@ -42,7 +43,8 @@ done
 
 cmake --preset release >/dev/null
 cmake --build build-release -j"$(nproc)" \
-  --target micro_sketch micro_query micro_metrics micro_shard >/dev/null
+  --target micro_sketch micro_query micro_metrics micro_shard \
+           micro_tenant >/dev/null
 
 ./build-release/bench/micro_sketch \
   --benchmark_filter="${FILTER}" \
@@ -62,6 +64,7 @@ cmake --build build-release -j"$(nproc)" \
 # repo root so the BENCH_*.json artifacts land next to the others.
 ./build-release/bench/micro_query --iters=3000 --duration_ms=200 >/dev/null
 ./build-release/bench/micro_shard >/dev/null
+./build-release/bench/micro_tenant >/dev/null
 
 filter_warm_cells() {
   python3 - "$1" "$2" <<'EOF'
@@ -90,13 +93,33 @@ with open(sys.argv[2], "w") as fh:
 EOF
 }
 
+# Only the steady-state single-thread cells gate: per-row keyed ingest
+# (`keyed-*`) and the warm lookup path (`lookup-warm`). Creation bursts,
+# eviction churn and the 100k budget fill are allocation-heavy and shaped
+# by the host allocator, and the resident-bytes-* cells are capacity
+# measurements (update_ns = bytes/tenant), so micro_tenant reports them
+# but the baseline excludes them.
+filter_tenant_cells() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["cells"] = [c for c in doc["cells"]
+                if c["algorithm"].startswith("keyed-")
+                or c["algorithm"] == "lookup-warm"]
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+EOF
+}
+
 if [[ "$update_baseline" == 1 ]]; then
   cp BENCH_micro_sketch.json "$SKETCH_BASELINE"
   cp BENCH_micro_metrics.json "$METRICS_BASELINE"
   filter_warm_cells BENCH_micro_query.json "$QUERY_BASELINE"
   filter_shard_cells BENCH_micro_shard.json "$SHARD_BASELINE"
+  filter_tenant_cells BENCH_micro_tenant.json "$TENANT_BASELINE"
   echo "baselines refreshed: $SKETCH_BASELINE $METRICS_BASELINE" \
-       "$QUERY_BASELINE $SHARD_BASELINE"
+       "$QUERY_BASELINE $SHARD_BASELINE $TENANT_BASELINE"
   exit 0
 fi
 
@@ -116,4 +139,8 @@ filter_shard_cells BENCH_micro_shard.json BENCH_micro_shard.gated.json
 python3 scripts/bench_diff.py "$SHARD_BASELINE" BENCH_micro_shard.gated.json \
   ${diff_args[@]+"${diff_args[@]}"} || status=1
 rm -f BENCH_micro_shard.gated.json
+filter_tenant_cells BENCH_micro_tenant.json BENCH_micro_tenant.gated.json
+python3 scripts/bench_diff.py "$TENANT_BASELINE" BENCH_micro_tenant.gated.json \
+  ${diff_args[@]+"${diff_args[@]}"} || status=1
+rm -f BENCH_micro_tenant.gated.json
 exit $status

@@ -40,6 +40,25 @@ DiFd::DiFd(size_t dim, Options options)
           "DI-FD"),
       di_options_(options) {}
 
+DiFd::DiFd(size_t dim, Options options, const MetricSet& metrics,
+           std::shared_ptr<FdShrinkScratch> scratch)
+    : DyadicInterval<FrequentDirections>(
+          dim,
+          DyadicIntervalOptions{.levels = options.levels,
+                                .window_size = options.window_size,
+                                .max_norm_sq = options.max_norm_sq},
+          [dim, options, scratch = std::move(scratch)](size_t level) {
+            FrequentDirections fd(
+                dim, FrequentDirections::Options{
+                         .ell = LevelEll(level, options.levels,
+                                         options.ell_top, options.ell_min),
+                         .buffer_factor = options.fd_buffer_factor});
+            if (scratch) fd.ShareShrinkScratch(scratch);
+            return fd;
+          },
+          "DI-FD", metrics),
+      di_options_(options) {}
+
 void DiFd::Serialize(ByteWriter* writer) const {
   WriteHeader(writer, DiFd::kSerialTag, 2);
   writer->Put<uint64_t>(dim());

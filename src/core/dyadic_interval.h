@@ -74,14 +74,61 @@ class DyadicInterval : public SlidingWindowSketch {
   /// Builds the sketch for a given level in [1, levels].
   using LevelSketchFactory = std::function<SketchT(size_t level)>;
 
+  // Handles into the global registry under this sketch's name slug
+  // ("di_fd.", "di_rp.", ...), resolved once at construction. DI never
+  // merges, so the block ledger is
+  //   blocks_closed + blocks_loaded
+  //     == blocks_expired + blocks_discarded + live_blocks.
+  //
+  // Public for the same reason as LogarithmicMethod::MetricSet: mass
+  // constructors (core/factory.h SketchPrototype) resolve the set once and
+  // stamp it into every instance of one name.
+  struct MetricSet {
+    explicit MetricSet(const MetricScope& scope)
+        : rows_ingested(scope.counter("rows_ingested")),
+          l1_closes(scope.counter("l1_closes")),
+          blocks_closed(scope.counter("blocks_closed")),
+          blocks_expired(scope.counter("blocks_expired")),
+          blocks_loaded(scope.counter("blocks_loaded")),
+          blocks_discarded(scope.counter("blocks_discarded")),
+          queries(scope.counter("queries")),
+          query_cache_hits(scope.counter("query_cache_hits")),
+          query_cache_misses(scope.counter("query_cache_misses")),
+          cover_cache_hits(scope.counter("cover_cache_hits")),
+          cover_cache_misses(scope.counter("cover_cache_misses")),
+          reloads(scope.counter("reloads")),
+          live_blocks(scope.gauge("live_blocks")) {}
+    Counter* rows_ingested;
+    Counter* l1_closes;
+    Counter* blocks_closed;
+    Counter* blocks_expired;
+    Counter* blocks_loaded;
+    Counter* blocks_discarded;
+    Counter* queries;
+    Counter* query_cache_hits;
+    Counter* query_cache_misses;
+    Counter* cover_cache_hits;
+    Counter* cover_cache_misses;
+    Counter* reloads;
+    Gauge* live_blocks;
+  };
+
   DyadicInterval(size_t dim, DyadicIntervalOptions options,
                  LevelSketchFactory factory, std::string name)
+      : DyadicInterval(dim, options, std::move(factory), name,
+                       MetricSet(MetricScope(MetricScope::Slug(name)))) {}
+
+  /// Mass-construction overload: copies pre-resolved registry handles
+  /// instead of looking each one up (see LogarithmicMethod's overload).
+  DyadicInterval(size_t dim, DyadicIntervalOptions options,
+                 LevelSketchFactory factory, std::string name,
+                 const MetricSet& metrics)
       : dim_(dim),
         window_(WindowSpec::Sequence(options.window_size)),
         options_(options),
         factory_(std::move(factory)),
         name_(std::move(name)),
-        metrics_(MetricScope(MetricScope::Slug(name_))) {
+        metrics_(metrics) {
     SWSKETCH_CHECK_GE(options_.levels, 1u);
     SWSKETCH_CHECK_GT(options_.max_norm_sq, 0.0);
     const double total = static_cast<double>(options_.window_size) *
@@ -452,41 +499,6 @@ class DyadicInterval : public SlidingWindowSketch {
   }
 
  private:
-  // Handles into the global registry under this sketch's name slug
-  // ("di_fd.", "di_rp.", ...), resolved once at construction. DI never
-  // merges, so the block ledger is
-  //   blocks_closed + blocks_loaded
-  //     == blocks_expired + blocks_discarded + live_blocks.
-  struct MetricSet {
-    explicit MetricSet(const MetricScope& scope)
-        : rows_ingested(scope.counter("rows_ingested")),
-          l1_closes(scope.counter("l1_closes")),
-          blocks_closed(scope.counter("blocks_closed")),
-          blocks_expired(scope.counter("blocks_expired")),
-          blocks_loaded(scope.counter("blocks_loaded")),
-          blocks_discarded(scope.counter("blocks_discarded")),
-          queries(scope.counter("queries")),
-          query_cache_hits(scope.counter("query_cache_hits")),
-          query_cache_misses(scope.counter("query_cache_misses")),
-          cover_cache_hits(scope.counter("cover_cache_hits")),
-          cover_cache_misses(scope.counter("cover_cache_misses")),
-          reloads(scope.counter("reloads")),
-          live_blocks(scope.gauge("live_blocks")) {}
-    Counter* rows_ingested;
-    Counter* l1_closes;
-    Counter* blocks_closed;
-    Counter* blocks_expired;
-    Counter* blocks_loaded;
-    Counter* blocks_discarded;
-    Counter* queries;
-    Counter* query_cache_hits;
-    Counter* query_cache_misses;
-    Counter* cover_cache_hits;
-    Counter* cover_cache_misses;
-    Counter* reloads;
-    Gauge* live_blocks;
-  };
-
   struct Active {
     SketchT sketch;
     double start_ts = 0.0;
@@ -629,6 +641,14 @@ class DiFd : public DyadicInterval<FrequentDirections> {
   };
 
   DiFd(size_t dim, Options options);
+
+  /// Cheap-construction path (core/factory.h SketchPrototype): shares
+  /// pre-resolved metric handles and a caller-owned shrink workspace
+  /// instead of resolving/allocating its own per instance. A null
+  /// `scratch` falls back to a private workspace. Bit-identical behaviour
+  /// to the primary constructor (the workspace never influences results).
+  DiFd(size_t dim, Options options, const MetricSet& metrics,
+       std::shared_ptr<FdShrinkScratch> scratch);
 
   /// Checkpoint/resume of the full sliding-window state.
   static constexpr uint32_t kSerialTag = 0x44494601;

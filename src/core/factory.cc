@@ -1,11 +1,16 @@
 #include "core/factory.h"
 
+#include <memory>
+#include <new>
+#include <utility>
+
 #include "core/best_rank_k.h"
 #include "core/dyadic_interval.h"
 #include "core/exact_window.h"
 #include "core/logarithmic_method.h"
 #include "core/swor.h"
 #include "core/swr.h"
+#include "util/metrics.h"
 
 namespace swsketch {
 
@@ -137,6 +142,186 @@ Result<std::unique_ptr<SlidingWindowSketch>> DeserializeSlidingWindowSketch(
     default:
       return Status::InvalidArgument("unknown sketch serialization tag");
   }
+}
+
+namespace {
+
+// Placement counterpart of LoadAs: deserializes T and move-constructs it
+// into caller storage. On a corrupt payload nothing is constructed.
+template <typename T>
+Result<SlidingWindowSketch*> PlacementLoad(void* mem, ByteReader* reader) {
+  auto loaded = T::Deserialize(reader);
+  if (!loaded.ok()) return loaded.status();
+  return static_cast<SlidingWindowSketch*>(
+      new (mem) T(std::move(loaded.take())));
+}
+
+}  // namespace
+
+Result<SketchPrototype> SketchPrototype::Make(size_t dim, WindowSpec window,
+                                              const SketchConfig& config) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (config.ell == 0) return Status::InvalidArgument("ell must be positive");
+  const std::string& a = config.algorithm;
+
+  SketchPrototype proto;
+  proto.dim_ = dim;
+  proto.window_ = window;
+
+  // Per-branch: record the instance footprint, build a construct lambda
+  // that captures everything resolved here (options struct, metric
+  // handles, shared FD scratch) by value, and point deserialize_ at the
+  // type's placement loader when the algorithm serializes.
+  if (a == "swr") {
+    SwrSketch::Options options{.ell = config.ell,
+                               .frobenius_eps = config.frobenius_eps,
+                               .exact_frobenius = config.exact_frobenius,
+                               .seed = config.seed};
+    proto.size_ = sizeof(SwrSketch);
+    proto.align_ = alignof(SwrSketch);
+    proto.construct_ = [dim, window, options](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) SwrSketch(dim, window, options));
+    };
+    proto.deserialize_ = &PlacementLoad<SwrSketch>;
+    return proto;
+  }
+  if (a == "swor" || a == "swor-all") {
+    SworSketch::Options options{
+        .ell = config.ell,
+        .query_mode = a == "swor-all" ? SworSketch::QueryMode::kAll
+                                      : SworSketch::QueryMode::kTopEll,
+        .frobenius_eps = config.frobenius_eps,
+        .exact_frobenius = config.exact_frobenius,
+        .seed = config.seed};
+    proto.size_ = sizeof(SworSketch);
+    proto.align_ = alignof(SworSketch);
+    proto.construct_ = [dim, window, options](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) SworSketch(dim, window, options));
+    };
+    proto.deserialize_ = &PlacementLoad<SworSketch>;
+    return proto;
+  }
+  if (a == "lm-fd") {
+    LmFd::Options options{.ell = config.ell,
+                          .blocks_per_level = config.blocks_per_level,
+                          .block_capacity = config.lm_block_capacity,
+                          .fd_buffer_factor = config.fd_buffer_factor};
+    auto metrics =
+        std::make_shared<LogarithmicMethod<FrequentDirections>::MetricSet>(
+            MetricScope(MetricScope::Slug("LM-FD")));
+    auto scratch = FrequentDirections::MakeShrinkScratch();
+    proto.size_ = sizeof(LmFd);
+    proto.align_ = alignof(LmFd);
+    proto.construct_ = [dim, window, options, metrics, scratch](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) LmFd(dim, window, options, *metrics, scratch));
+    };
+    proto.deserialize_ = &PlacementLoad<LmFd>;
+    return proto;
+  }
+  if (a == "lm-hash") {
+    LmHash::Options options{.ell = config.ell,
+                            .blocks_per_level = config.blocks_per_level,
+                            .block_capacity = config.lm_block_capacity,
+                            .seed = config.seed};
+    auto metrics = std::make_shared<LogarithmicMethod<HashSketch>::MetricSet>(
+        MetricScope(MetricScope::Slug("LM-HASH")));
+    proto.size_ = sizeof(LmHash);
+    proto.align_ = alignof(LmHash);
+    proto.construct_ = [dim, window, options, metrics](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) LmHash(dim, window, options, *metrics));
+    };
+    proto.deserialize_ = &PlacementLoad<LmHash>;
+    return proto;
+  }
+  if (a == "lm-rp") {
+    LmRp::Options options{.ell = config.ell,
+                          .blocks_per_level = config.blocks_per_level,
+                          .block_capacity = config.lm_block_capacity,
+                          .seed = config.seed};
+    proto.size_ = sizeof(LmRp);
+    proto.align_ = alignof(LmRp);
+    proto.construct_ = [dim, window, options](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) LmRp(dim, window, options));
+    };
+    return proto;
+  }
+  if (a == "di-fd") {
+    if (Status s = RequireSequence(window, a); !s.ok()) return s;
+    DiFd::Options options{.levels = config.levels,
+                          .window_size =
+                              static_cast<uint64_t>(window.extent()),
+                          .max_norm_sq = config.max_norm_sq,
+                          .ell_top = config.ell,
+                          .fd_buffer_factor = config.fd_buffer_factor};
+    auto metrics =
+        std::make_shared<DyadicInterval<FrequentDirections>::MetricSet>(
+            MetricScope(MetricScope::Slug("DI-FD")));
+    auto scratch = FrequentDirections::MakeShrinkScratch();
+    proto.size_ = sizeof(DiFd);
+    proto.align_ = alignof(DiFd);
+    proto.construct_ = [dim, options, metrics, scratch](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) DiFd(dim, options, *metrics, scratch));
+    };
+    proto.deserialize_ = &PlacementLoad<DiFd>;
+    return proto;
+  }
+  if (a == "di-rp") {
+    if (Status s = RequireSequence(window, a); !s.ok()) return s;
+    DiRp::Options options{.levels = config.levels,
+                          .window_size =
+                              static_cast<uint64_t>(window.extent()),
+                          .max_norm_sq = config.max_norm_sq,
+                          .ell_top = config.ell,
+                          .seed = config.seed};
+    proto.size_ = sizeof(DiRp);
+    proto.align_ = alignof(DiRp);
+    proto.construct_ = [dim, options](void* mem) {
+      return static_cast<SlidingWindowSketch*>(new (mem) DiRp(dim, options));
+    };
+    return proto;
+  }
+  if (a == "di-hash") {
+    if (Status s = RequireSequence(window, a); !s.ok()) return s;
+    DiHash::Options options{.levels = config.levels,
+                            .window_size =
+                                static_cast<uint64_t>(window.extent()),
+                            .max_norm_sq = config.max_norm_sq,
+                            .ell_top = config.ell,
+                            .seed = config.seed};
+    proto.size_ = sizeof(DiHash);
+    proto.align_ = alignof(DiHash);
+    proto.construct_ = [dim, options](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) DiHash(dim, options));
+    };
+    return proto;
+  }
+  if (a == "exact") {
+    proto.size_ = sizeof(ExactWindow);
+    proto.align_ = alignof(ExactWindow);
+    proto.construct_ = [dim, window](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) ExactWindow(dim, window));
+    };
+    return proto;
+  }
+  if (a == "best") {
+    const size_t k = config.ell;
+    proto.size_ = sizeof(BestRankK);
+    proto.align_ = alignof(BestRankK);
+    proto.construct_ = [dim, window, k](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) BestRankK(dim, window, k));
+    };
+    return proto;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + a);
 }
 
 std::vector<std::string> KnownAlgorithms() {

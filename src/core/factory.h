@@ -4,6 +4,7 @@
 #define SWSKETCH_CORE_FACTORY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,57 @@ std::vector<std::string> KnownAlgorithms();
 /// dispatching on the serialized tag (SWR, SWOR, LM-FD, LM-HASH, DI-FD).
 Result<std::unique_ptr<SlidingWindowSketch>> DeserializeSlidingWindowSketch(
     ByteReader* reader);
+
+/// Arena-aware construction hook: resolves one SketchConfig's algorithm
+/// dispatch, window validation and metric-registry handles ONCE, then
+/// stamps instances into caller-provided storage with placement new. A
+/// multi-tenant manager constructing 100k identical sketches pays the
+/// registry mutex and name dispatch once here instead of once per tenant,
+/// and every FD-backed instance shares one shrink workspace (safe while
+/// instances are driven one at a time, which the owning manager
+/// guarantees; the workspace never influences results).
+///
+/// The caller owns the storage: instance_size() bytes at instance_align()
+/// alignment per instance, destruction via the virtual destructor
+/// (sketch->~SlidingWindowSketch()).
+class SketchPrototype {
+ public:
+  /// Validates dim/window/config exactly like MakeSlidingWindowSketch.
+  static Result<SketchPrototype> Make(size_t dim, WindowSpec window,
+                                      const SketchConfig& config);
+
+  /// Slab footprint of one instance (fixed per prototype).
+  size_t instance_size() const { return size_; }
+  size_t instance_align() const { return align_; }
+
+  /// True when instances support SerializeTo / DeserializeAt (the
+  /// algorithms DeserializeSlidingWindowSketch can reload).
+  bool serializable() const { return deserialize_ != nullptr; }
+
+  size_t dim() const { return dim_; }
+  const WindowSpec& window() const { return window_; }
+
+  /// Placement-constructs a fresh empty sketch into `mem`.
+  SlidingWindowSketch* ConstructAt(void* mem) const { return construct_(mem); }
+
+  /// Placement-deserializes a sketch previously written with SerializeTo
+  /// into `mem`. On error nothing is constructed and `mem` stays free.
+  /// Requires serializable().
+  Result<SlidingWindowSketch*> DeserializeAt(void* mem,
+                                             ByteReader* reader) const {
+    return deserialize_(mem, reader);
+  }
+
+ private:
+  SketchPrototype() = default;
+
+  std::function<SlidingWindowSketch*(void*)> construct_;
+  Result<SlidingWindowSketch*> (*deserialize_)(void*, ByteReader*) = nullptr;
+  size_t size_ = 0;
+  size_t align_ = 0;
+  size_t dim_ = 0;
+  WindowSpec window_ = WindowSpec::Sequence(1);
+};
 
 }  // namespace swsketch
 

@@ -32,6 +32,26 @@ LmFd::LmFd(size_t dim, WindowSpec window, Options options)
           "LM-FD"),
       lm_options_(options) {}
 
+LmFd::LmFd(size_t dim, WindowSpec window, Options options,
+           const MetricSet& metrics,
+           std::shared_ptr<FdShrinkScratch> scratch)
+    : LogarithmicMethod<FrequentDirections>(
+          dim, window,
+          LogarithmicMethodOptions{
+              .block_capacity =
+                  ResolveCapacity(options.block_capacity, options.ell),
+              .blocks_per_level = options.blocks_per_level},
+          [dim, ell = options.ell, factor = options.fd_buffer_factor,
+           scratch = std::move(scratch)] {
+            FrequentDirections fd(
+                dim, FrequentDirections::Options{.ell = ell,
+                                                 .buffer_factor = factor});
+            if (scratch) fd.ShareShrinkScratch(scratch);
+            return fd;
+          },
+          "LM-FD", metrics),
+      lm_options_(options) {}
+
 void LmFd::Serialize(ByteWriter* writer) const {
   WriteHeader(writer, LmFd::kSerialTag, 2);
   writer->Put<uint64_t>(dim());
@@ -77,6 +97,20 @@ LmHash::LmHash(size_t dim, WindowSpec window, Options options)
             return HashSketch(dim, ell, seed);
           },
           "LM-HASH"),
+      lm_options_(options) {}
+
+LmHash::LmHash(size_t dim, WindowSpec window, Options options,
+               const MetricSet& metrics)
+    : LogarithmicMethod<HashSketch>(
+          dim, window,
+          LogarithmicMethodOptions{
+              .block_capacity =
+                  ResolveCapacity(options.block_capacity, options.ell),
+              .blocks_per_level = options.blocks_per_level},
+          [dim, ell = options.ell, seed = options.seed] {
+            return HashSketch(dim, ell, seed);
+          },
+          "LM-HASH", metrics),
       lm_options_(options) {}
 
 void LmHash::Serialize(ByteWriter* writer) const {

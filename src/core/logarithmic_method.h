@@ -75,15 +75,75 @@ class LogarithmicMethod : public SlidingWindowSketch {
  public:
   using SketchFactory = std::function<SketchT()>;
 
+  // Handles into the global registry under this sketch's name slug
+  // ("lm_fd.", "lm_hash.", ...). Resolved once at construction; instances
+  // with the same name share the same counters. The block-count ledger is
+  //   blocks_closed + blocks_loaded
+  //     == level_merges + blocks_expired + blocks_discarded + live_blocks
+  // (a merge turns two blocks into one, a discard is destruction or
+  // overwrite-by-load), which degenerates to the textbook
+  // closed - expired == live when nothing merges or reloads.
+  //
+  // Public so mass constructors (core/factory.h SketchPrototype) can
+  // resolve the set once and hand it to every instance of one name: each
+  // lookup is a mutex-guarded map probe, and at 100k tenants those probes
+  // dominate the cost of constructing an empty sketch.
+  struct MetricSet {
+    explicit MetricSet(const MetricScope& scope)
+        : rows_ingested(scope.counter("rows_ingested")),
+          blocks_closed(scope.counter("blocks_closed")),
+          level_merges(scope.counter("level_merges")),
+          block_promotions(scope.counter("block_promotions")),
+          blocks_expired(scope.counter("blocks_expired")),
+          blocks_loaded(scope.counter("blocks_loaded")),
+          blocks_discarded(scope.counter("blocks_discarded")),
+          active_rows_expired(scope.counter("active_rows_expired")),
+          queries(scope.counter("queries")),
+          query_cache_hits(scope.counter("query_cache_hits")),
+          query_cache_misses(scope.counter("query_cache_misses")),
+          merge_cache_hits(scope.counter("merge_cache_hits")),
+          merge_cache_misses(scope.counter("merge_cache_misses")),
+          cold_merges(scope.counter("cold_merges")),
+          reloads(scope.counter("reloads")),
+          live_blocks(scope.gauge("live_blocks")) {}
+    Counter* rows_ingested;
+    Counter* blocks_closed;
+    Counter* level_merges;
+    Counter* block_promotions;
+    Counter* blocks_expired;
+    Counter* blocks_loaded;
+    Counter* blocks_discarded;
+    Counter* active_rows_expired;
+    Counter* queries;
+    Counter* query_cache_hits;
+    Counter* query_cache_misses;
+    Counter* merge_cache_hits;
+    Counter* merge_cache_misses;
+    Counter* cold_merges;
+    Counter* reloads;
+    Gauge* live_blocks;
+  };
+
   LogarithmicMethod(size_t dim, WindowSpec window,
                     LogarithmicMethodOptions options, SketchFactory factory,
                     std::string name)
+      : LogarithmicMethod(dim, window, options, std::move(factory), name,
+                          MetricSet(MetricScope(MetricScope::Slug(name)))) {}
+
+  /// Mass-construction overload: behaves exactly like the primary
+  /// constructor but copies pre-resolved registry handles instead of
+  /// looking each one up. Instances of one name share handles anyway, so
+  /// resolving the MetricSet once per prototype and stamping it into every
+  /// tenant removes the registry mutex from per-tenant construction.
+  LogarithmicMethod(size_t dim, WindowSpec window,
+                    LogarithmicMethodOptions options, SketchFactory factory,
+                    std::string name, const MetricSet& metrics)
       : dim_(dim),
         window_(window),
         options_(options),
         factory_(std::move(factory)),
         name_(std::move(name)),
-        metrics_(MetricScope(MetricScope::Slug(name_))) {
+        metrics_(metrics) {
     SWSKETCH_CHECK_GT(options_.block_capacity, 0.0);
     SWSKETCH_CHECK_GE(options_.blocks_per_level, 2u);
   }
@@ -358,50 +418,6 @@ class LogarithmicMethod : public SlidingWindowSketch {
   }
 
  private:
-  // Handles into the global registry under this sketch's name slug
-  // ("lm_fd.", "lm_hash.", ...). Resolved once at construction; instances
-  // with the same name share the same counters. The block-count ledger is
-  //   blocks_closed + blocks_loaded
-  //     == level_merges + blocks_expired + blocks_discarded + live_blocks
-  // (a merge turns two blocks into one, a discard is destruction or
-  // overwrite-by-load), which degenerates to the textbook
-  // closed - expired == live when nothing merges or reloads.
-  struct MetricSet {
-    explicit MetricSet(const MetricScope& scope)
-        : rows_ingested(scope.counter("rows_ingested")),
-          blocks_closed(scope.counter("blocks_closed")),
-          level_merges(scope.counter("level_merges")),
-          block_promotions(scope.counter("block_promotions")),
-          blocks_expired(scope.counter("blocks_expired")),
-          blocks_loaded(scope.counter("blocks_loaded")),
-          blocks_discarded(scope.counter("blocks_discarded")),
-          active_rows_expired(scope.counter("active_rows_expired")),
-          queries(scope.counter("queries")),
-          query_cache_hits(scope.counter("query_cache_hits")),
-          query_cache_misses(scope.counter("query_cache_misses")),
-          merge_cache_hits(scope.counter("merge_cache_hits")),
-          merge_cache_misses(scope.counter("merge_cache_misses")),
-          cold_merges(scope.counter("cold_merges")),
-          reloads(scope.counter("reloads")),
-          live_blocks(scope.gauge("live_blocks")) {}
-    Counter* rows_ingested;
-    Counter* blocks_closed;
-    Counter* level_merges;
-    Counter* block_promotions;
-    Counter* blocks_expired;
-    Counter* blocks_loaded;
-    Counter* blocks_discarded;
-    Counter* active_rows_expired;
-    Counter* queries;
-    Counter* query_cache_hits;
-    Counter* query_cache_misses;
-    Counter* merge_cache_hits;
-    Counter* merge_cache_misses;
-    Counter* cold_merges;
-    Counter* reloads;
-    Gauge* live_blocks;
-  };
-
   struct RawRow {
     SharedRow row;
     uint64_t id;
@@ -603,6 +619,14 @@ class LmFd : public LogarithmicMethod<FrequentDirections> {
 
   LmFd(size_t dim, WindowSpec window, Options options);
 
+  /// Cheap-construction path (core/factory.h SketchPrototype): shares
+  /// pre-resolved metric handles and a caller-owned shrink workspace
+  /// instead of resolving/allocating its own per instance. A null
+  /// `scratch` falls back to a private workspace. Bit-identical behaviour
+  /// to the primary constructor (the workspace never influences results).
+  LmFd(size_t dim, WindowSpec window, Options options,
+       const MetricSet& metrics, std::shared_ptr<FdShrinkScratch> scratch);
+
   /// Checkpoint/resume of the full sliding-window state.
   static constexpr uint32_t kSerialTag = 0x4C4D4601;
   void Serialize(ByteWriter* writer) const;
@@ -627,6 +651,11 @@ class LmHash : public LogarithmicMethod<HashSketch> {
   };
 
   LmHash(size_t dim, WindowSpec window, Options options);
+
+  /// Cheap-construction path (core/factory.h SketchPrototype): shares
+  /// pre-resolved metric handles instead of resolving its own.
+  LmHash(size_t dim, WindowSpec window, Options options,
+         const MetricSet& metrics);
 
   /// Checkpoint/resume of the full sliding-window state.
   static constexpr uint32_t kSerialTag = 0x4C4D4801;

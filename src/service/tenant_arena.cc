@@ -1,0 +1,124 @@
+#include "service/tenant_arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "util/logging.h"
+
+namespace swsketch {
+
+namespace {
+
+size_t RoundUp(size_t n, size_t align) { return (n + align - 1) / align * align; }
+
+// Compacting below this many dead bytes would churn for no real saving.
+constexpr size_t kCompactFloorBytes = 64 * 1024;
+
+}  // namespace
+
+TenantArena::TenantArena(size_t slot_bytes, size_t slot_align,
+                         size_t slots_per_chunk)
+    : slot_align_(std::max(slot_align, alignof(void*))),
+      slots_per_chunk_(std::max<size_t>(slots_per_chunk, 1)) {
+  // A free slot stores the intrusive next pointer in its first bytes.
+  slot_bytes_ = RoundUp(std::max(slot_bytes, sizeof(void*)), slot_align_);
+  SWSKETCH_CHECK_GT(slot_bytes_, 0u);
+}
+
+TenantArena::~TenantArena() {
+  for (std::byte* chunk : chunks_) {
+    ::operator delete(chunk, std::align_val_t(slot_align_));
+  }
+}
+
+void* TenantArena::AllocateSlot() {
+  ++live_slots_;
+  if (free_list_ != nullptr) {
+    void* slot = free_list_;
+    std::memcpy(&free_list_, slot, sizeof(void*));
+    return slot;
+  }
+  if (chunks_.empty() || bump_ == slots_per_chunk_) {
+    chunks_.push_back(static_cast<std::byte*>(::operator new(
+        slots_per_chunk_ * slot_bytes_, std::align_val_t(slot_align_))));
+    bump_ = 0;
+  }
+  return chunks_.back() + (bump_++) * slot_bytes_;
+}
+
+void TenantArena::ReleaseSlot(void* slot) {
+  SWSKETCH_CHECK_GT(live_slots_, 0u);
+  --live_slots_;
+  std::memcpy(slot, &free_list_, sizeof(void*));
+  free_list_ = slot;
+}
+
+uint32_t SpillRegion::Append(std::span<const uint8_t> bytes) {
+  uint32_t id;
+  if (!free_records_.empty()) {
+    id = free_records_.back();
+    free_records_.pop_back();
+  } else {
+    id = static_cast<uint32_t>(records_.size());
+    records_.emplace_back();
+  }
+  Record& r = records_[id];
+  r.offset = buffer_.size();
+  r.size = bytes.size();
+  r.live = true;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  live_bytes_ += bytes.size();
+  ++live_count_;
+  return id;
+}
+
+std::span<const uint8_t> SpillRegion::View(uint32_t record) const {
+  SWSKETCH_CHECK_LT(record, records_.size());
+  const Record& r = records_[record];
+  SWSKETCH_CHECK(r.live);
+  return {buffer_.data() + r.offset, r.size};
+}
+
+void SpillRegion::Free(uint32_t record) {
+  SWSKETCH_CHECK_LT(record, records_.size());
+  Record& r = records_[record];
+  SWSKETCH_CHECK(r.live);
+  r.live = false;
+  live_bytes_ -= r.size;
+  dead_bytes_ += r.size;
+  --live_count_;
+  free_records_.push_back(record);
+  if (dead_bytes_ > live_bytes_ && dead_bytes_ >= kCompactFloorBytes) {
+    Compact();
+  }
+}
+
+void SpillRegion::Compact() {
+  // Live payloads keep their append order (offsets are strictly
+  // increasing among live records), so one forward pass over the ids
+  // sorted by offset slides everything down in place.
+  std::vector<uint32_t> live;
+  live.reserve(live_count_);
+  for (uint32_t id = 0; id < records_.size(); ++id) {
+    if (records_[id].live) live.push_back(id);
+  }
+  std::sort(live.begin(), live.end(), [&](uint32_t a, uint32_t b) {
+    return records_[a].offset < records_[b].offset;
+  });
+  size_t cursor = 0;
+  for (uint32_t id : live) {
+    Record& r = records_[id];
+    if (r.offset != cursor) {
+      std::memmove(buffer_.data() + cursor, buffer_.data() + r.offset,
+                   r.size);
+      r.offset = cursor;
+    }
+    cursor += r.size;
+  }
+  buffer_.resize(cursor);
+  dead_bytes_ = 0;
+  ++compactions_;
+}
+
+}  // namespace swsketch

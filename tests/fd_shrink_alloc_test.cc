@@ -30,12 +30,29 @@ void* CountedAlloc(std::size_t size) {
 
 }  // namespace
 
-void* operator new(std::size_t size) { return CountedAlloc(size); }
-void* operator new[](std::size_t size) { return CountedAlloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// noinline: at -O1+ GCC inlines these malloc/free bodies into callers and
+// then flags new/free pairs as -Wmismatched-new-delete; the replacement
+// allocator is matched by construction, so keep the bodies opaque.
+#if defined(__GNUC__)
+#define SWSKETCH_NOINLINE __attribute__((noinline))
+#else
+#define SWSKETCH_NOINLINE
+#endif
+
+SWSKETCH_NOINLINE void* operator new(std::size_t size) {
+  return CountedAlloc(size);
+}
+SWSKETCH_NOINLINE void* operator new[](std::size_t size) {
+  return CountedAlloc(size);
+}
+SWSKETCH_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+SWSKETCH_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+SWSKETCH_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
+SWSKETCH_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace swsketch {
 namespace {

@@ -29,6 +29,7 @@
 #include "core/logarithmic_method.h"
 #include "core/swor.h"
 #include "linalg/matrix.h"
+#include "service/tenant_manager.h"
 #include "sketch/frequent_directions.h"
 #include "stream/window_buffer.h"
 #include "util/metrics.h"
@@ -335,6 +336,91 @@ TEST(MetricsInvariantsTest, SworDrawsAreConserved) {
   EXPECT_EQ(C("swor.rows_ingested") - rows0, rows.rows());
   EXPECT_GT(C("swor.replacements") - repl0, 0u);
   EXPECT_GT(C("swor.front_expiries") - exp0, 0u);
+}
+
+TEST(MetricsInvariantsTest, TenantLedgerBalancesAndSettlesOnDestruction) {
+  // Tenant conservation laws (service/tenant_manager.h), checked as
+  // deltas against a dedicated prefix so other tests cannot interfere:
+  //   (1) tenants_created == tenants + resident_discarded
+  //                          + spilled_discarded
+  //   (2) tenants_created + reloads == spills + resident_discarded
+  //                                    + resident_tenants
+  //   (3) spills == reloads + spilled_discarded + spilled_tenants
+  // and destruction settles every gauge back to its baseline.
+  const std::string p = "tm_ledger";
+  const uint64_t created0 = C(p + ".tenants_created");
+  const uint64_t spills0 = C(p + ".spills");
+  const uint64_t reloads0 = C(p + ".reloads");
+  const uint64_t rdisc0 = C(p + ".resident_discarded");
+  const uint64_t sdisc0 = C(p + ".spilled_discarded");
+  const int64_t tenants0 = G(p + ".tenants");
+  const int64_t resident0 = G(p + ".resident_tenants");
+  const int64_t spilled0 = G(p + ".spilled_tenants");
+  const int64_t rbytes0 = G(p + ".resident_bytes");
+  const int64_t sbytes0 = G(p + ".spill_bytes");
+  const int64_t abytes0 = G(p + ".arena_reserved_bytes");
+
+  const auto check_laws = [&](const char* where) {
+    const int64_t created =
+        static_cast<int64_t>(C(p + ".tenants_created") - created0);
+    const int64_t spills = static_cast<int64_t>(C(p + ".spills") - spills0);
+    const int64_t reloads = static_cast<int64_t>(C(p + ".reloads") - reloads0);
+    const int64_t rdisc =
+        static_cast<int64_t>(C(p + ".resident_discarded") - rdisc0);
+    const int64_t sdisc =
+        static_cast<int64_t>(C(p + ".spilled_discarded") - sdisc0);
+    const int64_t tenants = G(p + ".tenants") - tenants0;
+    const int64_t resident = G(p + ".resident_tenants") - resident0;
+    const int64_t spilled = G(p + ".spilled_tenants") - spilled0;
+    EXPECT_EQ(created, tenants + rdisc + sdisc) << where;
+    EXPECT_EQ(created + reloads, spills + rdisc + resident) << where;
+    EXPECT_EQ(spills, reloads + sdisc + spilled) << where;
+  };
+
+  const size_t d = 6;
+  const Matrix rows = GaussianRows(500, d, 11);
+  {
+    SketchConfig config;
+    config.algorithm = "lm-fd";
+    config.ell = 6;
+    TenantManager::Options options;
+    options.metrics_prefix = p;
+    options.memory_budget_bytes = 8 << 10;  // Tight: forces spill churn.
+    options.min_resident_tenants = 2;
+    auto made =
+        TenantManager::Make(d, WindowSpec::Sequence(40), config, options);
+    ASSERT_TRUE(made.ok());
+    auto& manager = *made.value();
+    Rng rng(12);
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      const uint64_t key = rng.Next() % 24;
+      ASSERT_TRUE(
+          manager.Update(key, rows.Row(i), static_cast<double>(i + 1)).ok());
+      if (i % 31 == 7) (void)manager.Query(rng.Next() % 24);
+      if (i % 53 == 13) check_laws("mid-stream");
+    }
+    check_laws("end of stream");
+    EXPECT_GT(C(p + ".spills") - spills0, 0u);
+    EXPECT_GT(C(p + ".reloads") - reloads0, 0u);
+    // Live gauges mirror the accessors while the manager exists.
+    EXPECT_EQ(G(p + ".tenants") - tenants0,
+              static_cast<int64_t>(manager.num_tenants()));
+    EXPECT_EQ(G(p + ".resident_bytes") - rbytes0,
+              static_cast<int64_t>(manager.resident_bytes()));
+    EXPECT_EQ(G(p + ".spill_bytes") - sbytes0,
+              static_cast<int64_t>(manager.spill_bytes()));
+    EXPECT_EQ(G(p + ".arena_reserved_bytes") - abytes0,
+              static_cast<int64_t>(manager.arena_reserved_bytes()));
+  }
+  // Destruction discards every tenant; laws still hold and all gauges
+  // settle to baseline.
+  check_laws("after destruction");
+  EXPECT_EQ(G(p + ".tenants"), tenants0);
+  EXPECT_EQ(G(p + ".resident_tenants"), resident0);
+  EXPECT_EQ(G(p + ".spilled_tenants"), spilled0);
+  EXPECT_EQ(G(p + ".resident_bytes"), rbytes0);
+  EXPECT_EQ(G(p + ".spill_bytes"), sbytes0);
+  EXPECT_EQ(G(p + ".arena_reserved_bytes"), abytes0);
 }
 
 TEST(MetricsInvariantsTest, WindowBufferGaugesTrackFootprint) {

@@ -13,6 +13,7 @@
 #include "core/dyadic_interval.h"
 #include "core/factory.h"
 #include "core/logarithmic_method.h"
+#include "service/tenant_manager.h"
 #include "eval/cov_err.h"
 #include "linalg/matrix.h"
 #include "stream/window_buffer.h"
@@ -327,6 +328,102 @@ TEST(DifferentialFuzzExtra, DiInvariantsUnderRandomOps) {
     }
   }
   sketch.CheckInvariants();
+}
+
+// Differential fuzz over the multi-tenant manager: random interleavings
+// of single-row updates, keyed batches, forced evictions, queries and
+// silent advances against a per-key map of standalone sketches. With a
+// deterministic backend (LM-FD) and a budget tight enough to spill
+// organically, every queried tenant must stay in byte lockstep with its
+// reference — eviction, reload and keyed grouping must all be invisible.
+TEST(DifferentialFuzzExtra, TenantManagerLockstepUnderRandomOps) {
+  for (const uint64_t seed : {51u, 52u, 53u}) {
+    Rng rng(seed);
+    const size_t d = 5;
+    const size_t num_keys = 10;
+    SketchConfig config;
+    config.algorithm = "lm-fd";
+    config.ell = 5;
+    config.seed = seed;
+    const WindowSpec window = WindowSpec::Sequence(48);
+    TenantManager::Options options;
+    options.metrics_prefix = "tm_fuzz";
+    options.memory_budget_bytes = 48 << 10;
+    options.min_resident_tenants = 2;
+    auto made = TenantManager::Make(d, window, config, options);
+    ASSERT_TRUE(made.ok());
+    auto& manager = *made.value();
+
+    std::vector<std::unique_ptr<SlidingWindowSketch>> reference;
+    for (size_t k = 0; k < num_keys; ++k) {
+      auto r = MakeSlidingWindowSketch(d, window, config);
+      ASSERT_TRUE(r.ok());
+      reference.push_back(r.take());
+    }
+
+    double t = 0.0;
+    Matrix scratch(64, d);
+    for (size_t op = 0; op < 400; ++op) {
+      const double dice = rng.Uniform01();
+      if (dice < 0.35) {
+        // Single-row update on a random key.
+        const uint64_t key = rng.Next() % num_keys;
+        std::vector<double> row(d);
+        for (auto& v : row) v = rng.Gaussian();
+        t += 1.0;
+        ASSERT_TRUE(manager.Update(key, row, t).ok()) << "op " << op;
+        reference[key]->Update(row, t);
+      } else if (dice < 0.65) {
+        // Keyed batch with random interleaving.
+        const size_t batch = 1 + rng.UniformInt(30);
+        scratch.ResetShape(batch, d);
+        std::vector<KeyedRow> keyed(batch);
+        for (size_t j = 0; j < batch; ++j) {
+          const uint64_t key = rng.Next() % num_keys;
+          for (size_t c = 0; c < d; ++c) scratch(j, c) = rng.Gaussian();
+          t += 1.0;
+          keyed[j] = KeyedRow{key, t, scratch.Row(j)};
+          reference[key]->Update(scratch.Row(j), t);
+        }
+        ASSERT_TRUE(manager.UpdateKeyed(keyed).ok()) << "op " << op;
+      } else if (dice < 0.75) {
+        // Forced eviction of a random key (NotFound is fine pre-touch).
+        (void)manager.EvictTenant(rng.Next() % num_keys);
+      } else if (dice < 0.85) {
+        // Silent advance on a random key (no-op for sequence windows but
+        // still exercises the reload-on-touch path).
+        const uint64_t key = rng.Next() % num_keys;
+        ASSERT_TRUE(manager.AdvanceTo(key, t).ok()) << "op " << op;
+        reference[key]->AdvanceTo(t);
+      } else {
+        const uint64_t key = rng.Next() % num_keys;
+        auto got = manager.Query(key);
+        ASSERT_TRUE(got.ok()) << "op " << op;
+        // An untouched key yields an empty result AND no tenant in the
+        // reference-lockstep sense: reference holds an empty sketch.
+        const Matrix want = reference[key]->Query();
+        if (got.value().rows() == 0) {
+          ASSERT_EQ(want.FrobeniusNormSq(), 0.0) << "op " << op;
+        } else {
+          ASSERT_EQ(got.value().rows(), want.rows()) << "op " << op;
+          ASSERT_EQ(got.value().MaxAbsDiff(want), 0.0)
+              << "seed " << seed << " op " << op << " key " << key;
+        }
+      }
+    }
+    // Final sweep: every key must be in lockstep after the churn.
+    for (size_t k = 0; k < num_keys; ++k) {
+      auto got = manager.Query(k);
+      ASSERT_TRUE(got.ok());
+      const Matrix want = reference[k]->Query();
+      if (got.value().rows() == 0) {
+        EXPECT_EQ(want.FrobeniusNormSq(), 0.0) << "key " << k;
+      } else {
+        EXPECT_EQ(got.value().MaxAbsDiff(want), 0.0)
+            << "seed " << seed << " key " << k;
+      }
+    }
+  }
 }
 
 }  // namespace

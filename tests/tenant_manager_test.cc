@@ -1,0 +1,364 @@
+// Multi-tenant manager correctness (ISSUE 8): eviction/spill must be
+// invisible to queries (a spilled-and-reloaded tenant answers
+// byte-identically to a never-evicted twin), the keyed batch path must be
+// bit-identical to feeding each tenant alone, the memory budget must pin
+// resident bytes at 100k-tenant scale, and the arena must recycle slots
+// (reserved bytes plateau at the resident high-water mark, not at the
+// tenant count).
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "linalg/matrix.h"
+#include "service/tenant_manager.h"
+#include "util/metrics.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+int64_t G(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name)->Value();
+}
+
+Matrix GaussianRows(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+SketchConfig Config(const std::string& algorithm, size_t d) {
+  SketchConfig config;
+  config.algorithm = algorithm;
+  config.ell = 8;
+  config.levels = 4;
+  config.max_norm_sq = 16.0 * static_cast<double>(d);
+  config.seed = 7;
+  return config;
+}
+
+// A tenant that is evicted and reloaded mid-stream must stay in byte
+// lockstep with a standalone sketch that never left memory.
+TEST(TenantManagerTest, EvictReloadQueryBitIdentical) {
+  const size_t d = 8;
+  const Matrix rows = GaussianRows(400, d, 1);
+  struct Case {
+    const char* algorithm;
+    WindowSpec window;
+  };
+  const Case cases[] = {
+      {"lm-fd", WindowSpec::Sequence(100)},
+      {"lm-fd", WindowSpec::Time(60.0)},
+      {"lm-hash", WindowSpec::Sequence(100)},
+      {"lm-hash", WindowSpec::Time(60.0)},
+      {"di-fd", WindowSpec::Sequence(100)},
+  };
+  for (const Case& c : cases) {
+    const SketchConfig config = Config(c.algorithm, d);
+    TenantManager::Options options;
+    options.metrics_prefix = "tm_bitstable";
+    auto made = TenantManager::Make(d, c.window, config, options);
+    ASSERT_TRUE(made.ok()) << c.algorithm;
+    auto& manager = *made.value();
+    auto twin = MakeSlidingWindowSketch(d, c.window, config);
+    ASSERT_TRUE(twin.ok()) << c.algorithm;
+
+    const uint64_t key = 42;
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      const double ts = static_cast<double>(i) * 0.7 + 1.0;
+      ASSERT_TRUE(manager.Update(key, rows.Row(i), ts).ok());
+      // Noise tenants so the manager is not trivially single-key.
+      ASSERT_TRUE(manager.Update(7 + (i % 3), rows.Row(i), ts).ok());
+      (*twin)->Update(rows.Row(i), ts);
+      if (i % 61 == 17) {
+        ASSERT_TRUE(manager.EvictTenant(key).ok()) << c.algorithm;
+        EXPECT_FALSE(manager.IsResident(key));
+        EXPECT_GT(manager.spill_bytes(), 0u);
+      }
+      if (i % 37 == 11) {
+        auto got = manager.Query(key);
+        ASSERT_TRUE(got.ok()) << c.algorithm;
+        const Matrix want = (*twin)->Query();
+        ASSERT_EQ(got.value().rows(), want.rows())
+            << c.algorithm << " row " << i;
+        EXPECT_EQ(got.value().MaxAbsDiff(want), 0.0)
+            << c.algorithm << " row " << i;
+        EXPECT_TRUE(manager.IsResident(key));  // Query reloaded it.
+      }
+    }
+    // Evict one final time, then compare the reloaded answer.
+    ASSERT_TRUE(manager.EvictTenant(key).ok());
+    auto got = manager.Query(key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().MaxAbsDiff((*twin)->Query()), 0.0) << c.algorithm;
+  }
+}
+
+// UpdateKeyed over an interleaved multi-key stream must leave every tenant
+// bit-identical to a standalone sketch fed only that tenant's rows.
+TEST(TenantManagerTest, KeyedBatchBitIdenticalToPerTenantStream) {
+  const size_t d = 6;
+  const size_t num_keys = 8;
+  const Matrix rows = GaussianRows(600, d, 2);
+  for (const char* algorithm : {"lm-fd", "lm-hash", "exact"}) {
+    const SketchConfig config = Config(algorithm, d);
+    const WindowSpec window = WindowSpec::Sequence(80);
+    TenantManager::Options options;
+    options.metrics_prefix = "tm_keyed";
+    auto made = TenantManager::Make(d, window, config, options);
+    ASSERT_TRUE(made.ok()) << algorithm;
+    auto& manager = *made.value();
+
+    std::vector<std::unique_ptr<SlidingWindowSketch>> twins;
+    for (size_t k = 0; k < num_keys; ++k) {
+      auto t = MakeSlidingWindowSketch(d, window, config);
+      ASSERT_TRUE(t.ok());
+      twins.push_back(t.take());
+    }
+
+    // Ragged batches of interleaved keys (zipf-ish so group sizes vary).
+    Rng rng(3);
+    size_t i = 0;
+    const size_t sizes[] = {1, 3, 17, 64, 128, 5};
+    size_t b = 0;
+    while (i < rows.rows()) {
+      const size_t batch = std::min(sizes[b++ % 6], rows.rows() - i);
+      std::vector<KeyedRow> keyed(batch);
+      for (size_t j = 0; j < batch; ++j, ++i) {
+        const double u = rng.Uniform01();
+        const uint64_t key = static_cast<uint64_t>(u * u * num_keys);
+        const double ts = static_cast<double>(i + 1);
+        keyed[j] = KeyedRow{key, ts, rows.Row(i)};
+        twins[key]->Update(rows.Row(i), ts);
+      }
+      ASSERT_TRUE(manager.UpdateKeyed(keyed).ok()) << algorithm;
+    }
+    for (size_t k = 0; k < num_keys; ++k) {
+      auto got = manager.Query(k);
+      ASSERT_TRUE(got.ok()) << algorithm;
+      const Matrix want = twins[k]->Query();
+      ASSERT_EQ(got.value().rows(), want.rows()) << algorithm << " key " << k;
+      EXPECT_EQ(got.value().MaxAbsDiff(want), 0.0) << algorithm << " key " << k;
+    }
+  }
+}
+
+// The keyed path with organic budget eviction between batches still
+// matches the never-evicted standalones bitwise.
+TEST(TenantManagerTest, KeyedBatchWithEvictionBitIdentical) {
+  const size_t d = 6;
+  const size_t num_keys = 16;
+  const Matrix rows = GaussianRows(800, d, 4);
+  const SketchConfig config = Config("lm-fd", d);
+  const WindowSpec window = WindowSpec::Sequence(64);
+  TenantManager::Options options;
+  options.metrics_prefix = "tm_keyed_evict";
+  options.memory_budget_bytes = 1;  // Evict down to min_resident every batch.
+  options.min_resident_tenants = 3;
+  auto made = TenantManager::Make(d, window, config, options);
+  ASSERT_TRUE(made.ok());
+  auto& manager = *made.value();
+
+  std::vector<std::unique_ptr<SlidingWindowSketch>> twins;
+  for (size_t k = 0; k < num_keys; ++k) {
+    auto t = MakeSlidingWindowSketch(d, window, config);
+    ASSERT_TRUE(t.ok());
+    twins.push_back(t.take());
+  }
+  Rng rng(5);
+  for (size_t i = 0; i < rows.rows();) {
+    const size_t batch = std::min<size_t>(1 + rng.UniformInt(40),
+                                          rows.rows() - i);
+    std::vector<KeyedRow> keyed(batch);
+    for (size_t j = 0; j < batch; ++j, ++i) {
+      const uint64_t key = rng.Next() % num_keys;
+      const double ts = static_cast<double>(i + 1);
+      keyed[j] = KeyedRow{key, ts, rows.Row(i)};
+      twins[key]->Update(rows.Row(i), ts);
+    }
+    ASSERT_TRUE(manager.UpdateKeyed(keyed).ok());
+    EXPECT_LE(manager.resident_tenants(), options.min_resident_tenants)
+        << "budget of 1 byte must evict to the floor";
+  }
+  for (size_t k = 0; k < num_keys; ++k) {
+    auto got = manager.Query(k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().MaxAbsDiff(twins[k]->Query()), 0.0) << "key " << k;
+  }
+}
+
+// 100k tenants under a fixed budget: no OOM, the resident-bytes gauge
+// stays under the budget, and every tenant (resident or spilled) still
+// answers.
+TEST(TenantManagerTest, HundredThousandTenantsUnderBudget) {
+  const size_t d = 4;
+  const size_t num_keys = 100000;
+  SketchConfig config = Config("lm-hash", d);
+  config.ell = 4;
+  TenantManager::Options options;
+  options.metrics_prefix = "tm_100k";
+  options.memory_budget_bytes = 16 << 20;  // 16 MiB.
+  const int64_t gauge0 = G("tm_100k.resident_bytes");
+  auto made = TenantManager::Make(d, WindowSpec::Sequence(16), config,
+                                  options);
+  ASSERT_TRUE(made.ok());
+  auto& manager = *made.value();
+
+  Rng rng(6);
+  std::vector<double> row(d);
+  for (size_t k = 0; k < num_keys; ++k) {
+    for (auto& v : row) v = rng.Gaussian();
+    ASSERT_TRUE(manager.Update(k, row, static_cast<double>(k + 1)).ok());
+    if (k % 8192 == 0) {
+      EXPECT_LE(manager.resident_bytes(), options.memory_budget_bytes);
+    }
+  }
+  EXPECT_EQ(manager.num_tenants(), num_keys);
+  EXPECT_EQ(manager.resident_tenants() + manager.spilled_tenants(), num_keys);
+  EXPECT_LE(manager.resident_bytes(), options.memory_budget_bytes);
+  EXPECT_GT(manager.spilled_tenants(), num_keys / 2);  // Budget really bound.
+  EXPECT_EQ(G("tm_100k.resident_bytes") - gauge0,
+            static_cast<int64_t>(manager.resident_bytes()));
+  // The arena only reserves slabs for the resident high-water mark, which
+  // the budget bounds — not one slab per tenant. (Slab stride is part of
+  // each tenant's charge, so reserved bytes track the budget, give or take
+  // chunk granularity.)
+  EXPECT_LE(manager.arena_reserved_bytes(),
+            2 * options.memory_budget_bytes);
+  // Spilled and resident tenants both answer (reload on touch).
+  for (uint64_t k = 0; k < num_keys; k += 9973) {
+    auto got = manager.Query(k);
+    ASSERT_TRUE(got.ok()) << "key " << k;
+    EXPECT_EQ(got.value().cols(), d);
+  }
+}
+
+// Evicted slots are recycled: churning tenants through a tiny resident set
+// must not grow the arena beyond the high-water chunk count.
+TEST(TenantManagerTest, ArenaRecyclesEvictedSlots) {
+  const size_t d = 4;
+  SketchConfig config = Config("lm-fd", d);
+  config.ell = 4;
+  TenantManager::Options options;
+  options.metrics_prefix = "tm_recycle";
+  options.memory_budget_bytes = 1;  // Always evict to the floor.
+  options.min_resident_tenants = 4;
+  options.slots_per_chunk = 8;
+  auto made = TenantManager::Make(d, WindowSpec::Sequence(8), config,
+                                  options);
+  ASSERT_TRUE(made.ok());
+  auto& manager = *made.value();
+  std::vector<double> row(d, 1.0);
+  size_t plateau = 0;
+  for (uint64_t k = 0; k < 400; ++k) {
+    ASSERT_TRUE(manager.Update(k, row, static_cast<double>(k + 1)).ok());
+    if (k == 49) plateau = manager.arena_reserved_bytes();
+  }
+  EXPECT_EQ(manager.num_tenants(), 400u);
+  EXPECT_LE(manager.resident_tenants(), 4u + 1u);
+  // The resident high-water mark is hit within the first 50 tenants; the
+  // remaining 350 churn through recycled slots without a single new chunk.
+  EXPECT_GT(plateau, 0u);
+  EXPECT_EQ(manager.arena_reserved_bytes(), plateau);
+}
+
+TEST(TenantManagerTest, MissingKeyReturnsEmptyWithoutCreating) {
+  const size_t d = 5;
+  auto made = TenantManager::Make(d, WindowSpec::Sequence(10),
+                                  Config("lm-fd", d));
+  ASSERT_TRUE(made.ok());
+  auto& manager = *made.value();
+  auto got = manager.Query(123);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().rows(), 0u);
+  EXPECT_EQ(got.value().cols(), d);
+  EXPECT_EQ(manager.num_tenants(), 0u);
+  EXPECT_FALSE(manager.IsResident(123));
+}
+
+TEST(TenantManagerTest, UpdateAfterReloadStaysBitStable) {
+  const size_t d = 8;
+  const Matrix rows = GaussianRows(300, d, 8);
+  const SketchConfig config = Config("lm-fd", d);
+  const WindowSpec window = WindowSpec::Sequence(60);
+  TenantManager::Options options;
+  options.metrics_prefix = "tm_reload_update";
+  auto made = TenantManager::Make(d, window, config, options);
+  ASSERT_TRUE(made.ok());
+  auto& manager = *made.value();
+  auto twin = MakeSlidingWindowSketch(d, window, config);
+  ASSERT_TRUE(twin.ok());
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const double ts = static_cast<double>(i + 1);
+    if (i == 150) {
+      ASSERT_TRUE(manager.EvictTenant(9).ok());
+    }
+    // Update() reloads the spilled tenant before applying the row.
+    ASSERT_TRUE(manager.Update(9, rows.Row(i), ts).ok());
+    (*twin)->Update(rows.Row(i), ts);
+  }
+  auto got = manager.Query(9);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().MaxAbsDiff((*twin)->Query()), 0.0);
+}
+
+TEST(TenantManagerTest, ErrorPaths) {
+  const size_t d = 4;
+  // A budget requires a serializable algorithm.
+  {
+    TenantManager::Options options;
+    options.memory_budget_bytes = 1 << 20;
+    auto made = TenantManager::Make(d, WindowSpec::Sequence(10),
+                                    Config("lm-rp", d), options);
+    EXPECT_FALSE(made.ok());
+  }
+  // Unbudgeted lm-rp works, but cannot be explicitly evicted.
+  {
+    auto made = TenantManager::Make(d, WindowSpec::Sequence(10),
+                                    Config("lm-rp", d));
+    ASSERT_TRUE(made.ok());
+    auto& manager = *made.value();
+    std::vector<double> row(d, 1.0);
+    ASSERT_TRUE(manager.Update(1, row, 1.0).ok());
+    EXPECT_EQ(manager.EvictTenant(1).code(), StatusCode::kUnimplemented);
+    EXPECT_EQ(manager.EvictTenant(99).code(), StatusCode::kNotFound);
+    // Double-evict of a serializable manager is a no-op (tested above);
+    // here a dim mismatch is rejected before touching any tenant.
+    std::vector<double> bad(d + 1, 1.0);
+    EXPECT_EQ(manager.Update(1, bad, 2.0).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(manager.num_tenants(), 1u);
+  }
+  // Unknown algorithm propagates the factory error.
+  {
+    auto made = TenantManager::Make(d, WindowSpec::Sequence(10),
+                                    Config("no-such-algo", d));
+    EXPECT_FALSE(made.ok());
+  }
+}
+
+TEST(TenantManagerTest, CreateTenantIsIdempotent) {
+  const size_t d = 4;
+  auto made = TenantManager::Make(d, WindowSpec::Sequence(10),
+                                  Config("lm-fd", d));
+  ASSERT_TRUE(made.ok());
+  auto& manager = *made.value();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(manager.CreateTenant(5).ok());
+  }
+  EXPECT_EQ(manager.num_tenants(), 1u);
+  EXPECT_TRUE(manager.IsResident(5));
+  auto got = manager.Query(5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().rows(), 0u);  // Provisioned but empty.
+}
+
+}  // namespace
+}  // namespace swsketch
