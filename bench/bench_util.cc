@@ -186,6 +186,10 @@ std::vector<SweepPoint> RunSweep(const Workload& workload,
       config.lm_block_capacity =
           static_cast<double>(ell) * workload.avg_norm_sq;
       config.fd_buffer_factor = options.fd_buffer_factor;
+      config.ds_snapshots_per_window = options.ds_snapshots_per_window;
+      config.ds_snapshot_trunc = options.ds_snapshot_trunc;
+      config.ds_frame_ell_factor = options.ds_frame_ell_factor;
+      config.ds_fd_buffer_factor = options.ds_fd_buffer_factor;
       config.seed = options.seed;
       if (options.shards > 1) {
         ShardedSketch::Options sopt;
@@ -412,7 +416,7 @@ void RunSequenceFigure(Metric metric, const Flags& flags,
   SetJsonOutput(flags.GetBool("json", true));
   const Scale scale = ScaleFromFlags(flags);
   SweepOptions options;
-  options.algorithms = {"swr", "swor", "swor-all", "lm-fd", "di-fd"};
+  options.algorithms = {"swr", "swor", "swor-all", "lm-fd", "ds-fd", "di-fd"};
   options.ells = SweepSizes(flags);
   // Update-cost figures skip the expensive exact-window error evaluation.
   options.num_checkpoints = static_cast<size_t>(
@@ -422,6 +426,13 @@ void RunSequenceFigure(Metric metric, const Flags& flags,
   // Concurrent cells would contend for cores and skew per-row timings.
   options.parallel_cells = metric != Metric::kUpdateNs;
   options.fd_buffer_factor = flags.GetDouble("fd_buffer", 1.0);
+  options.ds_snapshots_per_window = static_cast<size_t>(
+      std::max<long long>(0, flags.GetInt("ds_snapshots", 0)));
+  options.ds_snapshot_trunc = flags.GetDouble("ds_trunc", 0.25);
+  options.ds_frame_ell_factor =
+      std::max(1.0, flags.GetDouble("ds_frame_ell", 1.5));
+  options.ds_fd_buffer_factor =
+      std::max(1.0, flags.GetDouble("ds_fd_buffer", 3.0));
   options.batch_rows =
       static_cast<size_t>(std::max<long long>(1, flags.GetInt("batch", 1)));
   options.parallel_ingest = flags.GetBool("parallel_ingest", false);
@@ -457,13 +468,20 @@ void RunTimeFigure(Metric metric, const Flags& flags,
   SetJsonOutput(flags.GetBool("json", true));
   const Scale scale = ScaleFromFlags(flags);
   SweepOptions options;
-  options.algorithms = {"swr", "swor", "lm-fd"};
+  options.algorithms = {"swr", "swor", "lm-fd", "ds-fd"};
   options.ells = SweepSizes(flags);
   options.num_checkpoints = static_cast<size_t>(
       flags.GetInt("checkpoints", metric == Metric::kUpdateNs ? 2 : 6));
   options.with_best = metric != Metric::kUpdateNs;
   options.parallel_cells = metric != Metric::kUpdateNs;
   options.fd_buffer_factor = flags.GetDouble("fd_buffer", 1.0);
+  options.ds_snapshots_per_window = static_cast<size_t>(
+      std::max<long long>(0, flags.GetInt("ds_snapshots", 0)));
+  options.ds_snapshot_trunc = flags.GetDouble("ds_trunc", 0.25);
+  options.ds_frame_ell_factor =
+      std::max(1.0, flags.GetDouble("ds_frame_ell", 1.5));
+  options.ds_fd_buffer_factor =
+      std::max(1.0, flags.GetDouble("ds_fd_buffer", 3.0));
   options.batch_rows =
       static_cast<size_t>(std::max<long long>(1, flags.GetInt("batch", 1)));
   options.parallel_ingest = flags.GetBool("parallel_ingest", false);

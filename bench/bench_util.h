@@ -77,6 +77,13 @@ struct SweepOptions {
   bool parallel_cells = true;
   /// FD amortized-shrink buffer factor forwarded to lm-fd / di-fd cells.
   double fd_buffer_factor = 1.0;
+  /// DS-FD snapshot ladder density and spectral truncation forwarded to
+  /// ds-fd cells (bench flags --ds_snapshots / --ds_trunc /
+  /// --ds_frame_ell).
+  size_t ds_snapshots_per_window = 0;  // 0 = auto (max(8, 3*ell/8)).
+  double ds_snapshot_trunc = 0.25;
+  double ds_frame_ell_factor = 1.5;
+  double ds_fd_buffer_factor = 3.0;
   /// Rows per UpdateBatch call in the harness (HarnessOptions::batch_rows);
   /// 1 keeps the legacy per-row ingest (bench flag --batch).
   size_t batch_rows = 1;

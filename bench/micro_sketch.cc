@@ -3,6 +3,7 @@
 // histogram, matching the update-cost columns of Table 1.
 #include <benchmark/benchmark.h>
 
+#include "core/dump_snapshot.h"
 #include "sketch/frequent_directions.h"
 #include "sketch/hash_sketch.h"
 #include "sketch/priority_sampler.h"
@@ -95,6 +96,22 @@ void BM_HashSketchAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_HashSketchAppend)->Arg(64)->Arg(1024);
 
+// Full DS-FD sliding-window per-row ingest: one frame FD append plus the
+// expiry / Frobenius-tracker / snapshot-ladder bookkeeping, on a window
+// small enough that frames cut and snapshots churn during the run.
+void BM_DsFdAppend(benchmark::State& state) {
+  const size_t ell = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(1024, 8);
+  DsFd sketch(kDim, WindowSpec::Sequence(4096), DsFd::Options{.ell = ell});
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(rows[i & 1023], static_cast<double>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DsFdAppend)->Arg(16)->Arg(32)->Arg(64);
+
 void BM_FdMerge(benchmark::State& state) {
   // The LM framework's cascade cost: one FD merge.
   const size_t ell = static_cast<size_t>(state.range(0));
@@ -141,3 +158,4 @@ BENCHMARK(BM_ExponentialHistogramAdd)->Arg(10)->Arg(20)->Arg(100);
 }  // namespace swsketch
 
 BENCHMARK_MAIN();
+

@@ -15,7 +15,7 @@
 #
 # To refresh the baselines after an intentional perf change:
 #
-#     scripts/bench_gate.sh --update-baseline
+#     scripts/bench_gate.sh --update-baselines      (alias: --update-baseline)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +24,7 @@ QUERY_BASELINE=bench/baselines/BENCH_micro_query.json
 METRICS_BASELINE=bench/baselines/BENCH_micro_metrics.json
 SHARD_BASELINE=bench/baselines/BENCH_micro_shard.json
 TENANT_BASELINE=bench/baselines/BENCH_micro_tenant.json
-FILTER='BM_FrequentDirectionsAppend|BM_RandomProjectionAppend|BM_HashSketchAppend'
+FILTER='BM_FrequentDirectionsAppend|BM_RandomProjectionAppend|BM_HashSketchAppend|BM_DsFdAppend'
 # Per-event metrics costs (counter add, histogram record, scoped timer).
 # The contended-counter and registry-lookup cells depend on core count /
 # scheduler mood, so only the single-thread cached-handle paths gate.
@@ -34,7 +34,7 @@ MIN_TIME=2
 update_baseline=0
 diff_args=()
 for arg in "$@"; do
-  if [[ "$arg" == "--update-baseline" ]]; then
+  if [[ "$arg" == "--update-baseline" || "$arg" == "--update-baselines" ]]; then
     update_baseline=1
   else
     diff_args+=("$arg")

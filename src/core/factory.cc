@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/best_rank_k.h"
+#include "core/dump_snapshot.h"
 #include "core/dyadic_interval.h"
 #include "core/exact_window.h"
 #include "core/logarithmic_method.h"
@@ -58,6 +59,17 @@ Result<std::unique_ptr<SlidingWindowSketch>> MakeSlidingWindowSketch(
                       .blocks_per_level = config.blocks_per_level,
                       .block_capacity = config.lm_block_capacity,
                       .fd_buffer_factor = config.fd_buffer_factor}));
+  }
+  if (a == "ds-fd") {
+    return std::unique_ptr<SlidingWindowSketch>(new DsFd(
+        dim, window,
+        DsFd::Options{.ell = config.ell,
+                      .snapshots_per_window = config.ds_snapshots_per_window,
+                      .snapshot_trunc = config.ds_snapshot_trunc,
+                      .frame_ell_factor = config.ds_frame_ell_factor,
+                      .fd_buffer_factor = config.ds_fd_buffer_factor,
+                      .frobenius_eps = config.frobenius_eps,
+                      .exact_frobenius = config.exact_frobenius}));
   }
   if (a == "lm-rp") {
     return std::unique_ptr<SlidingWindowSketch>(new LmRp(
@@ -139,6 +151,7 @@ Result<std::unique_ptr<SlidingWindowSketch>> DeserializeSlidingWindowSketch(
     case LmFd::kSerialTag: return LoadAs<LmFd>(reader);
     case LmHash::kSerialTag: return LoadAs<LmHash>(reader);
     case DiFd::kSerialTag: return LoadAs<DiFd>(reader);
+    case DsFd::kSerialTag: return LoadAs<DsFd>(reader);
     default:
       return Status::InvalidArgument("unknown sketch serialization tag");
   }
@@ -219,6 +232,27 @@ Result<SketchPrototype> SketchPrototype::Make(size_t dim, WindowSpec window,
           new (mem) LmFd(dim, window, options, *metrics, scratch));
     };
     proto.deserialize_ = &PlacementLoad<LmFd>;
+    return proto;
+  }
+  if (a == "ds-fd") {
+    DsFd::Options options{.ell = config.ell,
+                          .snapshots_per_window =
+                              config.ds_snapshots_per_window,
+                          .snapshot_trunc = config.ds_snapshot_trunc,
+                          .frame_ell_factor = config.ds_frame_ell_factor,
+                          .fd_buffer_factor = config.ds_fd_buffer_factor,
+                          .frobenius_eps = config.frobenius_eps,
+                          .exact_frobenius = config.exact_frobenius};
+    auto metrics = std::make_shared<DsFd::MetricSet>(
+        MetricScope(MetricScope::Slug("DS-FD")));
+    auto scratch = FrequentDirections::MakeShrinkScratch();
+    proto.size_ = sizeof(DsFd);
+    proto.align_ = alignof(DsFd);
+    proto.construct_ = [dim, window, options, metrics, scratch](void* mem) {
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) DsFd(dim, window, options, *metrics, scratch));
+    };
+    proto.deserialize_ = &PlacementLoad<DsFd>;
     return proto;
   }
   if (a == "lm-hash") {
@@ -325,8 +359,8 @@ Result<SketchPrototype> SketchPrototype::Make(size_t dim, WindowSpec window,
 }
 
 std::vector<std::string> KnownAlgorithms() {
-  return {"swr",   "swor",  "swor-all", "lm-fd", "lm-hash", "lm-rp",
-          "di-fd", "di-rp", "di-hash",  "exact", "best"};
+  return {"swr",   "swor",  "swor-all", "lm-fd", "ds-fd", "lm-hash",
+          "lm-rp", "di-fd", "di-rp",    "di-hash", "exact", "best"};
 }
 
 }  // namespace swsketch

@@ -18,8 +18,8 @@ namespace swsketch {
 /// Union of the knobs of every algorithm; each algorithm reads the subset
 /// it understands.
 struct SketchConfig {
-  /// One of: swr, swor, swor-all, lm-fd, lm-hash, lm-rp, di-fd, di-rp,
-  /// di-hash, exact, best.
+  /// One of: swr, swor, swor-all, lm-fd, ds-fd, lm-hash, lm-rp, di-fd,
+  /// di-rp, di-hash, exact, best.
   std::string algorithm = "lm-fd";
 
   /// Sample count (samplers), FD rows per block (LM-FD), top-level size
@@ -47,8 +47,29 @@ struct SketchConfig {
   /// be >= 1; 1 disables buffering.
   double fd_buffer_factor = 1.0;
 
-  /// Samplers: exponential-histogram error for the ||A||_F^2 tracker, or
-  /// exact tracking when exact_frobenius is set.
+  /// DS-FD: snapshot ladder density k — a snapshot is dumped every
+  /// F_hat / k of window mass, so the boundary leak is about 1/k of the
+  /// window's squared Frobenius norm; 0 auto-scales with ell
+  /// (see DsFd::Options::snapshots_per_window).
+  size_t ds_snapshots_per_window = 0;
+
+  /// DS-FD: spectral truncation of dumped snapshots relative to the
+  /// ladder quantum F_hat / k; 0 disables truncation.
+  double ds_snapshot_trunc = 0.25;
+
+  /// DS-FD: internal frame-FD oversize; the per-frame FD runs at
+  /// round(factor * ell) directions, dim-capped, while Query output stays
+  /// <= ell (see DsFd::Options::frame_ell_factor).
+  double ds_frame_ell_factor = 1.5;
+
+  /// DS-FD: buffer_factor of the internal frame FDs, separate from the
+  /// global fd_buffer_factor because frame FDs are long-lived
+  /// single-writer instances that benefit from amortized shrinks by
+  /// default (see DsFd::Options::fd_buffer_factor; dim-capped capacity).
+  double ds_fd_buffer_factor = 3.0;
+
+  /// Samplers and DS-FD: exponential-histogram error for the ||A||_F^2
+  /// tracker, or exact tracking when exact_frobenius is set.
   double frobenius_eps = 0.05;
   bool exact_frobenius = false;
 

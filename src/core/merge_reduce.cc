@@ -8,7 +8,7 @@
 namespace swsketch {
 
 QueryReduceSpec ReduceSpecFor(const std::string& algorithm, size_t ell) {
-  if (algorithm == "lm-fd") {
+  if (algorithm == "lm-fd" || algorithm == "ds-fd") {
     return {QueryReduceKind::kFdMerge, ell};
   }
   if (algorithm == "di-fd") {

@@ -17,49 +17,64 @@ void ExponentialHistogram::Add(double value, double ts) {
   SWSKETCH_CHECK_GT(value, 0.0);
   SWSKETCH_CHECK_GE(ts, last_ts_);
   last_ts_ = ts;
-  for (auto& b : boundaries_) b.suffix_sum += value;
   Boundary nb;
   nb.start_ts = ts;
   nb.suffix_sum = value;
   nb.adjacent_to_next = false;
   if (!boundaries_.empty()) boundaries_.back().adjacent_to_next = true;
   boundaries_.push_back(nb);
-  Compact();
+  Compact(value);
 }
 
-void ExponentialHistogram::Compact() {
-  if (boundaries_.size() < 3) return;
+void ExponentialHistogram::Compact(double added) {
   // Greedy pass from the oldest boundary: starting at i, find the youngest
   // j > i + 1 with s_j >= (1 - eps) * s_i and delete everything strictly
   // between them. Runs of arrival-adjacent boundaries collapse too, since
   // adjacency only protects a boundary from deletion when it is needed to
   // certify exactness; after deleting the middle, the survivors i and j
   // still satisfy the smooth-histogram invariant via the ratio test.
-  std::deque<Boundary> kept;
-  size_t i = 0;
+  //
+  // This runs on EVERY add (the tracker sits on sketch ingest hot paths),
+  // so it is one fused in-place pass: `added` is the value of the
+  // just-appended arrival, folded into each older boundary's suffix sum as
+  // the pass visits it, and survivors slide toward the front with the tail
+  // erased. The youngest boundary above the threshold is found by a
+  // forward walk (suffix sums are strictly decreasing, and the walk
+  // telescopes with the outer loop, keeping the pass linear). Suffix-sum
+  // arithmetic (one `+ added` rounding per boundary) and deletion
+  // decisions are exactly those of the textbook
+  // increment-all-then-rebuild formulation, so the boundary evolution —
+  // and with it the serialized bytes — is unchanged; only the constant
+  // factor is (one sequential pass, zero allocations).
   const size_t n = boundaries_.size();
+  // updated(j): boundary j's suffix sum with the new arrival folded in.
+  // The just-appended boundary (j == n - 1) already carries exactly the
+  // new value.
+  const auto updated = [&](size_t j) {
+    return j + 1 == n ? boundaries_[j].suffix_sum
+                      : boundaries_[j].suffix_sum + added;
+  };
+  size_t i = 0;
+  size_t w = 0;  // Next write slot; survivors so far live in [0, w).
   while (i < n) {
-    kept.push_back(boundaries_[i]);
-    if (i + 1 >= n) break;
-    const double threshold = (1.0 - eps_) * boundaries_[i].suffix_sum;
-    // Suffix sums are strictly decreasing (values are positive), so the
-    // youngest boundary still above the threshold is found by binary search.
-    size_t lo = i + 1, hi = n - 1, j = i + 1;
-    while (lo <= hi) {
-      size_t mid = lo + (hi - lo) / 2;
-      if (boundaries_[mid].suffix_sum >= threshold) {
-        j = mid;
-        lo = mid + 1;
-      } else {
-        if (mid == 0) break;
-        hi = mid - 1;
-      }
+    const double si = updated(i);
+    if (w != i) boundaries_[w] = boundaries_[i];
+    boundaries_[w].suffix_sum = si;
+    if (i + 1 >= n) {
+      ++w;
+      break;
     }
+    const double threshold = (1.0 - eps_) * si;
+    size_t j = i + 1;
+    while (j + 1 < n && updated(j + 1) >= threshold) ++j;
     // Record whether the next kept boundary is the immediate next arrival.
-    kept.back().adjacent_to_next = (j == i + 1) && boundaries_[i].adjacent_to_next;
+    boundaries_[w].adjacent_to_next =
+        (j == i + 1) && boundaries_[w].adjacent_to_next;
+    ++w;
     i = j;
   }
-  boundaries_.swap(kept);
+  boundaries_.erase(boundaries_.begin() + static_cast<ptrdiff_t>(w),
+                    boundaries_.end());
 }
 
 double ExponentialHistogram::Estimate(double window_start) const {

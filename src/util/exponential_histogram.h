@@ -64,7 +64,7 @@ class ExponentialHistogram {
                             // arrival (cannot be compacted away).
   };
 
-  void Compact();
+  void Compact(double added);
 
   double eps_;
   double last_ts_;

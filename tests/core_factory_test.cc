@@ -31,7 +31,8 @@ TEST(FactoryTest, DiRequiresSequenceWindow) {
 
 TEST(FactoryTest, TimeWindowAlgorithmsBuild) {
   for (const char* algo :
-       {"swr", "swor", "swor-all", "lm-fd", "lm-hash", "exact", "best"}) {
+       {"swr", "swor", "swor-all", "lm-fd", "ds-fd", "lm-hash", "exact",
+        "best"}) {
     SketchConfig config;
     config.algorithm = algo;
     auto r = MakeSlidingWindowSketch(4, WindowSpec::Time(5.0), config);

@@ -1,0 +1,98 @@
+// Factory-level serialization contract, driven off KnownAlgorithms() so a
+// newly registered backend is covered the day it lands: every algorithm
+// whose SketchPrototype says `serializable()` must (a) SerializeTo
+// successfully, (b) reload through the tag-dispatched
+// DeserializeSlidingWindowSketch, (c) re-serialize to the EXACT same
+// bytes, (d) answer the same Query() bit-for-bit, and (e) stay in byte
+// lockstep under continued ingest. Algorithms the prototype marks
+// non-serializable must say so through SerializeTo's status — the two
+// signals may never disagree, because TenantManager spills through one
+// and trusts the other.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace swsketch {
+namespace {
+
+void IngestRows(SlidingWindowSketch* sketch, size_t n, size_t d,
+                uint64_t seed, double* t) {
+  Rng rng(seed);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.Gaussian();
+    *t += 1.0;
+    sketch->Update(row, *t);
+  }
+}
+
+TEST(FactoryRoundTripTest, EveryKnownAlgorithmRoundTripsOrDeclines) {
+  const size_t d = 7;
+  const WindowSpec window = WindowSpec::Sequence(64);
+  size_t serializable_count = 0;
+  for (const std::string& algo : KnownAlgorithms()) {
+    SCOPED_TRACE(algo);
+    SketchConfig config;
+    config.algorithm = algo;
+    config.ell = 8;
+    config.max_norm_sq = 16.0 * static_cast<double>(d);
+    config.seed = 7;
+    auto proto = SketchPrototype::Make(d, window, config);
+    ASSERT_TRUE(proto.ok()) << proto.status().ToString();
+    auto made = MakeSlidingWindowSketch(d, window, config);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    auto& sketch = *made;
+
+    double t = 0.0;
+    IngestRows(sketch.get(), 300, d, 13, &t);
+
+    ByteWriter w1;
+    const Status st = sketch->SerializeTo(&w1);
+    ASSERT_EQ(st.ok(), proto->serializable())
+        << "SketchPrototype::serializable() and SerializeTo() disagree";
+    if (!st.ok()) continue;
+    ++serializable_count;
+
+    ByteReader r(w1.bytes());
+    auto loaded = DeserializeSlidingWindowSketch(&r);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(r.AtEnd()) << "trailing bytes after deserialize";
+
+    // Re-serialize: the reloaded state must emit the original bytes.
+    ByteWriter w2;
+    ASSERT_TRUE((*loaded)->SerializeTo(&w2).ok());
+    ASSERT_EQ(w1.bytes().size(), w2.bytes().size());
+    EXPECT_EQ(std::memcmp(w1.bytes().data(), w2.bytes().data(),
+                          w1.bytes().size()),
+              0)
+        << "serialize -> deserialize -> serialize changed bytes";
+
+    // Identical answers, bit-for-bit.
+    const Matrix qa = sketch->Query();
+    const Matrix qb = (*loaded)->Query();
+    ASSERT_EQ(qa.rows(), qb.rows());
+    EXPECT_EQ(qa.MaxAbsDiff(qb), 0.0);
+
+    // Continued ingest stays in lockstep (same rows, same timestamps).
+    double t2 = t;
+    IngestRows(sketch.get(), 80, d, 29, &t);
+    IngestRows(loaded->get(), 80, d, 29, &t2);
+    const Matrix ca = sketch->Query();
+    const Matrix cb = (*loaded)->Query();
+    ASSERT_EQ(ca.rows(), cb.rows());
+    EXPECT_EQ(ca.MaxAbsDiff(cb), 0.0) << "post-reload ingest diverged";
+  }
+  // The serializable set (swr, swor, swor-all, lm-fd, lm-hash, di-fd,
+  // ds-fd today) may only grow.
+  EXPECT_GE(serializable_count, 7u);
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include "core/concurrent_sketch.h"
+#include "core/dump_snapshot.h"
 #include "core/dyadic_interval.h"
 #include "core/factory.h"
 #include "core/logarithmic_method.h"
@@ -421,6 +422,105 @@ TEST(MetricsInvariantsTest, TenantLedgerBalancesAndSettlesOnDestruction) {
   EXPECT_EQ(G(p + ".resident_bytes"), rbytes0);
   EXPECT_EQ(G(p + ".spill_bytes"), sbytes0);
   EXPECT_EQ(G(p + ".arena_reserved_bytes"), abytes0);
+}
+
+// DS-FD conservation laws under a 400-op random mix (single rows, batches,
+// silent advances, queries, checkpoint/restore), checked after EVERY op:
+//   frames_opened + frames_loaded
+//     == frames_expired + frames_discarded + live_frames
+//   snapshots_taken + snapshots_loaded
+//     == snapshots_evicted + snapshots_discarded + live_snapshots
+//   queries == query_cache_hits + query_cache_misses
+// and destruction settles both live gauges back to their starting level.
+TEST(MetricsInvariantsTest, DsFdLedgersBalanceAndSettleOnDestruction) {
+  const size_t d = 6;
+  Rng rng(4242);
+
+  const uint64_t q0 = C("ds_fd.queries");
+  const uint64_t h0 = C("ds_fd.query_cache_hits");
+  const uint64_t m0 = C("ds_fd.query_cache_misses");
+  const uint64_t fopen0 = C("ds_fd.frames_opened");
+  const uint64_t fload0 = C("ds_fd.frames_loaded");
+  const uint64_t fexp0 = C("ds_fd.frames_expired");
+  const uint64_t fdis0 = C("ds_fd.frames_discarded");
+  const uint64_t stake0 = C("ds_fd.snapshots_taken");
+  const uint64_t sload0 = C("ds_fd.snapshots_loaded");
+  const uint64_t sevic0 = C("ds_fd.snapshots_evicted");
+  const uint64_t sdis0 = C("ds_fd.snapshots_discarded");
+  const uint64_t reloads0 = C("ds_fd.reloads");
+  const int64_t flive0 = G("ds_fd.live_frames");
+  const int64_t slive0 = G("ds_fd.live_snapshots");
+
+  const auto check = [&](size_t op) {
+    ASSERT_EQ((C("ds_fd.query_cache_hits") - h0) +
+                  (C("ds_fd.query_cache_misses") - m0),
+              C("ds_fd.queries") - q0)
+        << "op " << op;
+    const int64_t frame_sources =
+        static_cast<int64_t>(C("ds_fd.frames_opened") - fopen0) +
+        static_cast<int64_t>(C("ds_fd.frames_loaded") - fload0);
+    const int64_t frame_sinks =
+        static_cast<int64_t>(C("ds_fd.frames_expired") - fexp0) +
+        static_cast<int64_t>(C("ds_fd.frames_discarded") - fdis0) +
+        (G("ds_fd.live_frames") - flive0);
+    ASSERT_EQ(frame_sources, frame_sinks) << "op " << op;
+    const int64_t snap_sources =
+        static_cast<int64_t>(C("ds_fd.snapshots_taken") - stake0) +
+        static_cast<int64_t>(C("ds_fd.snapshots_loaded") - sload0);
+    const int64_t snap_sinks =
+        static_cast<int64_t>(C("ds_fd.snapshots_evicted") - sevic0) +
+        static_cast<int64_t>(C("ds_fd.snapshots_discarded") - sdis0) +
+        (G("ds_fd.live_snapshots") - slive0);
+    ASSERT_EQ(snap_sources, snap_sinks) << "op " << op;
+  };
+
+  auto sketch = std::make_unique<DsFd>(
+      d, WindowSpec::Time(45.0),
+      DsFd::Options{.ell = 6, .snapshots_per_window = 4});
+  double t = 0.0;
+  for (size_t op = 0; op < 400; ++op) {
+    const double dice = rng.Uniform01();
+    if (dice < 0.55) {
+      std::vector<double> row(d);
+      for (auto& v : row) v = rng.Gaussian();
+      t += rng.Exponential(2.0);
+      sketch->Update(row, t);
+    } else if (dice < 0.70) {
+      const size_t burst = 1 + rng.UniformInt(20);
+      Matrix block(burst, d);
+      std::vector<double> ts(burst);
+      for (size_t b = 0; b < burst; ++b) {
+        for (size_t j = 0; j < d; ++j) block(b, j) = rng.Gaussian();
+        t += rng.Exponential(2.0);
+        ts[b] = t;
+      }
+      sketch->UpdateBatch(block, ts);
+    } else if (dice < 0.80) {
+      // Silent advance, sometimes past the whole window (total expiry).
+      t += rng.Uniform01() * 60.0;
+      sketch->AdvanceTo(t);
+    } else if (dice < 0.95) {
+      (void)sketch->Query();
+    } else {
+      // Checkpoint/restore: the reload books frames_loaded /
+      // snapshots_loaded while the replaced sketch's destructor books the
+      // matching discards, all inside one op.
+      ByteWriter w;
+      sketch->Serialize(&w);
+      ByteReader r(w.bytes());
+      auto loaded = DsFd::Deserialize(&r);
+      ASSERT_TRUE(loaded.ok()) << "op " << op;
+      sketch = std::make_unique<DsFd>(loaded.take());
+    }
+    check(op);
+  }
+  EXPECT_GT(C("ds_fd.frames_opened") - fopen0, 0u);
+  EXPECT_GT(C("ds_fd.snapshots_taken") - stake0, 0u);
+  EXPECT_GT(C("ds_fd.reloads") - reloads0, 0u);
+  sketch.reset();
+  check(400);
+  EXPECT_EQ(G("ds_fd.live_frames"), flive0);
+  EXPECT_EQ(G("ds_fd.live_snapshots"), slive0);
 }
 
 TEST(MetricsInvariantsTest, WindowBufferGaugesTrackFootprint) {

@@ -111,7 +111,8 @@ TEST(EmptyWindowQueries, AllFrameworksReturnEmptyMatrices) {
 TEST(FactoryTest, LmRpInKnownAlgorithms) {
   auto algos = KnownAlgorithms();
   EXPECT_NE(std::find(algos.begin(), algos.end(), "lm-rp"), algos.end());
-  EXPECT_EQ(algos.size(), 11u);
+  EXPECT_NE(std::find(algos.begin(), algos.end(), "ds-fd"), algos.end());
+  EXPECT_EQ(algos.size(), 12u);
 }
 
 }  // namespace

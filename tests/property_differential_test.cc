@@ -113,7 +113,7 @@ TEST_P(DifferentialFuzz, RandomOpSequences) {
 INSTANTIATE_TEST_SUITE_P(
     Fuzz, DifferentialFuzz,
     ::testing::Combine(::testing::Values("swr", "swor", "swor-all", "lm-fd",
-                                         "lm-hash", "di-fd"),
+                                         "ds-fd", "lm-hash", "di-fd"),
                        ::testing::Values(11u, 22u, 33u, 44u)));
 
 // Randomized op-sequence driver checking the metrics conservation laws

@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/dump_snapshot.h"
 #include "core/dyadic_interval.h"
 #include "core/logarithmic_method.h"
 #include "core/swor.h"
@@ -158,6 +159,20 @@ TEST(SerializationGoldenTest, DiFdBlobAndQueryAreByteStable) {
   bool regenerated = false;
   CheckGolden(&di, "golden_di_fd",
               [](ByteReader* r) { return DiFd::Deserialize(r); },
+              &regenerated);
+  if (regenerated) GTEST_SKIP() << "fixtures regenerated";
+}
+
+TEST(SerializationGoldenTest, DsFdBlobAndQueryAreByteStable) {
+  const size_t d = 8;
+  DsFd::Options opt;
+  opt.ell = 6;
+  opt.snapshots_per_window = 4;
+  DsFd ds(d, WindowSpec::Sequence(100), opt);
+  Ingest(&ds, 250, d, 44);
+  bool regenerated = false;
+  CheckGolden(&ds, "golden_ds_fd",
+              [](ByteReader* r) { return DsFd::Deserialize(r); },
               &regenerated);
   if (regenerated) GTEST_SKIP() << "fixtures regenerated";
 }

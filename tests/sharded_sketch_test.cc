@@ -144,7 +144,8 @@ TEST(ShardedSketchTest, SingleShardMatchesPlainSketch) {
   const size_t d = 9, n = 700;
   const Matrix rows = GaussianRows(23, n, d);
   const std::vector<double> ts = SequenceTs(n);
-  for (const std::string algo : {"lm-fd", "lm-hash", "lm-rp", "swr"}) {
+  for (const std::string algo :
+       {"lm-fd", "ds-fd", "lm-hash", "lm-rp", "swr"}) {
     SCOPED_TRACE(algo);
     const SketchConfig config = ConfigFor(algo, 8);
     const WindowSpec window = WindowSpec::Sequence(250);
