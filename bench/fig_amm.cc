@@ -1,0 +1,243 @@
+// Figure AMM: sliding-window approximate matrix multiplication error
+// vs. sketch size on the SYNTHETIC paired Gaussian stream.
+//
+// Two correlated operand streams (a_t in R^da, b_t in R^db sharing a
+// latent factor) are fed pairwise into every AMM backend; at evenly
+// spaced checkpoints the estimate is compared against the exact window
+// product A_W^T B_W (dual-WindowBuffer reference) with the normalized
+// spectral metric ||A^T B - est||_2 / (||A||_F ||B||_F) of eval/amm_err.h.
+//
+// Smoke gates (fatal, exit 1): the exact backend must sit at zero error
+// at every checkpoint, and every approximate backend must stay inside
+// its envelope at every swept ell. For amm-co-fd / amm-lm-fd that is the
+// co-sketch bound (fa^2 + fb^2) / (ell * fa * fb) with a constant-factor
+// slack. amm-di-fd's error is governed by its dyadic cover granularity,
+// not ell (the covariance figures show the same flat curve — the paper's
+// "DI-FD uncompetitive at small space" finding), so it gates against
+// max(co-sketch bound, 1.25x the zero-estimate error ||A^T B||_2 /
+// (||A||_F ||B||_F)): never much worse than answering zero. These run at
+// every scale, so a broken estimator can never produce a pretty figure.
+//
+//   ./fig_amm [--rows=4000] [--da=8] [--db=16] [--window=1000]
+//             [--ells=8,16,32] [--checkpoints=8] [--slack=4]
+//             [--json=1]
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amm/amm_exact.h"
+#include "amm/amm_sketch.h"
+#include "core/factory.h"
+#include "eval/amm_err.h"
+#include "eval/report.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+using namespace swsketch;
+
+namespace {
+
+struct Cell {
+  std::string algorithm;
+  size_t ell = 0;
+  double avg_err = 0.0;
+  double max_err = 0.0;
+  double avg_bound = 0.0;  // Mean per-checkpoint bound (slack included).
+};
+
+std::vector<size_t> ParseElls(const std::string& csv) {
+  std::vector<size_t> ells;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) ells.push_back(static_cast<size_t>(std::stoul(item)));
+  }
+  return ells;
+}
+
+// Paired rows with a shared latent factor so A_W^T B_W has real signal
+// (pure independent noise would make the exact product itself near-zero
+// and the relative metric degenerate). Pre-generated so the config can
+// carry the TRUE max stacked row norm: di-fd's dyadic cover granularity
+// scales with max_norm_sq, and a hint far above the actual norms would
+// put an ell-independent floor under its error.
+struct PairedStream {
+  Matrix a;
+  Matrix b;
+  double max_stacked_norm_sq = 0.0;
+  double min_stacked_norm_sq = 0.0;
+  double avg_stacked_norm_sq = 0.0;
+};
+
+PairedStream MakePairs(size_t n, size_t da, size_t db, uint64_t seed) {
+  Rng rng(seed);
+  PairedStream s{Matrix(n, da), Matrix(n, db), 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    const double latent = rng.Gaussian();
+    double norm_sq = 0.0;
+    for (size_t j = 0; j < da; ++j) {
+      s.a(i, j) = 0.6 * latent + rng.Gaussian();
+      norm_sq += s.a(i, j) * s.a(i, j);
+    }
+    for (size_t j = 0; j < db; ++j) {
+      s.b(i, j) = 0.6 * latent + rng.Gaussian();
+      norm_sq += s.b(i, j) * s.b(i, j);
+    }
+    s.max_stacked_norm_sq = std::max(s.max_stacked_norm_sq, norm_sq);
+    s.min_stacked_norm_sq = i == 0 ? norm_sq
+                                   : std::min(s.min_stacked_norm_sq, norm_sq);
+    s.avg_stacked_norm_sq += norm_sq / static_cast<double>(n);
+  }
+  return s;
+}
+
+// DI level count L ~ log2(R * ell / 2) with R the stacked norm ratio —
+// the same schedule the covariance figure drivers use (bench_util.cc);
+// leaving the factory default would put an ell-independent floor under
+// di-fd's error.
+size_t DiLevels(double norm_ratio, size_t ell) {
+  const double l = std::log2(
+      std::max(2.0, norm_ratio * static_cast<double>(ell) / 2.0));
+  return std::clamp<size_t>(static_cast<size_t>(std::lround(l)), 2, 12);
+}
+
+void WriteCellsJson(const std::string& path, size_t rows, size_t da,
+                    size_t db, const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"figure\": \"fig_amm\",\n"
+      << "  \"metric\": \"amm_err\",\n"
+      << "  \"dataset\": \"SYNTH-paired\",\n"
+      << "  \"n\": " << rows << ",\n  \"d\": " << (da + db) << ",\n"
+      << "  \"window\": \"sequence\",\n  \"cells\": [";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << (i ? "," : "") << "\n    {\"algorithm\": \"" << c.algorithm
+        << "\", \"ell\": " << c.ell << ", \"avg_err\": " << c.avg_err
+        << ", \"max_err\": " << c.max_err
+        << ", \"avg_bound\": " << c.avg_bound << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "(wrote " << path << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 4000));
+  const size_t da = static_cast<size_t>(flags.GetInt("da", 8));
+  const size_t db = static_cast<size_t>(flags.GetInt("db", 16));
+  const uint64_t window =
+      static_cast<uint64_t>(flags.GetInt("window", 1000));
+  const size_t checkpoints =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("checkpoints", 8)));
+  const double slack = flags.GetDouble("slack", 4.0);
+  const std::vector<size_t> ells = ParseElls(flags.GetString("ells", "8,16,32"));
+  const size_t d = da + db;
+  const WindowSpec spec = WindowSpec::Sequence(window);
+  const std::vector<std::string> algos = {"amm-exact", "amm-co-fd",
+                                          "amm-lm-fd", "amm-di-fd"};
+  const PairedStream stream = MakePairs(rows, da, db, 5);
+
+  PrintBanner(std::cout, "Figure AMM: product error vs sketch size");
+  Table table({"algorithm", "ell", "avg_err", "max_err", "avg_bound"});
+  std::vector<Cell> cells;
+  bool gate_failed = false;
+
+  for (const size_t ell : ells) {
+    for (const std::string& algo : algos) {
+      SketchConfig config;
+      config.algorithm = algo;
+      config.ell = ell;
+      config.amm_dim_a = da;
+      config.max_norm_sq = stream.max_stacked_norm_sq;
+      config.levels = DiLevels(
+          stream.max_stacked_norm_sq / stream.min_stacked_norm_sq, ell);
+      config.lm_block_capacity =
+          static_cast<double>(ell) * stream.avg_stacked_norm_sq;
+      config.seed = 17;
+      auto made = MakeSlidingWindowSketch(d, spec, config);
+      if (!made.ok()) {
+        std::cerr << "FATAL: " << algo << ": " << made.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      auto* amm = dynamic_cast<AmmSketch*>(made->get());
+      if (amm == nullptr) {
+        std::cerr << "FATAL: " << algo << " is not an AmmSketch\n";
+        return 1;
+      }
+      AmmExact reference(da, db, spec);
+
+      Cell cell;
+      cell.algorithm = algo;
+      cell.ell = ell;
+      size_t checked = 0;
+      const size_t every = std::max<size_t>(1, rows / checkpoints);
+      for (size_t i = 0; i < rows; ++i) {
+        const double t = static_cast<double>(i + 1);
+        amm->UpdatePair(stream.a.Row(i), stream.b.Row(i), t);
+        reference.UpdatePair(stream.a.Row(i), stream.b.Row(i), t);
+        if (i % every != every - 1) continue;
+        const double fa_sq = reference.buffer_a().FrobeniusNormSq();
+        const double fb_sq = reference.buffer_b().FrobeniusNormSq();
+        if (fa_sq <= 0.0 || fb_sq <= 0.0) continue;
+        const Matrix exact = reference.QueryProduct();
+        const double err = AmmError(exact, fa_sq, fb_sq, amm->QueryProduct());
+        double bound = AmmErrorBound(ell, fa_sq, fb_sq, slack);
+        if (algo == "amm-di-fd") {
+          // Error of the trivial zero estimate (empty matrix = zero
+          // convention); DI's envelope (see the header comment).
+          const double zero_err = AmmError(exact, fa_sq, fb_sq, Matrix());
+          bound = std::max(bound, 1.25 * zero_err);
+        }
+        cell.avg_err += err;
+        cell.max_err = std::max(cell.max_err, err);
+        cell.avg_bound += bound;
+        ++checked;
+        if (algo == "amm-exact" && err > 1e-12) {
+          std::cerr << "FATAL: amm-exact err " << err << " != 0 at row " << i
+                    << "\n";
+          gate_failed = true;
+        }
+        if (algo != "amm-exact" && err > bound) {
+          std::cerr << "FATAL: " << algo << " err " << err << " > bound "
+                    << bound << " at ell=" << ell << " row=" << i << "\n";
+          gate_failed = true;
+        }
+      }
+      if (checked == 0) {
+        std::cerr << "FATAL: no checkpoints evaluated for " << algo << "\n";
+        return 1;
+      }
+      cell.avg_err /= static_cast<double>(checked);
+      cell.avg_bound /= static_cast<double>(checked);
+      table.AddRow({algo, std::to_string(ell), Table::Num(cell.avg_err),
+                    Table::Num(cell.max_err), Table::Num(cell.avg_bound)});
+      cells.push_back(cell);
+    }
+  }
+  table.Print(std::cout);
+  if (gate_failed) {
+    std::cerr << "FATAL: AMM accuracy gate failed\n";
+    return 1;
+  }
+  std::cout << "gates: amm-exact at zero error; co-fd/lm-fd inside "
+            << "slack*(fa^2+fb^2)/(ell*fa*fb); di-fd additionally capped "
+            << "at 1.25x the zero-estimate error\n";
+
+  if (flags.GetBool("json", true)) {
+    WriteCellsJson("BENCH_fig_amm.json", rows, da, db, cells);
+  }
+  return 0;
+}

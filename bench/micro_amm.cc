@@ -1,0 +1,301 @@
+// AMM-workload microbenchmark (DESIGN.md §10 "AMM workload"):
+//
+//  1. Determinism gate (fatal on violation, also pinned by
+//     tests/amm_differential_test): for each backend, replaying the same
+//     paired stream from scratch must reproduce the final QueryProduct()
+//     byte-for-byte, and a serialize/reload twin must answer the same
+//     bytes as the original.
+//
+//  2. Ingest cost: per-pair wall-clock cost of UpdatePair
+//     (`update-<alg>`) and of the UpdatePairBatch fast path at 256-pair
+//     blocks (`update-<alg>-batch`), Flush() inside the timed region.
+//
+//  3. Product latency: cold QueryProduct() after a one-row mutation
+//     (`product-<alg>`), i.e. the estimate recompute cost.
+//
+// Emits BENCH_micro_amm.json in the cells format. scripts/bench_gate.sh
+// diffs only the `update-*` cells against the committed baseline: ingest
+// is a tight single-threaded loop and stable on any host, while the
+// product-* cells are eigensolve-shaped (DS-FD) or allocation-shaped
+// (exact) and too noisy at micro scale to gate.
+//
+//   ./micro_amm [--pairs=20000] [--da=16] [--db=48] [--ell=32]
+//               [--window=4000] [--json=1]
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amm/amm_exact.h"
+#include "amm/amm_sketch.h"
+#include "core/factory.h"
+#include "eval/report.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/serialize.h"
+#include "util/timer.h"
+
+using namespace swsketch;
+
+namespace {
+
+struct Cell {
+  std::string algorithm;  // Cell slug: update-<alg>[-batch] / product-<alg>.
+  size_t ell = 0;
+  double update_ns = 0.0;  // Per-pair (or per-query) cost.
+  double rows_per_s = 0.0;
+};
+
+void WriteCellsJson(const std::string& path, size_t pairs, size_t d,
+                    const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"figure\": \"micro_amm\",\n"
+      << "  \"metric\": \"update_ns\",\n"
+      << "  \"dataset\": \"SYNTH-paired\",\n"
+      << "  \"n\": " << pairs << ",\n  \"d\": " << d << ",\n"
+      << "  \"window\": \"sequence\",\n  \"cells\": [";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << (i ? "," : "") << "\n    {\"algorithm\": \"" << c.algorithm
+        << "\", \"ell\": " << c.ell << ", \"update_ns\": " << c.update_ns
+        << ", \"rows_per_s\": " << c.rows_per_s << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "(wrote " << path << ")\n";
+}
+
+struct PairedStream {
+  Matrix a;
+  Matrix b;
+  std::vector<double> ts;
+};
+
+PairedStream MakePairs(size_t n, size_t da, size_t db, uint64_t seed) {
+  Rng rng(seed);
+  PairedStream s{Matrix(n, da), Matrix(n, db), std::vector<double>(n)};
+  const double sa = 1.0 / std::sqrt(static_cast<double>(da));
+  const double sb = 1.0 / std::sqrt(static_cast<double>(db));
+  for (size_t i = 0; i < n; ++i) {
+    const double latent = rng.Gaussian();
+    for (size_t j = 0; j < da; ++j)
+      s.a(i, j) = sa * (0.6 * latent + rng.Gaussian());
+    for (size_t j = 0; j < db; ++j)
+      s.b(i, j) = sb * (0.6 * latent + rng.Gaussian());
+    s.ts[i] = static_cast<double>(i + 1);
+  }
+  return s;
+}
+
+SketchConfig ConfigFor(const std::string& algorithm, size_t da,
+                       size_t ell) {
+  SketchConfig config;
+  config.algorithm = algorithm;
+  config.ell = ell;
+  config.amm_dim_a = da;
+  config.max_norm_sq = 4.0;  // Rows are ~unit-norm by construction.
+  config.seed = 17;
+  return config;
+}
+
+std::unique_ptr<SlidingWindowSketch> Build(const SketchConfig& config,
+                                           size_t d, WindowSpec spec) {
+  auto made = MakeSlidingWindowSketch(d, spec, config);
+  if (!made.ok()) {
+    std::cerr << "FATAL: " << config.algorithm << ": "
+              << made.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return made.take();
+}
+
+AmmSketch* AsAmm(SlidingWindowSketch* s, const std::string& algo) {
+  auto* amm = dynamic_cast<AmmSketch*>(s);
+  if (amm == nullptr) {
+    std::cerr << "FATAL: " << algo << " is not an AmmSketch\n";
+    std::exit(1);
+  }
+  return amm;
+}
+
+// Replay + reload byte-identity gates on a stream prefix; exits the
+// process on any violation so the perf numbers can never paper over a
+// broken estimator.
+void CheckDeterminism(const SketchConfig& config, const PairedStream& s,
+                      WindowSpec spec) {
+  const size_t d = s.a.cols() + s.b.cols();
+  const size_t n = std::min<size_t>(s.a.rows(), 4000);
+  auto first_s = Build(config, d, spec);
+  auto second_s = Build(config, d, spec);
+  AmmSketch* first = AsAmm(first_s.get(), config.algorithm);
+  AmmSketch* second = AsAmm(second_s.get(), config.algorithm);
+  std::unique_ptr<SlidingWindowSketch> twin_owner;
+  AmmSketch* twin = nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    first->UpdatePair(s.a.Row(i), s.b.Row(i), s.ts[i]);
+    second->UpdatePair(s.a.Row(i), s.b.Row(i), s.ts[i]);
+    if (twin) twin->UpdatePair(s.a.Row(i), s.b.Row(i), s.ts[i]);
+    if (i == n / 2) {
+      // Mid-stream checkpoint: the reload must stay in byte lockstep
+      // under continued ingest.
+      ByteWriter w;
+      if (!first->SerializeTo(&w).ok()) continue;
+      ByteReader r(w.bytes());
+      auto loaded = DeserializeSlidingWindowSketch(&r);
+      if (!loaded.ok()) {
+        std::cerr << "FATAL: " << config.algorithm << " reload failed\n";
+        std::exit(1);
+      }
+      twin_owner = std::move(*loaded);
+      twin = AsAmm(twin_owner.get(), config.algorithm);
+    }
+  }
+  const Matrix p = first->QueryProduct();
+  if (p.MaxAbsDiff(second->QueryProduct()) != 0.0) {
+    std::cerr << "FATAL: " << config.algorithm
+              << " replay bytes != original bytes\n";
+    std::exit(1);
+  }
+  if (twin == nullptr || p.MaxAbsDiff(twin->QueryProduct()) != 0.0) {
+    std::cerr << "FATAL: " << config.algorithm
+              << " reloaded twin bytes != original bytes\n";
+    std::exit(1);
+  }
+}
+
+double TimePairIngest(AmmSketch* amm, const PairedStream& s) {
+  Timer t;
+  for (size_t i = 0; i < s.a.rows(); ++i) {
+    amm->UpdatePair(s.a.Row(i), s.b.Row(i), s.ts[i]);
+  }
+  amm->Flush();
+  return static_cast<double>(t.ElapsedNanos()) /
+         static_cast<double>(s.a.rows());
+}
+
+double TimeBatchIngest(AmmSketch* amm, const PairedStream& s,
+                       size_t block) {
+  const size_t n = s.a.rows();
+  Timer t;
+  for (size_t start = 0; start < n; start += block) {
+    const size_t m = std::min(block, n - start);
+    Matrix block_a(m, s.a.cols()), block_b(m, s.b.cols());
+    std::vector<double> ts(m);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < s.a.cols(); ++j)
+        block_a(i, j) = s.a(start + i, j);
+      for (size_t j = 0; j < s.b.cols(); ++j)
+        block_b(i, j) = s.b(start + i, j);
+      ts[i] = s.ts[start + i];
+    }
+    amm->UpdatePairBatch(block_a, block_b, ts);
+  }
+  amm->Flush();
+  return static_cast<double>(t.ElapsedNanos()) / static_cast<double>(n);
+}
+
+// Cold product latency: one fresh row invalidates the cache, then the
+// estimate recompute is timed.
+double TimeColdProduct(AmmSketch* amm, const PairedStream& s,
+                       size_t iters) {
+  Timer t;
+  for (size_t i = 0; i < iters; ++i) {
+    const size_t r = i % s.a.rows();
+    amm->UpdatePair(s.a.Row(r), s.b.Row(r),
+                    s.ts.back() + static_cast<double>(i + 1));
+    const Matrix p = amm->QueryProduct();
+    if (p.rows() == 0) std::exit(2);  // Unreachable; defeats DCE.
+  }
+  return static_cast<double>(t.ElapsedNanos()) / static_cast<double>(iters);
+}
+
+// Best-of-N with a time floor: each rep runs the full measurement on a
+// fresh sketch and the min is kept. Cheap cells (amm-exact is ~100 ns x
+// 20k pairs = a few ms per rep) are re-sampled until ~0.5 s of measured
+// time accumulates — on a single-core box one scheduler preemption can
+// pollute every rep of a 3 ms window, and the 10% bench_gate threshold
+// needs run-to-run variance well under that. Expensive FD cells stop at
+// the rep floor.
+template <typename Fn>
+double BestOf(size_t min_reps, Fn&& measure) {
+  Timer total;
+  double best = measure();
+  size_t runs = 1;
+  while (runs < min_reps ||
+         (total.ElapsedNanos() < 500'000'000 && runs < 64)) {
+    best = std::min(best, measure());
+    ++runs;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t pairs = static_cast<size_t>(flags.GetInt("pairs", 20000));
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 5));
+  const size_t da = static_cast<size_t>(flags.GetInt("da", 16));
+  const size_t db = static_cast<size_t>(flags.GetInt("db", 48));
+  const size_t ell = static_cast<size_t>(flags.GetInt("ell", 32));
+  const uint64_t window =
+      static_cast<uint64_t>(flags.GetInt("window", 4000));
+  const size_t d = da + db;
+  const WindowSpec spec = WindowSpec::Sequence(window);
+  const std::vector<std::string> algos = {"amm-exact", "amm-co-fd",
+                                          "amm-lm-fd", "amm-di-fd"};
+
+  const PairedStream stream = MakePairs(pairs, da, db, 1);
+  std::vector<Cell> cells;
+
+  PrintBanner(std::cout, "micro_amm: determinism gates");
+  for (const std::string& algo : algos) {
+    CheckDeterminism(ConfigFor(algo, da, ell), stream, spec);
+    std::cout << algo << ": replay == original bytes, reload == original "
+              << "bytes\n";
+  }
+
+  PrintBanner(std::cout, "micro_amm: ingest + product cost");
+  Table table({"algorithm", "variant", "ns_per_op", "ops_per_s"});
+  for (const std::string& algo : algos) {
+    const SketchConfig config = ConfigFor(algo, da, ell);
+    {
+      const double ns = BestOf(reps, [&] {
+        auto sketch = Build(config, d, spec);
+        return TimePairIngest(AsAmm(sketch.get(), algo), stream);
+      });
+      table.AddRow({algo, "pair", Table::Num(ns), Table::Num(1e9 / ns)});
+      cells.push_back({"update-" + algo, ell, ns, 1e9 / ns});
+    }
+    {
+      const double ns = BestOf(reps, [&] {
+        auto sketch = Build(config, d, spec);
+        return TimeBatchIngest(AsAmm(sketch.get(), algo), stream, 256);
+      });
+      table.AddRow({algo, "batch", Table::Num(ns), Table::Num(1e9 / ns)});
+      cells.push_back({"update-" + algo + "-batch", ell, ns, 1e9 / ns});
+    }
+    {
+      const double ns = BestOf(reps, [&] {
+        auto sketch = Build(config, d, spec);
+        AmmSketch* amm = AsAmm(sketch.get(), algo);
+        TimePairIngest(amm, stream);  // Warm the window first.
+        return TimeColdProduct(amm, stream, 200);
+      });
+      table.AddRow({algo, "product", Table::Num(ns), Table::Num(1e9 / ns)});
+      cells.push_back({"product-" + algo, ell, ns, 1e9 / ns});
+    }
+  }
+  table.Print(std::cout);
+
+  if (flags.GetBool("json", true)) {
+    WriteCellsJson("BENCH_micro_amm.json", pairs, d, cells);
+  }
+  return 0;
+}

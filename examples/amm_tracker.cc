@@ -1,0 +1,203 @@
+// Two-stream product tracker: the AMM workload end to end. Reads paired
+// rows for two synchronized streams (clicks x queries, sensors x
+// actuators, ...) and maintains a sliding-window estimate of the
+// cross-correlation matrix A_W^T B_W with any AMM backend, alongside the
+// exact dual-buffer reference so the live normalized error is visible.
+//
+// Protocol (one command per line, matching tenant_server's shape):
+//   U <ts> <a0> ... <a{da-1}> <b0> ... <b{db-1}>   ingest one pair
+//   A <now>                                        advance the clock
+//   Q                                              print the estimate
+//   TOP                                            print the strongest
+//                                                  (i, j) cross pair
+//   STATS                                          print amm.* counters
+//                                                  (process-wide; the
+//                                                  exact reference's
+//                                                  traffic counts too)
+//
+// Q prints the da x db estimate with %.17g values — bit-stable across
+// runs (tests/amm_differential_test pins replay determinism). With
+// --reference=1 (default) Q also prints the normalized spectral error
+// ||A^T B - est||_2 / (||A||_F ||B||_F) against the exact window
+// product. Without a command file, --demo=1 self-generates a correlated
+// paired stream and prints a checkpoint every --demo_every pairs.
+//
+//   ./amm_tracker [--algorithm=amm-co-fd] [--da=4] [--db=6]
+//                 [--window=512] [--time_window=0] [--ell=16]
+//                 [--reference=1] [--demo=0] [--demo_pairs=4000]
+//                 [--demo_every=500] < commands.txt
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amm/amm_exact.h"
+#include "amm/amm_sketch.h"
+#include "core/factory.h"
+#include "eval/amm_err.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+using namespace swsketch;
+
+namespace {
+
+struct Tracker {
+  std::unique_ptr<SlidingWindowSketch> owner;
+  AmmSketch* amm = nullptr;
+  std::unique_ptr<AmmExact> reference;  // Null when --reference=0.
+  size_t da = 0, db = 0;
+
+  void Ingest(std::span<const double> a, std::span<const double> b,
+              double ts) {
+    amm->UpdatePair(a, b, ts);
+    if (reference) reference->UpdatePair(a, b, ts);
+  }
+
+  void Advance(double now) {
+    amm->AdvanceTo(now);
+    if (reference) reference->AdvanceTo(now);
+  }
+
+  void PrintEstimate() {
+    const Matrix est = amm->QueryProduct();
+    std::printf("Q %zu %zu\n", est.rows(), est.cols());
+    for (size_t i = 0; i < est.rows(); ++i) {
+      for (size_t j = 0; j < est.cols(); ++j) {
+        std::printf(j ? " %.17g" : "%.17g", est(i, j));
+      }
+      std::printf("\n");
+    }
+    if (reference) {
+      const double fa_sq = reference->buffer_a().FrobeniusNormSq();
+      const double fb_sq = reference->buffer_b().FrobeniusNormSq();
+      if (fa_sq > 0.0 && fb_sq > 0.0) {
+        const double err =
+            AmmError(reference->QueryProduct(), fa_sq, fb_sq, est);
+        std::printf("ERR %.6g\n", err);
+      } else {
+        std::printf("ERR empty-window\n");
+      }
+    }
+  }
+
+  void PrintTop() {
+    const Matrix est = amm->QueryProduct();
+    size_t bi = 0, bj = 0;
+    double best = 0.0;
+    for (size_t i = 0; i < est.rows(); ++i) {
+      for (size_t j = 0; j < est.cols(); ++j) {
+        const double m = est(i, j) < 0.0 ? -est(i, j) : est(i, j);
+        if (m > best) best = m, bi = i, bj = j;
+      }
+    }
+    std::printf("TOP %zu %zu %.17g\n", bi, bj,
+                est.rows() ? est(bi, bj) : 0.0);
+  }
+};
+
+int RunDemo(Tracker* tracker, size_t pairs, size_t every) {
+  Rng rng(11);
+  std::vector<double> a(tracker->da), b(tracker->db);
+  for (size_t i = 0; i < pairs; ++i) {
+    const double latent = rng.Gaussian();
+    for (auto& v : a) v = 0.6 * latent + rng.Gaussian();
+    for (auto& v : b) v = 0.6 * latent + rng.Gaussian();
+    tracker->Ingest(a, b, static_cast<double>(i + 1));
+    if (every != 0 && i % every == every - 1) {
+      std::printf("# pair %zu\n", i + 1);
+      tracker->PrintEstimate();
+    }
+  }
+  tracker->PrintTop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string algorithm =
+      flags.GetString("algorithm", "amm-co-fd");
+  const size_t da = static_cast<size_t>(flags.GetInt("da", 4));
+  const size_t db = static_cast<size_t>(flags.GetInt("db", 6));
+  const double time_window = flags.GetDouble("time_window", 0.0);
+  const uint64_t window = static_cast<uint64_t>(flags.GetInt("window", 512));
+  const WindowSpec spec = time_window > 0.0 ? WindowSpec::Time(time_window)
+                                            : WindowSpec::Sequence(window);
+
+  SketchConfig config;
+  config.algorithm = algorithm;
+  config.ell = static_cast<size_t>(flags.GetInt("ell", 16));
+  config.amm_dim_a = da;
+  config.max_norm_sq = 16.0 * static_cast<double>(da + db);
+  config.seed = 11;
+  auto made = MakeSlidingWindowSketch(da + db, spec, config);
+  if (!made.ok()) {
+    std::cerr << "error: " << made.status().ToString() << "\n";
+    return 1;
+  }
+  Tracker tracker;
+  tracker.owner = made.take();
+  tracker.amm = dynamic_cast<AmmSketch*>(tracker.owner.get());
+  if (tracker.amm == nullptr) {
+    std::cerr << "error: " << algorithm
+              << " is not an AMM backend (try amm-exact, amm-co-fd, "
+                 "amm-lm-fd, amm-di-fd)\n";
+    return 1;
+  }
+  tracker.da = da;
+  tracker.db = db;
+  if (flags.GetBool("reference", true)) {
+    tracker.reference = std::make_unique<AmmExact>(da, db, spec);
+  }
+
+  if (flags.GetBool("demo", false)) {
+    return RunDemo(&tracker,
+                   static_cast<size_t>(flags.GetInt("demo_pairs", 4000)),
+                   static_cast<size_t>(flags.GetInt("demo_every", 500)));
+  }
+
+  std::vector<double> a(da), b(db);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "U") {
+      double ts = 0.0;
+      in >> ts;
+      bool ok = static_cast<bool>(in);
+      for (auto& v : a) ok = ok && static_cast<bool>(in >> v);
+      for (auto& v : b) ok = ok && static_cast<bool>(in >> v);
+      if (!ok) {
+        std::cerr << "line " << line_no << ": bad U (need ts + " << da
+                  << "+" << db << " values)\n";
+        continue;
+      }
+      tracker.Ingest(a, b, ts);
+    } else if (cmd == "A") {
+      double now = 0.0;
+      if (in >> now) tracker.Advance(now);
+    } else if (cmd == "Q") {
+      tracker.PrintEstimate();
+    } else if (cmd == "TOP") {
+      tracker.PrintTop();
+    } else if (cmd == "STATS") {
+      std::printf("STATS pairs=%" PRId64 " queries=%" PRId64 "\n",
+                  tracker.amm->metrics().pairs_ingested->Value(),
+                  tracker.amm->metrics().product_queries->Value());
+    } else {
+      std::cerr << "line " << line_no << ": unknown command " << cmd
+                << "\n";
+    }
+  }
+  return 0;
+}

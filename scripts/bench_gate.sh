@@ -24,6 +24,7 @@ QUERY_BASELINE=bench/baselines/BENCH_micro_query.json
 METRICS_BASELINE=bench/baselines/BENCH_micro_metrics.json
 SHARD_BASELINE=bench/baselines/BENCH_micro_shard.json
 TENANT_BASELINE=bench/baselines/BENCH_micro_tenant.json
+AMM_BASELINE=bench/baselines/BENCH_micro_amm.json
 FILTER='BM_FrequentDirectionsAppend|BM_RandomProjectionAppend|BM_HashSketchAppend|BM_DsFdAppend'
 # Per-event metrics costs (counter add, histogram record, scoped timer).
 # The contended-counter and registry-lookup cells depend on core count /
@@ -44,7 +45,7 @@ done
 cmake --preset release >/dev/null
 cmake --build build-release -j"$(nproc)" \
   --target micro_sketch micro_query micro_metrics micro_shard \
-           micro_tenant >/dev/null
+           micro_tenant micro_amm >/dev/null
 
 ./build-release/bench/micro_sketch \
   --benchmark_filter="${FILTER}" \
@@ -65,6 +66,7 @@ cmake --build build-release -j"$(nproc)" \
 ./build-release/bench/micro_query --iters=3000 --duration_ms=200 >/dev/null
 ./build-release/bench/micro_shard >/dev/null
 ./build-release/bench/micro_tenant >/dev/null
+./build-release/bench/micro_amm >/dev/null
 
 filter_warm_cells() {
   python3 - "$1" "$2" <<'EOF'
@@ -112,14 +114,32 @@ with open(sys.argv[2], "w") as fh:
 EOF
 }
 
+# Only the ingest cells gate: `update-<alg>` (per-pair) and
+# `update-<alg>-batch` (block fast path) are tight single-threaded loops
+# and stable on any host. The product-* query-latency cells are
+# eigensolve/allocation-shaped and too noisy at micro scale, so
+# micro_amm reports them but the baseline excludes them.
+filter_amm_cells() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["cells"] = [c for c in doc["cells"]
+                if c["algorithm"].startswith("update-")]
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+EOF
+}
+
 if [[ "$update_baseline" == 1 ]]; then
   cp BENCH_micro_sketch.json "$SKETCH_BASELINE"
   cp BENCH_micro_metrics.json "$METRICS_BASELINE"
   filter_warm_cells BENCH_micro_query.json "$QUERY_BASELINE"
   filter_shard_cells BENCH_micro_shard.json "$SHARD_BASELINE"
   filter_tenant_cells BENCH_micro_tenant.json "$TENANT_BASELINE"
+  filter_amm_cells BENCH_micro_amm.json "$AMM_BASELINE"
   echo "baselines refreshed: $SKETCH_BASELINE $METRICS_BASELINE" \
-       "$QUERY_BASELINE $SHARD_BASELINE $TENANT_BASELINE"
+       "$QUERY_BASELINE $SHARD_BASELINE $TENANT_BASELINE $AMM_BASELINE"
   exit 0
 fi
 
@@ -143,4 +163,8 @@ filter_tenant_cells BENCH_micro_tenant.json BENCH_micro_tenant.gated.json
 python3 scripts/bench_diff.py "$TENANT_BASELINE" BENCH_micro_tenant.gated.json \
   ${diff_args[@]+"${diff_args[@]}"} || status=1
 rm -f BENCH_micro_tenant.gated.json
+filter_amm_cells BENCH_micro_amm.json BENCH_micro_amm.gated.json
+python3 scripts/bench_diff.py "$AMM_BASELINE" BENCH_micro_amm.gated.json \
+  ${diff_args[@]+"${diff_args[@]}"} || status=1
+rm -f BENCH_micro_amm.gated.json
 exit $status

@@ -200,6 +200,18 @@ void DsFd::ThinLadder(Frame& frame, double spacing) {
   sn = std::move(kept);
 }
 
+void DsFd::NoteRowNorm(double norm_sq) {
+  if (min_row_norm_sq_ == 0.0 || norm_sq < min_row_norm_sq_) {
+    min_row_norm_sq_ = norm_sq;
+  }
+  if (norm_sq > max_row_norm_sq_) max_row_norm_sq_ = norm_sq;
+  if (!heavy_tail_warned_ &&
+      max_row_norm_sq_ >= kHeavyTailNormSqRatio * min_row_norm_sq_) {
+    heavy_tail_warned_ = true;
+    metrics_.heavy_tail_warnings->Add();
+  }
+}
+
 void DsFd::Update(std::span<const double> row, double ts) {
   SWSKETCH_CHECK_EQ(row.size(), dim_);
   SWSKETCH_CHECK_GE(ts, now_);
@@ -209,6 +221,7 @@ void DsFd::Update(std::span<const double> row, double ts) {
   const double w = NormSq(row);
   if (w <= 0.0) return;
   metrics_.rows_ingested->Add();
+  NoteRowNorm(w);
   tracker_.Add(w, ts);
   if (frames_.empty() || frames_.back().frozen) OpenFrame(ts);
   Frame& f = frames_.back();
@@ -254,6 +267,7 @@ void DsFd::UpdateBatch(const Matrix& rows, std::span<const double> ts) {
     const double w = NormSq(rows.Row(i));
     if (w <= 0.0) continue;
     metrics_.rows_ingested->Add();
+    NoteRowNorm(w);
     tracker_.Add(w, t);
     if (frames_.empty() || frames_.back().frozen) {
       flush(i);  // No-op unless the previous frame still has staged rows.

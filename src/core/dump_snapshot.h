@@ -135,6 +135,7 @@ class DsFd : public SlidingWindowSketch {
           query_cache_hits(scope.counter("query_cache_hits")),
           query_cache_misses(scope.counter("query_cache_misses")),
           reloads(scope.counter("reloads")),
+          heavy_tail_warnings(scope.counter("heavy_tail_warnings")),
           live_frames(scope.gauge("live_frames")),
           live_snapshots(scope.gauge("live_snapshots")),
           snapshot_rows(scope.histogram("snapshot_rows")) {}
@@ -151,6 +152,9 @@ class DsFd : public SlidingWindowSketch {
     Counter* query_cache_hits;
     Counter* query_cache_misses;
     Counter* reloads;
+    /// Bumped once per instance lifetime when the observed squared-norm
+    /// ratio crosses kHeavyTailNormSqRatio (see its doc comment).
+    Counter* heavy_tail_warnings;
     Gauge* live_frames;
     Gauge* live_snapshots;
     Histogram* snapshot_rows;
@@ -202,6 +206,16 @@ class DsFd : public SlidingWindowSketch {
   size_t num_snapshots() const;
   const Options& options() const { return options_; }
 
+  /// Squared-norm ratio (max / min over positive-norm rows ingested by
+  /// this instance) at which DS-FD's boundary-leak weak spot becomes a
+  /// real accuracy risk: the ladder quantum Theta = F_hat / k is sized
+  /// for the window's aggregate mass, so with row-norm ratio R ~ 1e4+
+  /// (squared ratio 1e8+) a single heavy row rivals Theta and expiring it
+  /// can leak an order-1 fraction of a snapshot into the answer
+  /// (EXPERIMENTS.md, PAMAP known limitation; use lm-fd there). Crossing
+  /// this threshold bumps heavy_tail_warnings once per instance.
+  static constexpr double kHeavyTailNormSqRatio = 1e8;
+
   /// Resolved internals (options after dim-aware auto-scaling).
   size_t frame_ell() const { return frame_ell_; }
   size_t frame_capacity() const { return frame_capacity_; }
@@ -248,6 +262,7 @@ class DsFd : public SlidingWindowSketch {
   };
 
   Frame& OpenFrame(double ts);
+  void NoteRowNorm(double norm_sq);
   void Expire(double now);
   void EvictFrontSnapshots(double window_start);
   void ThinLadder(Frame& frame, double spacing);
@@ -278,6 +293,13 @@ class DsFd : public SlidingWindowSketch {
   FrobeniusTracker tracker_;
   double now_ = 0.0;
   uint64_t next_id_ = 0;
+
+  // Heavy-tail detector state (kHeavyTailNormSqRatio). Lifetime extrema,
+  // deliberately NOT serialized: a reloaded instance re-derives the ratio
+  // from the rows it sees (keeping the v1 wire format byte-stable).
+  double max_row_norm_sq_ = 0.0;
+  double min_row_norm_sq_ = 0.0;  // 0 = no positive-norm row seen yet.
+  bool heavy_tail_warned_ = false;
 
   uint64_t mutation_version_ = 0;
   uint64_t structure_version_ = 0;

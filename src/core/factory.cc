@@ -4,6 +4,8 @@
 #include <new>
 #include <utility>
 
+#include "amm/amm_exact.h"
+#include "amm/amm_stacked.h"
 #include "core/best_rank_k.h"
 #include "core/dump_snapshot.h"
 #include "core/dyadic_interval.h"
@@ -11,6 +13,7 @@
 #include "core/logarithmic_method.h"
 #include "core/swor.h"
 #include "core/swr.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 
 namespace swsketch {
@@ -23,6 +26,32 @@ Status RequireSequence(const WindowSpec& window, const std::string& algo) {
         algo + " supports sequence-based windows only (Section 7)");
   }
   return Status::OK();
+}
+
+// Single-operand backend an AMM name wraps at the stacked dimension, or
+// "" for names that are not AMM ("amm-exact" maps to itself: the dual-
+// buffer reference needs no underlying covariance sketch).
+std::string AmmInnerAlgorithm(const std::string& algo) {
+  if (algo == "amm-exact") return "amm-exact";
+  if (algo == "amm-co-fd") return "ds-fd";
+  if (algo == "amm-lm-fd") return "lm-fd";
+  if (algo == "amm-di-fd") return "di-fd";
+  return "";
+}
+
+// Resolves SketchConfig::amm_dim_a against the stacked dimension.
+Result<size_t> ResolveAmmDimA(size_t dim, const SketchConfig& config) {
+  if (dim < 2) {
+    return Status::InvalidArgument(
+        "AMM needs a stacked dimension of at least 2 (one column per "
+        "operand)");
+  }
+  const size_t dim_a = config.amm_dim_a == 0 ? dim / 2 : config.amm_dim_a;
+  if (dim_a == 0 || dim_a >= dim) {
+    return Status::InvalidArgument(
+        "amm_dim_a must satisfy 0 < amm_dim_a < dim");
+  }
+  return dim_a;
 }
 
 }  // namespace
@@ -124,6 +153,21 @@ Result<std::unique_ptr<SlidingWindowSketch>> MakeSlidingWindowSketch(
     return std::unique_ptr<SlidingWindowSketch>(
         new BestRankK(dim, window, config.ell));
   }
+  if (const std::string inner_algo = AmmInnerAlgorithm(a);
+      !inner_algo.empty()) {
+    auto dim_a = ResolveAmmDimA(dim, config);
+    if (!dim_a.ok()) return dim_a.status();
+    if (a == "amm-exact") {
+      return std::unique_ptr<SlidingWindowSketch>(
+          new AmmExact(*dim_a, dim - *dim_a, window));
+    }
+    SketchConfig inner_config = config;
+    inner_config.algorithm = inner_algo;
+    auto inner = MakeSlidingWindowSketch(dim, window, inner_config);
+    if (!inner.ok()) return inner.status();
+    return std::unique_ptr<SlidingWindowSketch>(
+        new AmmStacked(*dim_a, dim - *dim_a, inner.take()));
+  }
   return Status::InvalidArgument("unknown algorithm: " + a);
 }
 
@@ -152,6 +196,8 @@ Result<std::unique_ptr<SlidingWindowSketch>> DeserializeSlidingWindowSketch(
     case LmHash::kSerialTag: return LoadAs<LmHash>(reader);
     case DiFd::kSerialTag: return LoadAs<DiFd>(reader);
     case DsFd::kSerialTag: return LoadAs<DsFd>(reader);
+    case AmmExact::kSerialTag: return LoadAs<AmmExact>(reader);
+    case AmmStacked::kSerialTag: return LoadAs<AmmStacked>(reader);
     default:
       return Status::InvalidArgument("unknown sketch serialization tag");
   }
@@ -355,12 +401,60 @@ Result<SketchPrototype> SketchPrototype::Make(size_t dim, WindowSpec window,
     };
     return proto;
   }
+  if (const std::string inner_algo = AmmInnerAlgorithm(a);
+      !inner_algo.empty()) {
+    auto dim_a_r = ResolveAmmDimA(dim, config);
+    if (!dim_a_r.ok()) return dim_a_r.status();
+    const size_t dim_a = *dim_a_r;
+    const size_t dim_b = dim - dim_a;
+    // The amm.* handles resolve once here; the wrapped stacked backend
+    // still resolves its own scoped handles per instance inside its
+    // constructor — same registry names, so tenants share them anyway.
+    auto metrics = std::make_shared<AmmSketch::MetricSet>(MetricScope("amm"));
+    if (a == "amm-exact") {
+      proto.size_ = sizeof(AmmExact);
+      proto.align_ = alignof(AmmExact);
+      proto.construct_ = [dim_a, dim_b, window, metrics](void* mem) {
+        return static_cast<SlidingWindowSketch*>(
+            new (mem) AmmExact(dim_a, dim_b, window, *metrics));
+      };
+      proto.deserialize_ = &PlacementLoad<AmmExact>;
+      return proto;
+    }
+    if (inner_algo == "di-fd") {
+      if (Status s = RequireSequence(window, a); !s.ok()) return s;
+    }
+    SketchConfig inner_config = config;
+    inner_config.algorithm = inner_algo;
+    // Probe-build one underlying sketch now so the construct lambda's
+    // CHECK can never fire: any config error surfaces here as a Status.
+    if (auto probe = MakeSlidingWindowSketch(dim, window, inner_config);
+        !probe.ok()) {
+      return probe.status();
+    }
+    proto.size_ = sizeof(AmmStacked);
+    proto.align_ = alignof(AmmStacked);
+    // The underlying sketch lives on the heap behind the slab-resident
+    // wrapper: its size varies by backend, so only the fixed-size wrapper
+    // participates in the arena slab contract.
+    proto.construct_ = [dim, dim_a, dim_b, window, inner_config,
+                        metrics](void* mem) {
+      auto inner = MakeSlidingWindowSketch(dim, window, inner_config);
+      SWSKETCH_CHECK(inner.ok());  // Validated when the prototype was made.
+      return static_cast<SlidingWindowSketch*>(
+          new (mem) AmmStacked(dim_a, dim_b, inner.take(), *metrics));
+    };
+    proto.deserialize_ = &PlacementLoad<AmmStacked>;
+    return proto;
+  }
   return Status::InvalidArgument("unknown algorithm: " + a);
 }
 
 std::vector<std::string> KnownAlgorithms() {
-  return {"swr",   "swor",  "swor-all", "lm-fd", "ds-fd", "lm-hash",
-          "lm-rp", "di-fd", "di-rp",    "di-hash", "exact", "best"};
+  return {"swr",      "swor",  "swor-all",  "lm-fd",     "ds-fd",
+          "lm-hash",  "lm-rp", "di-fd",     "di-rp",     "di-hash",
+          "exact",    "best",  "amm-exact", "amm-co-fd", "amm-lm-fd",
+          "amm-di-fd"};
 }
 
 }  // namespace swsketch

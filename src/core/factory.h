@@ -19,7 +19,9 @@ namespace swsketch {
 /// it understands.
 struct SketchConfig {
   /// One of: swr, swor, swor-all, lm-fd, ds-fd, lm-hash, lm-rp, di-fd,
-  /// di-rp, di-hash, exact, best.
+  /// di-rp, di-hash, exact, best, or a two-operand AMM backend:
+  /// amm-exact, amm-co-fd, amm-lm-fd, amm-di-fd (src/amm/). AMM sketches
+  /// run at the stacked dimension d = d_a + d_b; see amm_dim_a.
   std::string algorithm = "lm-fd";
 
   /// Sample count (samplers), FD rows per block (LM-FD), top-level size
@@ -72,6 +74,12 @@ struct SketchConfig {
   /// tracker, or exact tracking when exact_frobenius is set.
   double frobenius_eps = 0.05;
   bool exact_frobenius = false;
+
+  /// AMM backends only: columns of the first operand A inside the stacked
+  /// dimension passed to the factory (operand B gets dim - amm_dim_a).
+  /// 0 (the default) splits the stacked dimension evenly, dim / 2.
+  /// Must satisfy 0 < amm_dim_a < dim; AMM requires dim >= 2.
+  size_t amm_dim_a = 0;
 
   uint64_t seed = 1;
 };

@@ -8,10 +8,14 @@
 namespace swsketch {
 
 QueryReduceSpec ReduceSpecFor(const std::string& algorithm, size_t ell) {
-  if (algorithm == "lm-fd" || algorithm == "ds-fd") {
+  if (algorithm == "lm-fd" || algorithm == "ds-fd" ||
+      algorithm == "amm-co-fd" || algorithm == "amm-lm-fd") {
+    // AMM wrappers expose Query() as the stacked [A | B] approximation, so
+    // FD-merging shard outputs at the stacked dimension preserves the
+    // co-sketch product bound exactly like the covariance bound.
     return {QueryReduceKind::kFdMerge, ell};
   }
-  if (algorithm == "di-fd") {
+  if (algorithm == "di-fd" || algorithm == "amm-di-fd") {
     return {QueryReduceKind::kFdMerge, 2 * ell};
   }
   if (algorithm == "lm-hash" || algorithm == "lm-rp") {

@@ -50,6 +50,9 @@ struct QueryReduceSpec {
 /// lm-fd / di-fd -> kFdMerge at ell / 2*ell rows (a DI cover carries up to
 /// ~2*ell rows, so halving it at the reduce would discard accuracy the
 /// shards paid for); lm-hash / lm-rp -> kSum; everything else -> kStack.
+/// FD-backed AMM wrappers (amm-co-fd / amm-lm-fd / amm-di-fd) follow their
+/// underlying backend — their Query() is the stacked [A | B] approximation,
+/// which FD-merges at the stacked dimension like any covariance sketch.
 QueryReduceSpec ReduceSpecFor(const std::string& algorithm, size_t ell);
 
 /// Combines the approximations of two disjoint sub-streams. Either operand

@@ -1,0 +1,51 @@
+#include "eval/amm_err.h"
+
+#include <cmath>
+
+#include "linalg/power_iteration.h"
+#include "util/logging.h"
+
+namespace swsketch {
+
+double AmmError(const Matrix& exact_product, double frob_a_sq,
+                double frob_b_sq, const Matrix& estimate) {
+  SWSKETCH_CHECK_GT(frob_a_sq, 0.0);
+  SWSKETCH_CHECK_GT(frob_b_sq, 0.0);
+  Matrix diff = exact_product;
+  if (!estimate.empty()) {
+    SWSKETCH_CHECK_EQ(estimate.rows(), exact_product.rows());
+    SWSKETCH_CHECK_EQ(estimate.cols(), exact_product.cols());
+    auto data = diff.Data();
+    const auto est = estimate.Data();
+    for (size_t i = 0; i < data.size(); ++i) data[i] -= est[i];
+  }
+  return SpectralNorm(diff) / std::sqrt(frob_a_sq * frob_b_sq);
+}
+
+double AmmErrorDense(const Matrix& a, const Matrix& b,
+                     const Matrix& estimate) {
+  SWSKETCH_CHECK_EQ(a.rows(), b.rows());
+  Matrix product(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const auto ra = a.Row(r);
+    const auto rb = b.Row(r);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double left = ra[i];
+      if (left == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) product(i, j) += left * rb[j];
+    }
+  }
+  return AmmError(product, a.FrobeniusNormSq(), b.FrobeniusNormSq(),
+                  estimate);
+}
+
+double AmmErrorBound(size_t ell, double frob_a_sq, double frob_b_sq,
+                     double slack) {
+  SWSKETCH_CHECK_GT(ell, 0u);
+  SWSKETCH_CHECK_GT(frob_a_sq, 0.0);
+  SWSKETCH_CHECK_GT(frob_b_sq, 0.0);
+  return slack * (frob_a_sq + frob_b_sq) /
+         (static_cast<double>(ell) * std::sqrt(frob_a_sq * frob_b_sq));
+}
+
+}  // namespace swsketch

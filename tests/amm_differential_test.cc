@@ -1,0 +1,261 @@
+// Randomized differential testing of the AMM workload: random operation
+// sequences (paired updates, paired batches, silent advances, product
+// queries, mid-stream checkpoint/restore) drive every AMM backend in
+// lockstep against the exact dual-buffer reference (AmmExact), asserting
+//  - shape and empty-window conventions of QueryProduct(),
+//  - the co-sketch error bound of arXiv 2502.17940 with a constant-factor
+//    margin for the sliding-window relaxation (eval/amm_err.h),
+//  - a restored twin stays in BYTE lockstep with the original under
+//    continued ingest (estimates compared bitwise),
+//  - the whole estimator is bitwise deterministic: replaying the same op
+//    sequence from scratch reproduces the final estimate exactly.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "amm/amm_exact.h"
+#include "amm/amm_sketch.h"
+#include "core/factory.h"
+#include "eval/amm_err.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace swsketch {
+namespace {
+
+// Constant-factor slack over the one-shot co-sketch bound granted to the
+// sliding-window backends (DS-FD boundary leak, LM level merges, DI cover
+// union all relax the one-shot constant; see eval/amm_err.h). DS-FD gets
+// a different envelope shape entirely: its snapshot ladder can leak one
+// truncation quantum of a PAST window's mass across the boundary, so when
+// the live window's mass collapses after a heavy burst expires, error
+// RELATIVE to the live norms is unbounded (the norm-ratio R dependence
+// the source paper states explicitly; EXPERIMENTS.md documents the same
+// blow-up on PAMAP). The fuzz therefore pins DS-FD's ABSOLUTE spectral
+// error against slack * (live_mass / ell + peak_mass / ladder_k).
+constexpr double kWindowSlack = 4.0;
+constexpr double kDsWindowSlack = 4.0;
+
+struct FuzzResult {
+  Matrix final_estimate;
+  size_t products_checked = 0;
+};
+
+// One full randomized run. Deterministic given (algo, seed): every random
+// draw comes from one Rng seeded at `seed`, so two invocations replay the
+// identical op sequence — the determinism test compares their outputs
+// bitwise.
+FuzzResult RunAmmFuzz(const std::string& algo, uint64_t seed) {
+  Rng rng(seed);
+  FuzzResult result;
+
+  const size_t da = 2 + rng.UniformInt(3);  // 2..4.
+  const size_t db = 2 + rng.UniformInt(4);  // 2..5.
+  const size_t d = da + db;
+  const bool time_window = algo != "amm-di-fd" && rng.Bernoulli(0.4);
+  const double extent =
+      time_window ? 20.0 + rng.Uniform01() * 60.0
+                  : static_cast<double>(32 + rng.UniformInt(128));
+  const WindowSpec window =
+      time_window ? WindowSpec::Time(extent)
+                  : WindowSpec::Sequence(static_cast<uint64_t>(extent));
+
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = 8 + rng.UniformInt(8);
+  config.levels = 3 + rng.UniformInt(3);
+  config.max_norm_sq = 16.0 * static_cast<double>(d);
+  config.amm_dim_a = da;
+  config.seed = seed;
+  auto made = MakeSlidingWindowSketch(d, window, config);
+  EXPECT_TRUE(made.ok()) << algo << ": " << made.status().ToString();
+  if (!made.ok()) return result;
+  auto* sketch = dynamic_cast<AmmSketch*>(made->get());
+  EXPECT_NE(sketch, nullptr) << algo << " did not build an AmmSketch";
+  if (sketch == nullptr) return result;
+
+  AmmExact reference(da, db, window);
+  std::unique_ptr<SlidingWindowSketch> twin_owner;
+  AmmSketch* twin = nullptr;
+
+  const auto random_pair = [&](std::vector<double>* a,
+                               std::vector<double>* b) {
+    const double scale = rng.Bernoulli(0.05) ? 8.0 : 1.0;
+    a->resize(da);
+    b->resize(db);
+    for (auto& v : *a) v = scale * rng.Gaussian();
+    for (auto& v : *b) v = scale * rng.Gaussian();
+  };
+
+  double t = 0.0;
+  std::vector<double> row_a, row_b;
+  // Largest stacked-window Frobenius mass seen at any point in the run;
+  // feeds the DS-FD leak envelope (a leaked snapshot quantum is sized by
+  // the mass of the window it was dumped from, not the live one).
+  double peak_stacked_mass = 0.0;
+  const auto note_window_mass = [&] {
+    peak_stacked_mass = std::max(peak_stacked_mass,
+                                 reference.buffer_a().FrobeniusNormSq() +
+                                     reference.buffer_b().FrobeniusNormSq());
+  };
+  const size_t ops = 400;
+  for (size_t op = 0; op < ops; ++op) {
+    const double dice = rng.Uniform01();
+    if (dice < 0.45) {
+      random_pair(&row_a, &row_b);
+      t += time_window ? rng.Exponential(2.0) : 1.0;
+      sketch->UpdatePair(row_a, row_b, t);
+      reference.UpdatePair(row_a, row_b, t);
+      if (twin) twin->UpdatePair(row_a, row_b, t);
+      note_window_mass();
+    } else if (dice < 0.65) {
+      // Paired batch through the backend's UpdateBatch fast path.
+      const size_t burst = 1 + rng.UniformInt(24);
+      Matrix block_a(burst, da), block_b(burst, db);
+      std::vector<double> ts(burst);
+      for (size_t i = 0; i < burst; ++i) {
+        random_pair(&row_a, &row_b);
+        for (size_t j = 0; j < da; ++j) block_a(i, j) = row_a[j];
+        for (size_t j = 0; j < db; ++j) block_b(i, j) = row_b[j];
+        t += time_window ? rng.Exponential(2.0) : 1.0;
+        ts[i] = t;
+      }
+      sketch->UpdatePairBatch(block_a, block_b, ts);
+      reference.UpdatePairBatch(block_a, block_b, ts);
+      if (twin) twin->UpdatePairBatch(block_a, block_b, ts);
+      note_window_mass();
+    } else if (dice < 0.75 && time_window) {
+      // Silent advance, sometimes past the whole window.
+      t += rng.Bernoulli(0.2) ? extent * 1.5 : rng.Uniform01() * extent;
+      sketch->AdvanceTo(t);
+      reference.AdvanceTo(t);
+      if (twin) twin->AdvanceTo(t);
+    } else if (dice < 0.92) {
+      // Product query: shape, error bound, twin lockstep.
+      const Matrix est = sketch->QueryProduct();
+      EXPECT_EQ(est.rows(), da) << algo;
+      EXPECT_EQ(est.cols(), db) << algo;
+      const double fa_sq = reference.buffer_a().FrobeniusNormSq();
+      const double fb_sq = reference.buffer_b().FrobeniusNormSq();
+      if (fa_sq > 0.0 && fb_sq > 0.0) {
+        const Matrix exact = reference.QueryProduct();
+        const double err = AmmError(exact, fa_sq, fb_sq, est);
+        if (algo == "amm-co-fd") {
+          // Absolute-spectral envelope: live co-sketch term plus one
+          // leaked snapshot quantum of the heaviest window seen so far
+          // (see the comment at kDsWindowSlack).
+          const size_t ladder_k = std::max<size_t>(8, 3 * config.ell / 8);
+          const double abs_err = err * std::sqrt(fa_sq * fb_sq);
+          const double abs_bound =
+              kDsWindowSlack *
+              ((fa_sq + fb_sq) / static_cast<double>(config.ell) +
+               peak_stacked_mass / static_cast<double>(ladder_k));
+          EXPECT_LE(abs_err, abs_bound)
+              << algo << " seed=" << seed << " op=" << op << " ell="
+              << config.ell << " peak=" << peak_stacked_mass;
+        } else {
+          const double bound =
+              AmmErrorBound(config.ell, fa_sq, fb_sq, kWindowSlack);
+          EXPECT_LE(err, bound)
+              << algo << " seed=" << seed << " op=" << op << " ell="
+              << config.ell;
+        }
+        ++result.products_checked;
+      } else {
+        // Empty window: the estimate must be exactly zero.
+        EXPECT_EQ(est.FrobeniusNormSq(), 0.0) << algo << " op=" << op;
+      }
+      if (twin) {
+        const Matrix te = twin->QueryProduct();
+        EXPECT_EQ(te.rows(), est.rows()) << algo;
+        EXPECT_EQ(te.MaxAbsDiff(est), 0.0)
+            << algo << " twin diverged at op " << op;
+      }
+    } else if (!twin) {
+      // Checkpoint: spawn the restored twin mid-stream.
+      ByteWriter w;
+      if (sketch->SerializeTo(&w).ok()) {
+        ByteReader r(w.bytes());
+        auto loaded = DeserializeSlidingWindowSketch(&r);
+        EXPECT_TRUE(loaded.ok()) << algo;
+        if (loaded.ok()) {
+          twin_owner = std::move(*loaded);
+          twin = dynamic_cast<AmmSketch*>(twin_owner.get());
+          EXPECT_NE(twin, nullptr)
+              << algo << " reloaded as a non-AMM sketch";
+        }
+      }
+    }
+  }
+  result.final_estimate = sketch->QueryProduct();
+  return result;
+}
+
+class AmmDifferentialFuzz
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(AmmDifferentialFuzz, LockstepAgainstExactReference) {
+  const auto [algo, seed] = GetParam();
+  const FuzzResult run = RunAmmFuzz(algo, seed);
+  // The op mix must actually have exercised the bound (not all-empty
+  // windows), otherwise the test silently checks nothing.
+  EXPECT_GT(run.products_checked, 0u) << algo << " seed=" << seed;
+}
+
+TEST_P(AmmDifferentialFuzz, RerunIsBitwiseDeterministic) {
+  const auto [algo, seed] = GetParam();
+  const FuzzResult a = RunAmmFuzz(algo, seed);
+  const FuzzResult b = RunAmmFuzz(algo, seed);
+  ASSERT_EQ(a.final_estimate.rows(), b.final_estimate.rows());
+  ASSERT_EQ(a.final_estimate.cols(), b.final_estimate.cols());
+  EXPECT_EQ(a.final_estimate.MaxAbsDiff(b.final_estimate), 0.0)
+      << algo << " estimator is not deterministic across reruns";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, AmmDifferentialFuzz,
+    ::testing::Combine(::testing::Values("amm-exact", "amm-co-fd",
+                                         "amm-lm-fd", "amm-di-fd"),
+                       ::testing::Values(11u, 22u, 33u)));
+
+// The exact backend against the brute-force definition: QueryProduct()
+// must equal A_W^T B_W computed straight off the live window, bitwise
+// (both accumulate pair-by-pair in arrival order).
+TEST(AmmExactTest, ProductMatchesBruteForce) {
+  Rng rng(7);
+  const size_t da = 3, db = 4;
+  AmmExact amm(da, db, WindowSpec::Sequence(24));
+  std::vector<std::vector<double>> live_a, live_b;
+  std::vector<double> ra(da), rb(db);
+  for (size_t i = 0; i < 80; ++i) {
+    for (auto& v : ra) v = rng.Gaussian();
+    for (auto& v : rb) v = rng.Gaussian();
+    amm.UpdatePair(ra, rb, static_cast<double>(i + 1));
+    live_a.push_back(ra);
+    live_b.push_back(rb);
+    if (live_a.size() > 24) {
+      live_a.erase(live_a.begin());
+      live_b.erase(live_b.begin());
+    }
+    if (i % 10 != 9) continue;
+    Matrix want(da, db);
+    for (size_t r = 0; r < live_a.size(); ++r) {
+      for (size_t x = 0; x < da; ++x) {
+        for (size_t y = 0; y < db; ++y) {
+          want(x, y) += live_a[r][x] * live_b[r][y];
+        }
+      }
+    }
+    const Matrix got = amm.QueryProduct();
+    EXPECT_LE(got.MaxAbsDiff(want), 1e-12) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace swsketch

@@ -1,0 +1,252 @@
+// Algebraic laws of the AMM workload:
+//  - Gram consistency: feeding the same stream as both operands makes
+//    QueryProduct() an estimate of A_W^T A_W, which must agree with the
+//    covariance path (exactly for amm-exact, within the co-sketch bound
+//    for the FD-backed wrappers at matched parameters).
+//  - Transpose symmetry: swapping the operands transposes the estimate.
+//    Bitwise for amm-exact with arbitrary data (the accumulation keeps
+//    the stacked row index outermost, so the swap only renames i/j of
+//    each product term); bitwise for FD wrappers while the stacked state
+//    is pre-shrink (raw rows, a pure column-block swap).
+//  - Sharded identity: an S=1 ShardedSketch over the stacked FD route is
+//    byte-equal to the plain sketch (FD-merge reduce at the stacked
+//    dimension is the identity on one shard).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "amm/amm_exact.h"
+#include "amm/amm_sketch.h"
+#include "core/factory.h"
+#include "distributed/sharded_sketch.h"
+#include "eval/amm_err.h"
+#include "eval/cov_err.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace swsketch {
+namespace {
+
+AmmSketch* AsAmm(const std::unique_ptr<SlidingWindowSketch>& s) {
+  auto* amm = dynamic_cast<AmmSketch*>(s.get());
+  EXPECT_NE(amm, nullptr);
+  return amm;
+}
+
+std::unique_ptr<SlidingWindowSketch> BuildAmm(const std::string& algo,
+                                              size_t da, size_t db,
+                                              WindowSpec window, size_t ell,
+                                              uint64_t seed = 5) {
+  SketchConfig config;
+  config.algorithm = algo;
+  config.ell = ell;
+  config.amm_dim_a = da;
+  config.max_norm_sq = 16.0 * static_cast<double>(da + db);
+  config.seed = seed;
+  auto made = MakeSlidingWindowSketch(da + db, window, config);
+  EXPECT_TRUE(made.ok()) << algo << ": " << made.status().ToString();
+  return made.ok() ? made.take() : nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Gram consistency: Query(A, A) estimates the window Gram.
+
+TEST(AmmPropertyTest, ExactSelfProductIsTheWindowGram) {
+  Rng rng(31);
+  const size_t d = 4;
+  const WindowSpec window = WindowSpec::Sequence(40);
+  auto sketch = BuildAmm("amm-exact", d, d, window, 8);
+  ASSERT_NE(sketch, nullptr);
+  auto* amm = AsAmm(sketch);
+
+  Matrix a(120, d);
+  std::vector<double> ts(120);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) a(i, j) = rng.Gaussian();
+    ts[i] = static_cast<double>(i + 1);
+  }
+  amm->UpdatePairBatch(a, a, ts);
+
+  // The last 40 rows are the window; their Gram is the exact self-product.
+  Matrix live(40, d);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < d; ++j) live(i, j) = a(80 + i, j);
+  }
+  const Matrix gram = live.Gram();
+  const Matrix got = amm->QueryProduct();
+  ASSERT_EQ(got.rows(), d);
+  ASSERT_EQ(got.cols(), d);
+  EXPECT_LE(got.MaxAbsDiff(gram), 1e-9);
+}
+
+TEST(AmmPropertyTest, FdSelfProductMatchesCovariancePathWithinBound) {
+  // At matched parameters the self-product estimate must track the window
+  // Gram as well as the covariance guarantee promises: the stacked [A|A]
+  // stream has Frobenius mass 2 ||A||_F^2, and the product block inherits
+  // the stacked covariance bound (eval/amm_err.h).
+  Rng rng(37);
+  const size_t d = 4;
+  const size_t ell = 16;
+  const WindowSpec window = WindowSpec::Sequence(64);
+  for (const std::string algo : {"amm-co-fd", "amm-lm-fd", "amm-di-fd"}) {
+    SCOPED_TRACE(algo);
+    auto sketch = BuildAmm(algo, d, d, window, ell);
+    ASSERT_NE(sketch, nullptr);
+    auto* amm = AsAmm(sketch);
+
+    Matrix a(300, d);
+    std::vector<double> ts(300);
+    for (size_t i = 0; i < a.rows(); ++i) {
+      for (size_t j = 0; j < d; ++j) a(i, j) = rng.Gaussian();
+      ts[i] = static_cast<double>(i + 1);
+    }
+    amm->UpdatePairBatch(a, a, ts);
+
+    Matrix live(64, d);
+    for (size_t i = 0; i < 64; ++i) {
+      for (size_t j = 0; j < d; ++j) live(i, j) = a(236 + i, j);
+    }
+    const Matrix gram = live.Gram();
+    const double frob_sq = live.FrobeniusNormSq();
+    const Matrix got = amm->QueryProduct();
+    const double err = AmmError(gram, frob_sq, frob_sq, got);
+    const double bound = AmmErrorBound(ell, frob_sq, frob_sq, 4.0);
+    EXPECT_LE(err, bound);
+    // Self-product of the co-sketch is PSD-adjacent: its diagonal must be
+    // non-negative (each entry is a sum of squares of sketch columns).
+    for (size_t j = 0; j < d; ++j) EXPECT_GE(got(j, j), 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Transpose symmetry.
+
+TEST(AmmPropertyTest, ExactTransposeSymmetryIsBitwise) {
+  Rng rng(41);
+  const size_t da = 3, db = 5;
+  const WindowSpec window = WindowSpec::Time(30.0);
+  AmmExact fwd(da, db, window);
+  AmmExact rev(db, da, window);
+  std::vector<double> ra(da), rb(db);
+  double t = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    for (auto& v : ra) v = 3.0 * rng.Gaussian();
+    for (auto& v : rb) v = rng.Gaussian();
+    t += rng.Exponential(1.0);
+    fwd.UpdatePair(ra, rb, t);
+    rev.UpdatePair(rb, ra, t);
+    if (i % 25 != 24) continue;
+    const Matrix p = fwd.QueryProduct();
+    const Matrix q = rev.QueryProduct();
+    ASSERT_EQ(p.rows(), q.cols());
+    ASSERT_EQ(p.cols(), q.rows());
+    for (size_t x = 0; x < p.rows(); ++x) {
+      for (size_t y = 0; y < p.cols(); ++y) {
+        EXPECT_EQ(p(x, y), q(y, x)) << "row " << i;
+      }
+    }
+  }
+}
+
+TEST(AmmPropertyTest, FdTransposeSymmetryIsBitwisePreShrink) {
+  // While the window holds fewer rows than the FD budget the stacked
+  // state is the raw rows, so the swapped sketch's state is an exact
+  // column-block swap and the products are bitwise transposes for the
+  // LM / DI wrappers (their pre-shrink query path never contracts over
+  // the stacked dimension). DS-FD is the exception: its signed-stack PSD
+  // projection takes dot products ACROSS the stacked columns (Gram of
+  // the projected basis), and a column-block swap reorders those
+  // summations — mathematically equivariant, bitwise only to rounding,
+  // so amm-co-fd is pinned at a tight tolerance instead.
+  Rng rng(43);
+  const size_t da = 2, db = 3;
+  const size_t ell = 16;  // > rows ingested: no shrink fires.
+  const WindowSpec window = WindowSpec::Sequence(32);
+  for (const std::string algo : {"amm-co-fd", "amm-lm-fd", "amm-di-fd"}) {
+    SCOPED_TRACE(algo);
+    auto fwd_s = BuildAmm(algo, da, db, window, ell);
+    auto rev_s = BuildAmm(algo, db, da, window, ell);
+    ASSERT_NE(fwd_s, nullptr);
+    ASSERT_NE(rev_s, nullptr);
+    auto* fwd = AsAmm(fwd_s);
+    auto* rev = AsAmm(rev_s);
+    std::vector<double> ra(da), rb(db);
+    // 7 rows: below every backend's shrink trigger at these parameters
+    // (DS-FD's frame capacity resolves to 8 here), so the stacked state
+    // stays raw rows end-to-end.
+    for (size_t i = 0; i < 7; ++i) {
+      for (auto& v : ra) v = rng.Gaussian();
+      for (auto& v : rb) v = rng.Gaussian();
+      const double t = static_cast<double>(i + 1);
+      fwd->UpdatePair(ra, rb, t);
+      rev->UpdatePair(rb, ra, t);
+    }
+    const Matrix p = fwd->QueryProduct();
+    const Matrix q = rev->QueryProduct();
+    ASSERT_EQ(p.rows(), da);
+    ASSERT_EQ(q.rows(), db);
+    const bool bitwise = algo != "amm-co-fd";
+    for (size_t x = 0; x < da; ++x) {
+      for (size_t y = 0; y < db; ++y) {
+        if (bitwise) {
+          EXPECT_EQ(p(x, y), q(y, x)) << algo;
+        } else {
+          EXPECT_NEAR(p(x, y), q(y, x), 1e-10) << algo;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// S=1 sharded identity on the stacked FD route.
+
+TEST(AmmPropertyTest, SingleShardStackedFdIsByteEqualToPlain) {
+  Rng rng(47);
+  // Stacked dim 9 keeps DS-FD's frame capacity (8) below dim, where
+  // FrequentDirections::AppendBatch replays the serial per-row schedule
+  // bit-identically — the precondition of the sharded == plain byte
+  // contract (the sharded pipeline ingests via staged blocks).
+  const size_t da = 4, db = 5, d = da + db;
+  const WindowSpec window = WindowSpec::Sequence(80);
+  for (const std::string algo : {"amm-co-fd", "amm-lm-fd"}) {
+    SCOPED_TRACE(algo);
+    SketchConfig config;
+    config.algorithm = algo;
+    config.ell = 8;
+    config.amm_dim_a = da;
+    config.seed = 9;
+
+    ShardedSketch::Options options;
+    options.shards = 1;
+    options.block_rows = 16;
+    auto sharded = ShardedSketch::Make(d, window, config, options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    auto plain = MakeSlidingWindowSketch(d, window, config);
+    ASSERT_TRUE(plain.ok());
+    auto* plain_amm = AsAmm(*plain);
+
+    std::vector<double> row(d);
+    for (size_t i = 0; i < 240; ++i) {
+      for (auto& v : row) v = rng.Gaussian();
+      const double t = static_cast<double>(i + 1);
+      (*sharded)->Update(row, t);
+      (*plain)->Update(row, t);
+      if (i % 60 != 59) continue;
+      const Matrix qs = (*sharded)->Query();
+      const Matrix qp = (*plain)->Query();
+      ASSERT_EQ(qs.rows(), qp.rows()) << "row " << i;
+      EXPECT_EQ(qs.MaxAbsDiff(qp), 0.0) << "row " << i;
+      // The product read off the sharded stacked approximation is
+      // bit-identical to the plain wrapper's QueryProduct().
+      const Matrix ps = AmmSketch::ProductFromStacked(qs, da);
+      const Matrix pp = plain_amm->QueryProduct();
+      EXPECT_EQ(ps.MaxAbsDiff(pp), 0.0) << "row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swsketch

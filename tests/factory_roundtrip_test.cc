@@ -90,8 +90,9 @@ TEST(FactoryRoundTripTest, EveryKnownAlgorithmRoundTripsOrDeclines) {
     EXPECT_EQ(ca.MaxAbsDiff(cb), 0.0) << "post-reload ingest diverged";
   }
   // The serializable set (swr, swor, swor-all, lm-fd, lm-hash, di-fd,
-  // ds-fd today) may only grow.
-  EXPECT_GE(serializable_count, 7u);
+  // ds-fd, amm-exact, amm-co-fd, amm-lm-fd, amm-di-fd today) may only
+  // grow.
+  EXPECT_GE(serializable_count, 11u);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "amm/amm_sketch.h"
 #include "core/concurrent_sketch.h"
 #include "core/dump_snapshot.h"
 #include "core/dyadic_interval.h"
@@ -543,6 +544,86 @@ TEST(MetricsInvariantsTest, WindowBufferGaugesTrackFootprint) {
   const uint64_t dense0 = C("window_buffer.gram_dense");
   (void)buffer.GramMatrix(d);
   EXPECT_EQ(C("window_buffer.gram_dense") - dense0, 1u);
+}
+
+TEST(MetricsInvariantsTest, AmmProductCacheAccountsForEveryQuery) {
+  // The amm.* conservation law, for every AMM backend:
+  //   product_queries == product_cache_hits + product_cache_misses
+  // with hits only between mutations, and pairs_ingested counting every
+  // (row_a, row_b) pair exactly once across single and batched ingest.
+  const size_t da = 3, db = 4, d = da + db;
+  const Matrix rows = GaussianRows(90, d, 21);
+  for (const std::string algo :
+       {"amm-exact", "amm-co-fd", "amm-lm-fd", "amm-di-fd"}) {
+    SCOPED_TRACE(algo);
+    SketchConfig config;
+    config.algorithm = algo;
+    config.ell = 8;
+    config.amm_dim_a = da;
+    config.max_norm_sq = 16.0 * static_cast<double>(d);
+    auto made = MakeSlidingWindowSketch(d, WindowSpec::Sequence(40), config);
+    ASSERT_TRUE(made.ok());
+    auto* amm = dynamic_cast<AmmSketch*>(made->get());
+    ASSERT_NE(amm, nullptr);
+
+    const uint64_t pairs0 = C("amm.pairs_ingested");
+    const uint64_t q0 = C("amm.product_queries");
+    const uint64_t h0 = C("amm.product_cache_hits");
+    const uint64_t m0 = C("amm.product_cache_misses");
+    const auto check = [&] {
+      ASSERT_EQ((C("amm.product_cache_hits") - h0) +
+                    (C("amm.product_cache_misses") - m0),
+                C("amm.product_queries") - q0);
+    };
+
+    double t = 0.0;
+    for (size_t i = 0; i < 30; ++i) {
+      t += 1.0;
+      amm->Update(rows.Row(i), t);
+    }
+    EXPECT_EQ(C("amm.pairs_ingested") - pairs0, 30u);
+
+    // Cold query, then a warm repeat: exactly one miss, one hit.
+    (void)amm->QueryProduct();
+    check();
+    const uint64_t m_after_cold = C("amm.product_cache_misses");
+    (void)amm->QueryProduct();
+    check();
+    EXPECT_EQ(C("amm.product_cache_misses"), m_after_cold)
+        << "repeat query with no mutation must hit the cache";
+    EXPECT_EQ(C("amm.product_cache_hits") - h0, 1u);
+
+    // A mutation invalidates: the next product query is cold again.
+    Matrix batch(20, d);
+    std::vector<double> ts(20);
+    for (size_t i = 0; i < 20; ++i) {
+      const auto src = rows.Row(30 + i);
+      for (size_t j = 0; j < d; ++j) batch(i, j) = src[j];
+      t += 1.0;
+      ts[i] = t;
+    }
+    amm->UpdateBatch(batch, ts);
+    EXPECT_EQ(C("amm.pairs_ingested") - pairs0, 50u);
+    (void)amm->QueryProduct();
+    check();
+    EXPECT_EQ(C("amm.product_cache_misses") - m0, 2u);
+
+    // Reload: visible as amm.reloads, and the restored cache starts cold.
+    ByteWriter w;
+    ASSERT_TRUE(amm->SerializeTo(&w).ok());
+    const uint64_t reloads0 = C("amm.reloads");
+    ByteReader r(w.bytes());
+    auto loaded = DeserializeSlidingWindowSketch(&r);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(C("amm.reloads") - reloads0, 1u);
+    auto* loaded_amm = dynamic_cast<AmmSketch*>(loaded->get());
+    ASSERT_NE(loaded_amm, nullptr);
+    const uint64_t m_before = C("amm.product_cache_misses");
+    (void)loaded_amm->QueryProduct();
+    EXPECT_EQ(C("amm.product_cache_misses") - m_before, 1u)
+        << "first post-load product query must be cold";
+    check();
+  }
 }
 
 }  // namespace

@@ -112,7 +112,8 @@ TEST(FactoryTest, LmRpInKnownAlgorithms) {
   auto algos = KnownAlgorithms();
   EXPECT_NE(std::find(algos.begin(), algos.end(), "lm-rp"), algos.end());
   EXPECT_NE(std::find(algos.begin(), algos.end(), "ds-fd"), algos.end());
-  EXPECT_EQ(algos.size(), 12u);
+  EXPECT_NE(std::find(algos.begin(), algos.end(), "amm-co-fd"), algos.end());
+  EXPECT_EQ(algos.size(), 16u);
 }
 
 }  // namespace

@@ -23,7 +23,10 @@
 
 #include <gtest/gtest.h>
 
+#include "amm/amm_exact.h"
+#include "amm/amm_stacked.h"
 #include "core/dump_snapshot.h"
+#include "core/factory.h"
 #include "core/dyadic_interval.h"
 #include "core/logarithmic_method.h"
 #include "core/swor.h"
@@ -187,6 +190,60 @@ TEST(SerializationGoldenTest, SworBlobAndQueryAreByteStable) {
   bool regenerated = false;
   CheckGolden(&swor, "golden_swor",
               [](ByteReader* r) { return SworSketch::Deserialize(r); },
+              &regenerated);
+  if (regenerated) GTEST_SKIP() << "fixtures regenerated";
+}
+
+// The AMM v2 wire tags (AME1 for the exact dual-buffer backend, AMS1 for
+// the stacked wrappers — whose payload nests the underlying backend's own
+// tagged blob) are pinned the same way: the committed bytes are what a
+// checkpoint written by this PR looks like forever.
+TEST(SerializationGoldenTest, AmmExactBlobAndQueryAreByteStable) {
+  const size_t da = 3, db = 5;
+  AmmExact amm(da, db, WindowSpec::Sequence(40));
+  Ingest(&amm, 120, da + db, 45);
+  bool regenerated = false;
+  CheckGolden(&amm, "golden_amm_exact",
+              [](ByteReader* r) { return AmmExact::Deserialize(r); },
+              &regenerated);
+  if (regenerated) GTEST_SKIP() << "fixtures regenerated";
+}
+
+TEST(SerializationGoldenTest, AmmCoFdBlobAndQueryAreByteStable) {
+  const size_t da = 3, db = 5, d = da + db;
+  SketchConfig config;
+  config.algorithm = "amm-co-fd";
+  config.ell = 6;
+  config.ds_snapshots_per_window = 4;
+  config.amm_dim_a = da;
+  auto made = MakeSlidingWindowSketch(d, WindowSpec::Sequence(100), config);
+  ASSERT_TRUE(made.ok());
+  auto* amm = dynamic_cast<AmmStacked*>(made->get());
+  ASSERT_NE(amm, nullptr);
+  Ingest(amm, 250, d, 46);
+  bool regenerated = false;
+  CheckGolden(amm, "golden_amm_co_fd",
+              [](ByteReader* r) { return AmmStacked::Deserialize(r); },
+              &regenerated);
+  if (regenerated) GTEST_SKIP() << "fixtures regenerated";
+}
+
+TEST(SerializationGoldenTest, AmmLmFdBlobAndQueryAreByteStable) {
+  const size_t da = 4, db = 4, d = da + db;
+  SketchConfig config;
+  config.algorithm = "amm-lm-fd";
+  config.ell = 6;
+  config.blocks_per_level = 3;
+  config.lm_block_capacity = 6.0 * static_cast<double>(d);
+  config.amm_dim_a = da;
+  auto made = MakeSlidingWindowSketch(d, WindowSpec::Sequence(100), config);
+  ASSERT_TRUE(made.ok());
+  auto* amm = dynamic_cast<AmmStacked*>(made->get());
+  ASSERT_NE(amm, nullptr);
+  Ingest(amm, 250, d, 47);
+  bool regenerated = false;
+  CheckGolden(amm, "golden_amm_lm_fd",
+              [](ByteReader* r) { return AmmStacked::Deserialize(r); },
               &regenerated);
   if (regenerated) GTEST_SKIP() << "fixtures regenerated";
 }
